@@ -1,0 +1,56 @@
+"""Ablation: 4-wise vs 2-wise independent sign functions.
+
+Two-wise independence already makes E[Z^2] = SJ(R) (unbiased), but the
+variance bound Var[Z^2] <= 2 SJ^2 needs 4-wise independence: with only
+pairwise independence the fourth-moment terms E[eps_a eps_b eps_c eps_d]
+need not vanish, and on skewed data the estimator's spread can blow up.
+This ablation measures the error distribution of both families at equal
+budget on a skewed stream.
+
+Expected shape: 4-wise matches or beats 2-wise in tail error; the
+2-wise family's variance is unbounded in theory (degree-1 polynomial
+signs are highly structured), and in practice its p90 error is
+noticeably worse on the skewed stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.core.frequency import self_join_size
+from repro.core.tugofwar import TugOfWarSketch
+from repro.data.registry import load_dataset
+
+
+def _errors(values, exact, independence, seeds, s1=60, s2=5):
+    out = []
+    for seed in seeds:
+        sk = TugOfWarSketch(s1=s1, s2=s2, seed=seed, independence=independence)
+        sk.update_from_stream(values)
+        out.append(abs(sk.estimate() - exact) / exact)
+    return np.asarray(out)
+
+
+def test_independence_ablation(benchmark, scale):
+    values = load_dataset("selfsimilar", rng=0, scale=min(scale, 0.2))
+    exact = self_join_size(values)
+
+    def run():
+        return (
+            _errors(values, exact, 4, range(40)),
+            _errors(values, exact, 2, range(40)),
+        )
+
+    four, two = run_once(benchmark, run)
+    emit(
+        "sign-family ablation (selfsimilar, 300 words, 40 seeds)",
+        f"4-wise: median {np.median(four):.3f}  p90 {np.quantile(four, 0.9):.3f}\n"
+        f"2-wise: median {np.median(two):.3f}  p90 {np.quantile(two, 0.9):.3f}",
+    )
+
+    # 4-wise keeps the Theorem 2.2 guarantee: error bound 4/sqrt(60) ~ 52%
+    # holds for the overwhelming majority of seeds.
+    assert np.quantile(four, 0.9) <= 0.52 * 1.3
+    # 4-wise is no worse than 2-wise in the tail (usually strictly better).
+    assert np.quantile(four, 0.9) <= np.quantile(two, 0.9) * 1.2

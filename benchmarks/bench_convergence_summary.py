@@ -1,0 +1,69 @@
+"""Section 3.1 summary: 15%-convergence words across all 13 data sets.
+
+Reproduces the paper's headline: "tug-of-war needed only 4-256 memory
+words, depending on the data set ... on average over 4 times fewer than
+sample-count, and over 50 times fewer than naive-sampling."  Exact
+multipliers vary run to run (each point is one randomized run, as in
+the paper); the asserted shape is the ordering of the geometric means
+across data sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.experiments.tables import convergence_table, format_convergence_table
+
+
+def _geomean_with_penalty(values, max_log2_s):
+    """Geometric mean of convergence sizes; None counts as 4x the sweep max."""
+    filled = [v if v is not None else (1 << max_log2_s) * 4 for v in values]
+    return float(np.exp(np.mean(np.log(filled))))
+
+
+def test_convergence_summary(benchmark, scale, max_log2_s):
+    table = run_once(
+        benchmark,
+        convergence_table,
+        scale=scale,
+        max_log2_s=max_log2_s,
+        seed=0,
+        repeats=1,
+    )
+    emit(
+        f"Section 3.1 convergence summary (scale={scale})",
+        format_convergence_table(table),
+    )
+
+    tw = [per_algo["tug-of-war"] for per_algo in table.values()]
+    sc = [per_algo["sample-count"] for per_algo in table.values()]
+    ns = [per_algo["naive-sampling"] for per_algo in table.values()]
+
+    # Tug-of-war converges on every data set within the sweep.
+    assert all(v is not None for v in tw)
+
+    g_tw = _geomean_with_penalty(tw, max_log2_s)
+    g_sc = _geomean_with_penalty(sc, max_log2_s)
+    g_ns = _geomean_with_penalty(ns, max_log2_s)
+    emit(
+        "geometric-mean convergence words",
+        f"tug-of-war={g_tw:.1f}  sample-count={g_sc:.1f}  naive-sampling={g_ns:.1f}\n"
+        f"sample-count/tug-of-war = {g_sc / g_tw:.1f}x   "
+        f"naive/tug-of-war = {g_ns / g_tw:.1f}x",
+    )
+
+    # Paper ordering: tug-of-war < sample-count < naive-sampling on
+    # average, with naive several times worse than tug-of-war.  At
+    # reduced scale naive-sampling is flattered (the largest samples
+    # approach the stream length, where it becomes exact), so the
+    # multiplier is asserted leniently there and strictly at paper scale.
+    assert g_tw <= g_sc
+    assert g_sc <= g_ns
+    assert g_ns / g_tw >= 2.5
+
+    if scale >= 1.0:
+        assert g_ns / g_tw >= 8.0
+        # "4-256 memory words" for tug-of-war at paper scale; allow one
+        # power of two of slack for run-to-run variation.
+        assert max(tw) <= 512

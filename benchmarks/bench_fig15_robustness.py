@@ -1,0 +1,45 @@
+"""Figure 15: robustness of the individual tug-of-war estimators X_ij.
+
+Reproduces the paper's plot of ~10^3 individual estimators on zipf1.5,
+sorted by value.  Shape assertions (the paper's observations):
+
+* the median individual estimator is in the right ballpark (slightly
+  below the actual value in the paper's run);
+* the estimators are *spread*, not clustered at the actual value —
+  which is why averaging/median combining is essential;
+* overestimates reach farther (in absolute error) than underestimates
+  (squaring skews the distribution right: X = Z^2 >= 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.experiments.figures import figure15, format_figure15
+
+
+def test_fig15_estimator_spread(benchmark, scale):
+    out = run_once(benchmark, figure15, estimators=1024, scale=scale, seed=0)
+    emit(f"Figure 15 (scale={scale})", format_figure15(out))
+
+    x = out["sorted_estimators"]
+    actual = out["actual"]
+    assert np.all(np.diff(x) >= 0)
+
+    # Median individual estimator within a factor 2 of actual.
+    assert 0.5 * actual <= out["median"] <= 2.0 * actual
+
+    # Spread: a sizeable fraction of estimators are > 50% away from
+    # actual (they are NOT clustered around it).
+    far = np.mean(np.abs(x - actual) > 0.5 * actual)
+    assert far > 0.25
+
+    # Overestimates incur larger absolute error than underestimates.
+    assert x.max() - actual > actual - x.min()
+
+    # And yet the median-of-means over the same estimators is sharp:
+    from repro.core.estimators import median_of_means
+
+    combined = median_of_means(x.reshape(4, 256))
+    assert abs(combined - actual) / actual < 0.25

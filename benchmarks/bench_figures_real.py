@@ -1,0 +1,88 @@
+"""Figures 9-14: text, spatial, and pathological data sets.
+
+* Figs 9-11 (wuther, genesis, brown2) — text behaves like Zipf(1.0):
+  both AMS estimators converge, naive-sampling trails.
+* Figs 12-13 (xout1, yout1) — spatial coordinates: usual ordering, with
+  sample-count almost as bad as naive-sampling (paper's observation).
+* Fig 14 (path) — the constructed separator: tug-of-war converges with
+  few words while sample-count needs Theta(sqrt t) (pathologically slow).
+"""
+
+from __future__ import annotations
+
+from conftest import assert_final_accuracy, emit, np_seed_for, run_once
+
+from repro.experiments.figures import run_figure
+from repro.experiments.metrics import convergence_from_sweep
+
+AMS = ("tug-of-war", "sample-count")
+FIGS = {"wuther": 9, "genesis": 10, "brown2": 11, "xout1": 12, "yout1": 13, "path": 14}
+
+
+def _figure(benchmark, name, scale, max_log2_s, repeats):
+    sweep = run_once(
+        benchmark,
+        run_figure,
+        name,
+        scale=scale,
+        max_log2_s=max_log2_s,
+        seed=np_seed_for(name),
+        repeats=repeats,
+    )
+    conv = convergence_from_sweep(sweep)
+    emit(
+        f"Figure {FIGS[name]} ({name}, scale={scale})",
+        sweep.format_table()
+        + "\n15%-convergence: "
+        + ", ".join(f"{a}={s}" for a, s in conv.items()),
+    )
+    return sweep, conv
+
+
+def test_fig09_wuther(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "wuther", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    assert conv["tug-of-war"] is not None
+    # Each cell is one randomized run; naive-sampling may land within a
+    # couple of powers of two of tug-of-war on a lucky draw, but never
+    # dramatically ahead.
+    assert conv["naive-sampling"] is None or (
+        4 * conv["naive-sampling"] >= conv["tug-of-war"]
+    )
+
+
+def test_fig10_genesis(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "genesis", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    assert conv["tug-of-war"] is not None and conv["sample-count"] is not None
+
+
+def test_fig11_brown2(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "brown2", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    assert conv["tug-of-war"] is not None
+
+
+def test_fig12_xout1(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "xout1", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, ("tug-of-war",), tol=0.5)
+    assert conv["tug-of-war"] is not None
+
+
+def test_fig13_yout1(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "yout1", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, ("tug-of-war",), tol=0.5)
+    assert conv["tug-of-war"] is not None
+
+
+def test_fig14_path(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "path", scale, max_log2_s, repeats)
+    # The separation the data set was built for: tug-of-war converges
+    # strictly earlier than sample-count (which, per Theorem 2.1's
+    # Theta(sqrt t) bound, needs a large sample to ever see the one
+    # heavy value among 40,000 singletons).
+    assert conv["tug-of-war"] is not None
+    assert conv["sample-count"] is None or (
+        conv["tug-of-war"] < conv["sample-count"]
+    )
+    assert_final_accuracy(sweep, ("tug-of-war",), tol=0.4)

@@ -1,0 +1,113 @@
+"""Figures 2-8: accuracy sweeps on the seven statistical data sets.
+
+Each benchmark regenerates one figure's series (normalized estimate vs
+log2 sample size, one series per algorithm) and asserts the qualitative
+shape the paper reports for that figure:
+
+* Fig 2 zipf1.0     — tug-of-war converges fastest, naive-sampling slowest.
+* Fig 3 zipf1.5     — sample-count comparable to tug-of-war, both >> naive.
+* Fig 4 uniform     — sample-count does *better* than tug-of-war.
+* Fig 5/6 mf2, mf3  — AMS pair comparable; naive far behind on mf3.
+* Fig 7 selfsimilar — naive-sampling far worse than both.
+* Fig 8 poisson     — everything fine once s >= 256.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_final_accuracy, emit, np_seed_for, run_once
+
+from repro.experiments.figures import run_figure
+from repro.experiments.metrics import convergence_from_sweep
+
+AMS = ("tug-of-war", "sample-count")
+
+
+def _figure(benchmark, name, scale, max_log2_s, repeats):
+    sweep = run_once(
+        benchmark,
+        run_figure,
+        name,
+        scale=scale,
+        max_log2_s=max_log2_s,
+        seed=np_seed_for(name),
+        repeats=repeats,
+    )
+    conv = convergence_from_sweep(sweep)
+    fig = {"zipf1.0": 2, "zipf1.5": 3, "uniform": 4, "mf2": 5, "mf3": 6,
+           "selfsimilar": 7, "poisson": 8}[name]
+    emit(
+        f"Figure {fig} ({name}, scale={scale})",
+        sweep.format_table()
+        + "\n15%-convergence: "
+        + ", ".join(f"{a}={s}" for a, s in conv.items()),
+    )
+    return sweep, conv
+
+
+def test_fig02_zipf10(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "zipf1.0", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    # Common case: tug-of-war <= sample-count <= naive-sampling.
+    assert conv["tug-of-war"] is not None
+    assert conv["sample-count"] is None or conv["tug-of-war"] <= conv["sample-count"]
+    assert conv["naive-sampling"] is None or (
+        conv["tug-of-war"] <= conv["naive-sampling"]
+    )
+
+
+def test_fig03_zipf15(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "zipf1.5", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    # Both AMS algorithms converge; naive needs more words than the
+    # better AMS algorithm.
+    assert conv["tug-of-war"] is not None and conv["sample-count"] is not None
+    best_ams = min(conv["tug-of-war"], conv["sample-count"])
+    assert conv["naive-sampling"] is None or conv["naive-sampling"] >= best_ams
+
+
+def test_fig04_uniform(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "uniform", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    # The paper's standout: sample-count much better than tug-of-war,
+    # which is better than naive-sampling.
+    assert conv["sample-count"] is not None
+    assert conv["tug-of-war"] is None or conv["sample-count"] <= conv["tug-of-war"]
+    assert conv["naive-sampling"] is None or (
+        conv["sample-count"] <= conv["naive-sampling"]
+    )
+
+
+def test_fig05_mf2(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "mf2", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    assert conv["tug-of-war"] is not None and conv["sample-count"] is not None
+
+
+def test_fig06_mf3(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "mf3", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    # Low skew: naive-sampling does considerably worse (in the paper it
+    # has yet to converge at s = 16384, >80% of the data set).  At
+    # reduced scale the sweep's largest samples exceed the stream and
+    # naive becomes exact, so the strict claim is full-scale only.
+    best_ams = min(conv["tug-of-war"], conv["sample-count"])
+    assert conv["naive-sampling"] is None or conv["naive-sampling"] >= best_ams
+    if scale >= 1.0:
+        assert conv["naive-sampling"] is None or conv["naive-sampling"] > 4 * best_ams
+
+
+def test_fig07_selfsimilar(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "selfsimilar", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS, tol=0.5)
+    assert conv["tug-of-war"] is not None
+    assert conv["naive-sampling"] is None or (
+        conv["naive-sampling"] >= conv["tug-of-war"]
+    )
+
+
+def test_fig08_poisson(benchmark, scale, max_log2_s, repeats):
+    sweep, conv = _figure(benchmark, "poisson", scale, max_log2_s, repeats)
+    assert_final_accuracy(sweep, AMS + ("naive-sampling",), tol=0.5)
+    # Tiny domain: all three converge within the sweep.
+    for algo, s in conv.items():
+        assert s is not None, algo

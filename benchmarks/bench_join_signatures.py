@@ -1,0 +1,116 @@
+"""Join-signature accuracy study (the paper's stated future work).
+
+k-TW vs sample signatures at matched memory budgets on relation pairs
+with Table 1 profiles, plus the Lemma 4.4 variance-bound check.
+Asserted shapes:
+
+* k-TW error shrinks with k roughly like 1/sqrt(k) (within slack);
+* the empirical RMS error respects the Lemma 4.4 bound
+  sqrt(2 SJ(F) SJ(G) / k);
+* on a low-skew pair (uniform profile), k-TW beats sampling at equal
+  storage — the Section 4.4 prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.experiments.joins import (
+    format_join_sweep,
+    join_accuracy_sweep,
+    ktw_error_vs_bound,
+    make_relation_pair,
+)
+
+
+def test_join_accuracy_uniform_profile(benchmark, scale):
+    # A dense low-skew pair: uniform over t = n/10, so the join is
+    # large (B ~ n^2/t = 10n) while the self-joins stay near n —
+    # exactly the regime where Section 4.4 predicts k-TW crushes
+    # sampling at small budgets (k-TW needs ~(C/B)^2 ~ 1 word,
+    # sampling needs ~n^2/B = t words).
+    import numpy as np
+
+    from repro.data.synthetic import uniform as uniform_stream
+
+    n = max(4_000, int(50_000 * scale))
+    rng = np.random.default_rng(1)
+    left = uniform_stream(n, n // 10, rng=rng)
+    right = uniform_stream(n, n // 10, rng=rng)
+    out = run_once(
+        benchmark,
+        join_accuracy_sweep,
+        left,
+        right,
+        budgets=(16, 64, 256, 1024),
+        seed=2,
+        repeats=5,
+    )
+    emit("join accuracy, dense uniform profile", format_join_sweep(out))
+
+    ktw = {p.memory_words: p.relative_error for p in out["points"] if p.scheme == "k-TW"}
+    samp = {
+        p.memory_words: p.relative_error for p in out["points"] if p.scheme == "sample"
+    }
+    # Error decreases with budget (median over repeats; allow slack).
+    assert ktw[1024] <= ktw[16] + 0.05
+    # k-TW is sharp already at modest budgets...
+    assert ktw[256] <= 0.2
+    assert ktw[1024] <= 0.1
+    # ...and at 16 words — where sampling keeps an expected 16 of n
+    # values and almost surely sees no joining pair — k-TW is already
+    # usable while sampling is blind (estimates ~0, relative error ~1).
+    assert ktw[16] <= samp[16] - 0.3
+
+
+def test_join_accuracy_skewed_profile(benchmark, scale):
+    n = max(4_000, int(50_000 * scale))
+    left, right = make_relation_pair("zipf1.0", n=n, overlap=0.8, seed=3)
+    out = run_once(
+        benchmark,
+        join_accuracy_sweep,
+        left,
+        right,
+        budgets=(64, 1024),
+        seed=4,
+        repeats=5,
+    )
+    emit("join accuracy, zipf1.0 profile", format_join_sweep(out))
+    ktw = {p.memory_words: p.relative_error for p in out["points"] if p.scheme == "k-TW"}
+    assert ktw[1024] <= 0.6  # converged to a useful estimate
+
+
+def test_lemma44_bound(benchmark, scale):
+    n = max(2_000, int(20_000 * scale))
+    left, right = make_relation_pair("mf2", n=n, overlap=1.0, seed=5)
+    out = run_once(
+        benchmark, ktw_error_vs_bound, left, right, k=256, trials=24, seed=6
+    )
+    emit(
+        "Lemma 4.4 bound check (mf2 profile)",
+        f"exact join = {out['exact_join']:.4g}\n"
+        f"RMS error  = {out['rms_error']:.4g}\n"
+        f"bound      = {out['bound']:.4g}  (ratio {out['ratio']:.2f}, must be <~ 1)",
+    )
+    assert out["ratio"] <= 1.3
+
+
+def test_error_scales_inverse_sqrt_k(benchmark, scale):
+    n = max(2_000, int(20_000 * scale))
+    left, right = make_relation_pair("uniform", n=n, overlap=1.0, seed=7)
+    results = {}
+
+    def sweep_ks():
+        for k in (16, 256):
+            results[k] = ktw_error_vs_bound(left, right, k=k, trials=24, seed=8)
+        return results
+
+    run_once(benchmark, sweep_ks)
+    ratio = results[16]["rms_error"] / max(results[256]["rms_error"], 1e-12)
+    emit(
+        "k-TW error scaling",
+        f"RMS(k=16) / RMS(k=256) = {ratio:.2f} (theory: sqrt(256/16) = 4)",
+    )
+    # 1/sqrt(k) scaling within generous slack (24 trials is noisy).
+    assert 1.5 <= ratio <= 12.0

@@ -1,0 +1,68 @@
+"""Lower-bound demonstrations: Lemma 2.3 and Theorem 4.3.
+
+* Lemma 2.3 — naive-sampling with an o(sqrt n) sample reports ~n on the
+  "n/2 pairs" relation whose true self-join is 2n: a factor-2 failure
+  with sizeable probability.  With an Omega(sqrt n) sample the failure
+  disappears, bracketing the bound from both sides.
+* Theorem 4.3 — sampling signatures far below n^2/B bits cannot tell
+  join size B from 2B on the D1/D2 construction; at the Lemma 4.2
+  budget they can.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.experiments.lowerbounds import lemma23_demo, theorem43_demo
+
+
+def test_lemma23_small_sample_fails(benchmark, scale):
+    n = max(2_000, int(20_000 * scale))
+    out = run_once(benchmark, lemma23_demo, n=n, trials=100, seed=0)
+    emit(
+        "Lemma 2.3: naive-sampling with o(sqrt n) sample",
+        f"n = {out['n']}, sample = {out['sample_size']} (sqrt n = {int(n**0.5)})\n"
+        f"SJ(R1) = {out['sj_r1']}, median estimate = {out['median_estimate_r1']:.0f}\n"
+        f"SJ(R2) = {out['sj_r2']}, median estimate = {out['median_estimate_r2']:.0f}\n"
+        f"factor-2 failure rate on R2: {out['factor2_failure_rate']:.0%}",
+    )
+    # R1 is estimated exactly (all-distinct sample), R2 fails by ~2x
+    # with sizeable probability — the lemma's separation.
+    assert abs(out["median_estimate_r1"] - out["sj_r1"]) / out["sj_r1"] < 0.05
+    assert out["factor2_failure_rate"] >= 0.5
+
+
+def test_lemma23_large_sample_succeeds(benchmark, scale):
+    n = max(2_000, int(20_000 * scale))
+    # 8 sqrt(n) samples: comfortably Omega(sqrt n).
+    s = int(8 * n**0.5)
+    out = run_once(benchmark, lemma23_demo, n=n, sample_size=s, trials=100, seed=1)
+    emit(
+        "Lemma 2.3 control: Omega(sqrt n) sample",
+        f"sample = {s}; median R2 estimate = {out['median_estimate_r2']:.0f} "
+        f"(SJ = {out['sj_r2']}); failure rate {out['factor2_failure_rate']:.0%}",
+    )
+    assert out["factor2_failure_rate"] <= 0.2
+
+
+def test_theorem43_sub_bound_signature_fails(benchmark):
+    out = run_once(benchmark, theorem43_demo, k=8, c=16, trials=60, seed=0)
+    emit(
+        "Theorem 4.3: sampling signature below the n^2/B bound",
+        f"n = {out['n']}, B = {out['sanity_bound']}, "
+        f"signature = {out['signature_words']} words "
+        f"(lower bound {out['lower_bound_bits']:.0f} bits)\n"
+        f"B-vs-2B misclassification rate: {out['misclassification_rate']:.0%}",
+    )
+    assert out["misclassification_rate"] >= 0.15
+
+
+def test_theorem43_full_budget_succeeds(benchmark):
+    out = run_once(
+        benchmark, theorem43_demo, k=8, c=16, signature_words=10**6, trials=60, seed=1
+    )
+    emit(
+        "Theorem 4.3 control: full-relation signature",
+        f"misclassification rate: {out['misclassification_rate']:.0%}",
+    )
+    assert out["misclassification_rate"] == 0.0

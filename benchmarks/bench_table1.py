@@ -1,0 +1,50 @@
+"""Table 1 reproduction: data sets and their characteristics.
+
+Generates all 13 data sets and prints length / domain size / self-join
+size against the paper's reported values.  The shape that must hold:
+lengths match by construction, domain sizes land in the right order of
+magnitude, and self-join sizes are within a small factor of the paper's
+(they are random draws from the same distributions).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.data.registry import DATASETS
+from repro.experiments.tables import format_table1, table1
+
+
+def test_table1(benchmark, scale):
+    rows = run_once(benchmark, table1, seed=0, scale=scale)
+    emit(f"Table 1 (scale={scale})", format_table1(rows))
+
+    assert len(rows) == 13
+    for row in rows:
+        expected_n = max(1, round(row.paper_length * scale))
+        assert abs(row.measured_length - expected_n) <= 1, row.name
+
+    if scale >= 1.0:
+        # Full scale: self-join sizes within 2x of the paper for every
+        # data set (exact for `path`), domains within ~3x.
+        for row in rows:
+            ratio = row.measured_self_join / row.paper_self_join
+            assert 0.5 <= ratio <= 2.0, f"{row.name}: SJ ratio {ratio:.2f}"
+            dom_ratio = row.measured_domain / row.paper_domain
+            assert 1 / 3 <= dom_ratio <= 3.0, f"{row.name}: domain ratio {dom_ratio:.2f}"
+        path = next(r for r in rows if r.name == "path")
+        assert path.measured_self_join == 680_000
+        assert path.measured_domain == 40_001
+
+
+def test_table1_spans(benchmark, scale):
+    """The paper's spread claim: 50x in lengths, ~3 orders in domain,
+    ~4 orders in self-join sizes."""
+    rows = run_once(benchmark, table1, seed=1, scale=scale)
+    lengths = [r.paper_length for r in rows]
+    domains = [r.paper_domain for r in rows]
+    sjs = [r.paper_self_join for r in rows]
+    assert max(lengths) / min(lengths) >= 50
+    assert max(domains) / min(domains) >= 1_000
+    assert max(sjs) / min(sjs) >= 5_000
+    assert len({r.kind for r in rows}) == 4

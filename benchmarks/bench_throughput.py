@@ -1,0 +1,87 @@
+"""Update/query cost model (Theorems 2.1 and 2.2 time bounds).
+
+Measures actual per-operation cost of the trackers:
+
+* sample-count inserts are O(1) amortised — cost must stay flat as the
+  sample size s grows 64x;
+* tug-of-war inserts are O(s) — cost must grow with s;
+* sample-count queries are O(s); the fast-query variant is O(s2);
+* tug-of-war queries are O(s).
+
+These benchmarks use pytest-benchmark's timing (many rounds) since each
+operation is microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.naivesampling import NaiveSamplingEstimator
+from repro.core.samplecount import SampleCountFastQuery, SampleCountSketch
+from repro.core.tugofwar import TugOfWarSketch
+
+STREAM = np.random.default_rng(0).integers(0, 1000, size=20_000).astype(np.int64)
+
+
+def _insert_batch(tracker, values):
+    for v in values:
+        tracker.insert(v)
+
+
+@pytest.mark.parametrize("s1", [16, 256, 1024])
+def test_samplecount_insert_cost(benchmark, s1):
+    """O(1) amortised: per-insert cost roughly flat in s."""
+    sk = SampleCountSketch(s1=s1, s2=1, seed=0, initial_range=STREAM.size)
+    sk.update_from_stream(STREAM[:10_000])
+    batch = STREAM[10_000:10_100].tolist()
+    benchmark(_insert_batch, sk, batch)
+
+
+@pytest.mark.parametrize("s1", [16, 256, 1024])
+def test_tugofwar_insert_cost(benchmark, s1):
+    """O(s): per-insert cost grows with the number of counters."""
+    sk = TugOfWarSketch(s1=s1, s2=1, seed=0)
+    batch = STREAM[:100].tolist()
+    benchmark(_insert_batch, sk, batch)
+
+
+@pytest.mark.parametrize("s1", [64, 1024])
+def test_samplecount_query_cost(benchmark, s1):
+    """O(s) query for the Figure 1 variant."""
+    sk = SampleCountSketch(s1=s1, s2=4, seed=0, initial_range=STREAM.size)
+    sk.update_from_stream(STREAM)
+    benchmark(sk.estimate)
+
+
+@pytest.mark.parametrize("s1", [64, 1024])
+def test_samplecount_fastquery_cost(benchmark, s1):
+    """O(s2) query for the fast-query variant (independent of s1)."""
+    sk = SampleCountFastQuery(s1=s1, s2=4, seed=0, initial_range=STREAM.size)
+    sk.update_from_stream(STREAM)
+    benchmark(sk.estimate)
+
+
+@pytest.mark.parametrize("s1", [64, 1024])
+def test_tugofwar_query_cost(benchmark, s1):
+    sk = TugOfWarSketch(s1=s1, s2=4, seed=0)
+    sk.update_from_stream(STREAM)
+    benchmark(sk.estimate)
+
+
+def test_tugofwar_bulk_load(benchmark):
+    """Vectorised bulk loading of a 20k stream into 1280 counters."""
+
+    def build():
+        sk = TugOfWarSketch(s1=256, s2=5, seed=0)
+        sk.update_from_stream(STREAM)
+        return sk
+
+    benchmark(build)
+
+
+def test_naive_sampling_insert_cost(benchmark):
+    est = NaiveSamplingEstimator(s=1024, seed=0)
+    est.update_from_stream(STREAM[:10_000])
+    batch = STREAM[10_000:10_100].tolist()
+    benchmark(_insert_batch, est, batch)

@@ -1,0 +1,69 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Scale control
+-------------
+``REPRO_SCALE`` selects the experiment size:
+
+* ``quick`` (default) — 5% of each paper stream, sample sizes up to
+  2^12: every qualitative shape survives, minutes for the whole suite;
+* ``full``  — the paper's exact sizes (streams up to 1M elements,
+  sample sizes to 2^14);
+* any float in (0, 1] — custom fraction.
+
+Every benchmark prints the same rows/series the corresponding paper
+table or figure reports, so the output is the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import default_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Stream-length fraction for this run (REPRO_SCALE)."""
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def max_log2_s(scale) -> int:
+    """Largest sample-size exponent: 14 at paper scale, 12 when scaled."""
+    return 14 if scale >= 1.0 else 12
+
+
+@pytest.fixture(scope="session")
+def repeats(scale) -> int:
+    """Estimates per plotted point (paper: 1)."""
+    return 1
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction artifact with a recognisable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+def assert_final_accuracy(sweep, algorithms, tol):
+    """Largest-budget estimates must be within tol of the exact SJ."""
+    last_s = max(s for s, _ in sweep.rows())
+    final = dict(sweep.rows())[last_s]
+    for algo in algorithms:
+        norm = final[algo]
+        assert abs(norm - 1.0) <= tol, (
+            f"{sweep.dataset}: {algo} normalized estimate {norm:.3f} at "
+            f"s={last_s} outside ±{tol:.0%}"
+        )
+
+
+def np_seed_for(name: str) -> int:
+    """Stable per-dataset seed so benches are reproducible run to run."""
+    import zlib
+
+    return zlib.crc32(name.encode()) % (2**31)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Figure gallery: re-draw any paper figure as an ASCII plot.
+
+Runs the accuracy sweep behind Figures 2-14 (or the estimator-spread
+study of Figure 15) and renders it in the terminal.  By default the
+streams are scaled to 10% of the paper's sizes so everything finishes
+in seconds; pass --scale 1.0 for paper scale.
+
+Run:  python examples/figure_gallery.py 2          # Figure 2 (zipf1.0)
+      python examples/figure_gallery.py 14 --scale 1.0
+      python examples/figure_gallery.py 15
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.metrics import convergence_from_sweep
+
+MARKS = {"sample-count": "s", "tug-of-war": "t", "naive-sampling": "n"}
+
+
+def ascii_plot(sweep, height: int = 19, y_max: float = 2.0) -> str:
+    """Render normalized estimates vs log2(sample size)."""
+    rows = sweep.rows()
+    width = len(rows)
+    grid = [[" "] * (width * 3) for _ in range(height)]
+
+    def y_to_row(y: float) -> int:
+        clamped = min(max(y, 0.0), y_max)
+        return int(round((1.0 - clamped / y_max) * (height - 1)))
+
+    actual_row = y_to_row(1.0)
+    for col in range(width * 3):
+        grid[actual_row][col] = "-"
+    for col, (_, by_algo) in enumerate(rows):
+        for algo, norm in by_algo.items():
+            row = y_to_row(norm)
+            cell = col * 3 + 1
+            grid[row][cell] = MARKS[algo] if grid[row][cell] in " -" else "*"
+
+    lines = [
+        f"# {sweep.dataset}: normalized estimate vs log2(s)   "
+        f"(n={sweep.n:,}, exact SJ={sweep.exact_self_join:.3g})",
+        f"# marks: s=sample-count t=tug-of-war n=naive-sampling "
+        f"*=overlap; ---- = actual (1.0); y clipped to [0, {y_max}]",
+    ]
+    for r, row in enumerate(grid):
+        label = f"{y_max * (1 - r / (height - 1)):>5.2f} |"
+        lines.append(label + "".join(row))
+    lines.append("      +" + "-" * (width * 3))
+    lines.append("       " + "".join(f"{int(np.log2(s)):>2} " for s, _ in rows))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", type=int, help="paper figure number (2-15)")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-log2-s", type=int, default=14)
+    args = parser.parse_args()
+
+    if args.figure == 15:
+        out = figures.figure15(estimators=1024, scale=args.scale, seed=args.seed)
+        print(figures.format_figure15(out))
+        return
+
+    sweep = figures.figure(
+        args.figure,
+        scale=args.scale,
+        max_log2_s=args.max_log2_s,
+        seed=args.seed,
+    )
+    print(ascii_plot(sweep))
+    print()
+    conv = convergence_from_sweep(sweep)
+    print("minimum sample size within 15% relative error (and staying within):")
+    for algo, s in conv.items():
+        print(f"  {algo:<15} {s if s is not None else 'not converged'}")
+    print()
+    print(sweep.format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — Tracking Join and Self-Join Sizes in Limited Storage.
+
+A full, production-quality reproduction of Alon, Gibbons, Matias &
+Szegedy (PODS 1999 / JCSS 2002): the tug-of-war (AMS) and sample-count
+self-join trackers with insertion *and deletion* support, the
+naive-sampling baseline, k-TW and sampling join signatures, the
+analytic bounds, the 13 Table 1 data-set generators, and an experiment
+harness regenerating every figure and table of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import TugOfWarSketch, self_join_size
+
+    stream = np.random.default_rng(0).zipf(1.6, size=100_000) % 10_000
+    sketch = TugOfWarSketch(s1=256, s2=5, seed=42)
+    sketch.update_from_stream(stream)          # or .insert(v) / .delete(v)
+    print(sketch.estimate(), self_join_size(stream))
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+figure/table reproductions.
+"""
+
+from .core import (
+    MERSENNE_PRIME_31,
+    FrequencyMomentTracker,
+    FrequencyVector,
+    JoinSignatureFamily,
+    MultiJoinFamily,
+    MultiJoinSignature,
+    NaiveSamplingEstimator,
+    PolynomialHashFamily,
+    SampleCountFastQuery,
+    SampleCountSketch,
+    SampleJoinSignature,
+    SignHashFamily,
+    TugOfWarJoinSignature,
+    TugOfWarSketch,
+    bounds,
+    distinct_values,
+    exact_moment,
+    fk_estimate_offline,
+    fk_sample_size_bound,
+    join_size,
+    median_of_means,
+    naive_sampling_estimate_offline,
+    sample_count_estimate_offline,
+    sample_join_estimate,
+    self_join_size,
+    split_parameters,
+)
+from .relational import Relation, SampleCatalog, SignatureCatalog, choose_join_order
+from .streams import (
+    Delete,
+    Insert,
+    OperationSequence,
+    Query,
+    ReservoirSample,
+    canonical_sequence,
+    replay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core sketches and estimators
+    "TugOfWarSketch",
+    "SampleCountSketch",
+    "SampleCountFastQuery",
+    "NaiveSamplingEstimator",
+    "sample_count_estimate_offline",
+    "naive_sampling_estimate_offline",
+    # exact computation
+    "FrequencyVector",
+    "self_join_size",
+    "join_size",
+    "distinct_values",
+    # join signatures
+    "JoinSignatureFamily",
+    "TugOfWarJoinSignature",
+    "SampleJoinSignature",
+    "sample_join_estimate",
+    "MultiJoinFamily",
+    "MultiJoinSignature",
+    # frequency moments
+    "FrequencyMomentTracker",
+    "exact_moment",
+    "fk_estimate_offline",
+    "fk_sample_size_bound",
+    # hashing
+    "PolynomialHashFamily",
+    "SignHashFamily",
+    "MERSENNE_PRIME_31",
+    # combination machinery
+    "median_of_means",
+    "split_parameters",
+    # analytic bounds
+    "bounds",
+    # relational layer
+    "Relation",
+    "SignatureCatalog",
+    "SampleCatalog",
+    "choose_join_order",
+    # streams
+    "Insert",
+    "Delete",
+    "Query",
+    "OperationSequence",
+    "replay",
+    "canonical_sequence",
+    "ReservoirSample",
+]

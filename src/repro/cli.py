@@ -1,0 +1,130 @@
+"""Command-line interface: reproduce any paper figure or table.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro table1 [--scale 0.1] [--seed 0]
+    python -m repro figure 2 [--scale 0.1] [--max-log2-s 12]
+    python -m repro figure 15
+    python -m repro convergence [--datasets poisson mf2]
+    python -m repro section44 [--paper-values]
+    python -m repro sweep --dataset zipf1.0 [--scale 0.05]
+
+Every subcommand prints the same rows/series the corresponding paper
+artifact reports.  Heavy runs scale down with ``--scale`` (fraction of
+the paper's stream lengths).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables and figures from 'Tracking Join and "
+        "Self-Join Sizes in Limited Storage' (PODS 1999).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, scale_default: float = 0.1) -> None:
+        p.add_argument("--scale", type=float, default=scale_default,
+                       help="fraction of the paper's stream lengths (1.0 = paper)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_table1 = sub.add_parser("table1", help="Table 1: data-set characteristics")
+    add_common(p_table1)
+
+    p_fig = sub.add_parser("figure", help="Figures 2-15")
+    p_fig.add_argument("number", type=int, help="figure number (2-15)")
+    add_common(p_fig)
+    p_fig.add_argument("--max-log2-s", type=int, default=12,
+                       help="largest sample size 2^this (paper: 14)")
+    p_fig.add_argument("--repeats", type=int, default=1,
+                       help="estimates per point (paper plots 1)")
+
+    p_conv = sub.add_parser(
+        "convergence", help="Section 3.1: 15%%-convergence summary"
+    )
+    add_common(p_conv, scale_default=0.05)
+    p_conv.add_argument("--max-log2-s", type=int, default=12)
+    p_conv.add_argument("--datasets", nargs="*", default=None,
+                        help="subset of Table 1 names (default: all)")
+
+    p_s44 = sub.add_parser("section44", help="Section 4.4: k-TW vs sampling")
+    add_common(p_s44)
+    p_s44.add_argument("--paper-values", action="store_true",
+                       help="use the paper's (n, SJ) instead of generating data")
+
+    p_sweep = sub.add_parser("sweep", help="accuracy sweep on one data set")
+    p_sweep.add_argument("--dataset", required=True)
+    add_common(p_sweep, scale_default=0.05)
+    p_sweep.add_argument("--max-log2-s", type=int, default=12)
+    p_sweep.add_argument("--repeats", type=int, default=1)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    # Imports deferred so `--help` stays instant.
+    from .experiments import figures, tables
+    from .experiments.metrics import convergence_from_sweep
+
+    if args.command == "table1":
+        rows = tables.table1(seed=args.seed, scale=args.scale)
+        print(tables.format_table1(rows))
+        return 0
+
+    if args.command == "figure":
+        if args.number == 15:
+            out = figures.figure15(estimators=1024, scale=args.scale, seed=args.seed)
+            print(figures.format_figure15(out))
+            return 0
+        sweep = figures.figure(
+            args.number,
+            scale=args.scale,
+            max_log2_s=args.max_log2_s,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        print(sweep.format_table())
+        conv = convergence_from_sweep(sweep)
+        print("\n15%-convergence:", ", ".join(f"{a}={s}" for a, s in conv.items()))
+        return 0
+
+    if args.command == "convergence":
+        table = tables.convergence_table(
+            datasets=args.datasets,
+            scale=args.scale,
+            max_log2_s=args.max_log2_s,
+            seed=args.seed,
+        )
+        print(tables.format_convergence_table(table))
+        return 0
+
+    if args.command == "section44":
+        rows = tables.table_section44(
+            seed=args.seed, scale=args.scale, use_paper_values=args.paper_values
+        )
+        print(tables.format_table_section44(rows))
+        return 0
+
+    if args.command == "sweep":
+        sweep = figures.run_figure(
+            args.dataset,
+            scale=args.scale,
+            max_log2_s=args.max_log2_s,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        print(sweep.format_table())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

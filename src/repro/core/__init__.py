@@ -1,0 +1,87 @@
+"""Core algorithms: the paper's primary contribution.
+
+Self-join trackers (Section 2): :class:`TugOfWarSketch`,
+:class:`SampleCountSketch` (+ fast-query variant), and the
+:class:`NaiveSamplingEstimator` baseline, all over the exact
+:class:`FrequencyVector` ground truth.  Join signatures (Section 4):
+:class:`JoinSignatureFamily` / :class:`TugOfWarJoinSignature` (k-TW)
+and :class:`SampleJoinSignature` (t_cross).  Analytic bounds live in
+:mod:`repro.core.bounds`.
+"""
+
+from . import bounds
+from .estimators import (
+    mean_estimate,
+    median_estimate,
+    median_of_means,
+    split_parameters,
+    theoretical_confidence,
+    theoretical_relative_error,
+)
+from .frequency import (
+    FrequencyVector,
+    distinct_values,
+    first_moment,
+    join_size,
+    self_join_size,
+)
+from .hashing import MERSENNE_PRIME_31, PolynomialHashFamily, SignHashFamily
+from .join import (
+    JoinSignatureFamily,
+    SampleJoinSignature,
+    TugOfWarJoinSignature,
+    sample_join_estimate,
+)
+from .moments import (
+    FrequencyMomentTracker,
+    exact_moment,
+    fk_estimate_offline,
+    fk_sample_size_bound,
+)
+from .multijoin import MultiJoinFamily, MultiJoinSignature
+from .naivesampling import (
+    NaiveSamplingEstimator,
+    naive_sampling_estimate_offline,
+    scale_sample_self_join,
+)
+from .samplecount import (
+    SampleCountFastQuery,
+    SampleCountSketch,
+    sample_count_estimate_offline,
+)
+from .tugofwar import TugOfWarSketch
+
+__all__ = [
+    "bounds",
+    "FrequencyVector",
+    "self_join_size",
+    "join_size",
+    "first_moment",
+    "distinct_values",
+    "MERSENNE_PRIME_31",
+    "PolynomialHashFamily",
+    "SignHashFamily",
+    "TugOfWarSketch",
+    "SampleCountSketch",
+    "SampleCountFastQuery",
+    "sample_count_estimate_offline",
+    "NaiveSamplingEstimator",
+    "naive_sampling_estimate_offline",
+    "scale_sample_self_join",
+    "JoinSignatureFamily",
+    "TugOfWarJoinSignature",
+    "SampleJoinSignature",
+    "sample_join_estimate",
+    "MultiJoinFamily",
+    "MultiJoinSignature",
+    "FrequencyMomentTracker",
+    "exact_moment",
+    "fk_estimate_offline",
+    "fk_sample_size_bound",
+    "median_of_means",
+    "mean_estimate",
+    "median_estimate",
+    "split_parameters",
+    "theoretical_relative_error",
+    "theoretical_confidence",
+]

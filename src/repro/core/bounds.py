@@ -1,0 +1,186 @@
+"""Analytic facts, bounds, and the Section 4.4 comparison formulas.
+
+Every closed-form statement in the paper is implemented here so the
+test suite can check it against exact computation and the benchmark
+harness can print the paper's analytic tables:
+
+* Fact 1.1  — join size <= (SJ(R1) + SJ(R2)) / 2.
+* Fact 1.2  — the self-join size of an exponential distribution
+  determines its parameter: ``a = (n^2 + SJ) / (n^2 - SJ)``.
+* Theorem 2.1 — sample-count error bound ``4 t^{1/4} / sqrt(s1)``.
+* Theorem 2.2 — tug-of-war error bound ``4 / sqrt(s1)``.
+* Lemma 2.3  — naive-sampling needs Omega(sqrt n) samples.
+* Lemma 4.2  — sample join signatures need ~ c n^2 / B words.
+* Theorem 4.3 — any signature scheme needs >= (n - sqrt(B))^2 / B bits.
+* Theorem 4.5 — k-TW needs k = c SJ(F) SJ(G) / B1^2 words.
+* Section 4.4 — k-TW beats sampling iff C < n sqrt(B); the B threshold
+  is ``C^2 / n^3`` (as a multiple of n) and the advantage at a given B
+  is ``(n^2/B) / (C^2/B^2) = n^2 B / C^2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "join_size_upper_bound",
+    "exponential_parameter_from_sj",
+    "exponential_sj",
+    "sample_count_error_bound",
+    "tug_of_war_error_bound",
+    "success_probability",
+    "naive_sampling_required_size",
+    "sample_signature_words",
+    "signature_lower_bound_bits",
+    "ktw_signature_words",
+    "ktw_beats_sampling",
+    "ktw_break_even_sanity_bound",
+    "ktw_advantage",
+]
+
+
+def join_size_upper_bound(sj_left: float, sj_right: float) -> float:
+    """Fact 1.1: |R1 join R2| <= (SJ(R1) + SJ(R2)) / 2.
+
+    Follows from the arithmetic-geometric mean inequality applied
+    frequency-wise; lets self-join trackers bound any pairwise join.
+    """
+    if sj_left < 0 or sj_right < 0:
+        raise ValueError("self-join sizes must be non-negative")
+    return (sj_left + sj_right) / 2.0
+
+
+def exponential_sj(n: int, a: float) -> float:
+    """Self-join size of an exponential distribution (Fact 1.2 forward).
+
+    For frequencies ``f_i = n (a - 1) a^{-i}``, i = 1, 2, ...:
+    ``SJ = n^2 (a - 1) / (a + 1)``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if a <= 1.0:
+        raise ValueError(f"exponential parameter must exceed 1, got {a}")
+    return n * n * (a - 1.0) / (a + 1.0)
+
+
+def exponential_parameter_from_sj(n: int, sj: float) -> float:
+    """Fact 1.2: a = (n^2 + SJ) / (n^2 - SJ).
+
+    The inverse of :func:`exponential_sj`; demonstrates that SJ alone
+    pins down the distribution parameter.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    n2 = float(n) * float(n)
+    if not 0.0 < sj < n2:
+        raise ValueError(f"SJ must lie strictly between 0 and n^2 = {n2}, got {sj}")
+    return (n2 + sj) / (n2 - sj)
+
+
+def sample_count_error_bound(s1: int, domain_size: int) -> float:
+    """Theorem 2.1 relative-error bound: 4 t^{1/4} / sqrt(s1)."""
+    if s1 < 1:
+        raise ValueError(f"s1 must be >= 1, got {s1}")
+    if domain_size < 1:
+        raise ValueError(f"domain size must be >= 1, got {domain_size}")
+    return 4.0 * domain_size**0.25 / math.sqrt(s1)
+
+
+def tug_of_war_error_bound(s1: int) -> float:
+    """Theorem 2.2 relative-error bound: 4 / sqrt(s1)."""
+    if s1 < 1:
+        raise ValueError(f"s1 must be >= 1, got {s1}")
+    return 4.0 / math.sqrt(s1)
+
+
+def success_probability(s2: int) -> float:
+    """Both theorems' confidence: 1 - 2^{-s2/2}."""
+    if s2 < 1:
+        raise ValueError(f"s2 must be >= 1, got {s2}")
+    return 1.0 - 2.0 ** (-s2 / 2.0)
+
+
+def naive_sampling_required_size(n: int, constant: float = 1.0) -> float:
+    """Lemma 2.3: Omega(sqrt n) samples to avoid a factor-2 error."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return constant * math.sqrt(n)
+
+
+def sample_signature_words(n: int, sanity_bound: float, c: float = 3.0) -> float:
+    """Lemma 4.2: sample join signatures need >= c n^2 / B words.
+
+    ``c > 3`` is determined by the desired accuracy and confidence; the
+    derivation in the text shows p >= 3 a n / |F join G| suffices for a
+    Chebyshev constant a.
+    """
+    _check_sanity_bound(n, sanity_bound)
+    return c * n * n / sanity_bound
+
+
+def signature_lower_bound_bits(n: int, sanity_bound: float) -> float:
+    """Theorem 4.3: any signature scheme stores >= (n - sqrt(B))^2 / B bits."""
+    _check_sanity_bound(n, sanity_bound)
+    m = n - math.sqrt(sanity_bound)
+    return (m * m) / sanity_bound
+
+
+def ktw_signature_words(
+    sj_left: float, sj_right: float, join_lower_bound: float, c: float = 2.0
+) -> float:
+    """Theorem 4.5: k = c SJ(F) SJ(G) / B1^2 words per relation."""
+    if sj_left < 0 or sj_right < 0:
+        raise ValueError("self-join sizes must be non-negative")
+    if join_lower_bound <= 0:
+        raise ValueError(f"join lower bound must be positive, got {join_lower_bound}")
+    return c * sj_left * sj_right / (join_lower_bound * join_lower_bound)
+
+
+def ktw_beats_sampling(n: int, sj_upper_bound: float, sanity_bound: float) -> bool:
+    """Section 4.4 crossover: k-TW wins iff C < n sqrt(B).
+
+    Compares the storage needs ignoring constants:
+    k-TW needs C^2/B^2 words, sampling needs n^2/B.
+    """
+    _check_sanity_bound(n, sanity_bound)
+    if sj_upper_bound < 0:
+        raise ValueError("self-join upper bound must be non-negative")
+    return sj_upper_bound < n * math.sqrt(sanity_bound)
+
+
+def ktw_break_even_sanity_bound(n: int, sj: float) -> float:
+    """The smallest B (as a multiple of n) at which k-TW starts winning.
+
+    From C < n sqrt(B):  B > C^2 / n^2, i.e. B/n > C^2 / n^3.  Returns
+    ``C^2 / n^3`` — the "B needs to be larger than n by roughly a
+    factor of ..." numbers of Section 4.4 (about 6700 for selfsimilar,
+    4000 for zipf1.5, 500 for poisson, 150 for zipf1.0, 50 for brown2,
+    1-10 for the rest).  Values <= 1 mean k-TW already wins at B = n.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if sj < 0:
+        raise ValueError("self-join size must be non-negative")
+    return (sj * sj) / (float(n) ** 3)
+
+
+def ktw_advantage(n: int, sj: float, sanity_bound: float) -> float:
+    """Storage advantage of k-TW over sampling at sanity bound B.
+
+    ``(n^2 / B) / (C^2 / B^2) = n^2 B / C^2`` — the "advantage is about
+    1000, 20, and 150" numbers (uniform, mf3, path at B = n).  Values
+    below 1 mean sampling wins.
+    """
+    _check_sanity_bound(n, sanity_bound)
+    if sj <= 0:
+        raise ValueError(f"self-join size must be positive, got {sj}")
+    return (float(n) ** 2) * sanity_bound / (sj * sj)
+
+
+def _check_sanity_bound(n: int, sanity_bound: float) -> None:
+    if n <= 0:
+        raise ValueError(f"relation size n must be positive, got {n}")
+    if sanity_bound < n or sanity_bound > n * n / 2:
+        raise ValueError(
+            f"sanity bound must satisfy n <= B <= n^2/2, got B={sanity_bound} for n={n}"
+        )

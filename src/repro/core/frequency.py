@@ -1,0 +1,228 @@
+"""Frequency vectors and exact join / self-join computation.
+
+The paper's quantities are all functions of the frequency vector of an
+attribute: the self-join size ``SJ(R) = sum_i f_i^2`` (the second
+frequency moment F2, a.k.a. Gini's repeat rate) and the join size
+``|R1 join R2| = sum_i f_i * g_i``.  This module provides the exact,
+full-histogram computations that the limited-storage sketches are
+compared against, together with the skew statistics used throughout
+the experimental study.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "FrequencyVector",
+    "self_join_size",
+    "join_size",
+    "first_moment",
+    "distinct_values",
+]
+
+
+def _as_value_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"value stream must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"value stream must be integer-typed, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+class FrequencyVector:
+    """An exact histogram of a multiset of integer attribute values.
+
+    This is the "full histogram" the paper's introduction describes as
+    the exact-but-expensive alternative to sketching: storage is
+    proportional to the number of distinct values.  It supports
+    insertions and deletions so it can be driven by the same operation
+    streams as the sketches, and it is the ground truth in every test
+    and experiment.
+    """
+
+    __slots__ = ("_counts", "_n")
+
+    def __init__(self, counts: Mapping[int, int] | None = None):
+        self._counts: Counter = Counter()
+        self._n = 0
+        if counts:
+            for value, count in counts.items():
+                if count < 0:
+                    raise ValueError(f"negative count {count} for value {value}")
+                if count:
+                    self._counts[int(value)] = int(count)
+                    self._n += int(count)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stream(cls, values: Iterable[int] | np.ndarray) -> "FrequencyVector":
+        """Build the histogram of an insertion-only value stream."""
+        arr = _as_value_array(values)
+        fv = cls()
+        if arr.size:
+            uniq, counts = np.unique(arr, return_counts=True)
+            fv._counts = Counter(
+                {int(v): int(c) for v, c in zip(uniq.tolist(), counts.tolist())}
+            )
+            fv._n = int(arr.size)
+        return fv
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, value: int) -> None:
+        """Insert one occurrence of ``value``."""
+        self._counts[int(value)] += 1
+        self._n += 1
+
+    def delete(self, value: int) -> None:
+        """Delete one occurrence of ``value``.
+
+        Raises
+        ------
+        KeyError
+            If ``value`` has no remaining occurrences; the tracking
+            problem is defined over multisets so deleting an absent
+            member is a caller bug, never silently ignored.
+        """
+        v = int(value)
+        current = self._counts.get(v, 0)
+        if current <= 0:
+            raise KeyError(f"cannot delete value {value}: not present")
+        if current == 1:
+            del self._counts[v]
+        else:
+            self._counts[v] = current - 1
+        self._n -= 1
+
+    # ------------------------------------------------------------------
+    # Exact statistics
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """The multiset size n (first frequency moment)."""
+        return self._n
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values currently present (F0)."""
+        return len(self._counts)
+
+    def frequency(self, value: int) -> int:
+        """Current frequency of ``value`` (0 if absent)."""
+        return self._counts.get(int(value), 0)
+
+    def self_join_size(self) -> int:
+        """Exact SJ(R) = sum of squared frequencies (F2)."""
+        return sum(c * c for c in self._counts.values())
+
+    def join_size(self, other: "FrequencyVector") -> int:
+        """Exact |R1 join R2| = sum over the shared domain of f_i * g_i."""
+        if not isinstance(other, FrequencyVector):
+            raise TypeError(f"expected FrequencyVector, got {type(other).__name__}")
+        # Iterate the smaller histogram for speed.
+        small, large = self._counts, other._counts
+        if len(small) > len(large):
+            small, large = large, small
+        return sum(c * large.get(v, 0) for v, c in small.items())
+
+    def skew(self) -> float:
+        """SJ(R) / n — the average frequency of a stream member.
+
+        Equals 1.0 for all-distinct data and n for a single repeated
+        value; a convenient scale-free skew measure.
+        """
+        if self._n == 0:
+            return 0.0
+        return self.self_join_size() / self._n
+
+    def max_frequency(self) -> int:
+        """Largest single-value frequency (F_infinity)."""
+        return max(self._counts.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Views / conversions
+    # ------------------------------------------------------------------
+    def items(self):
+        """Iterate ``(value, frequency)`` pairs."""
+        return self._counts.items()
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(values, counts)`` as sorted parallel int64 arrays."""
+        if not self._counts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        values = np.fromiter(self._counts.keys(), dtype=np.int64, count=len(self._counts))
+        order = np.argsort(values)
+        values = values[order]
+        counts = np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))[
+            order
+        ]
+        return values, counts
+
+    def copy(self) -> "FrequencyVector":
+        """An independent deep copy."""
+        fv = FrequencyVector()
+        fv._counts = Counter(self._counts)
+        fv._n = self._n
+        return fv
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, value: int) -> bool:
+        return int(value) in self._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrequencyVector(n={self._n}, distinct={self.distinct})"
+
+
+# ----------------------------------------------------------------------
+# Array-level conveniences (fast paths used by the experiment harness)
+# ----------------------------------------------------------------------
+def self_join_size(values: Iterable[int] | np.ndarray) -> int:
+    """Exact self-join size of a value stream (vectorised)."""
+    arr = _as_value_array(values)
+    if arr.size == 0:
+        return 0
+    _, counts = np.unique(arr, return_counts=True)
+    return int(np.sum(counts.astype(np.int64) ** 2))
+
+
+def join_size(
+    left: Iterable[int] | np.ndarray, right: Iterable[int] | np.ndarray
+) -> int:
+    """Exact join size of two value streams (vectorised)."""
+    a = _as_value_array(left)
+    b = _as_value_array(right)
+    if a.size == 0 or b.size == 0:
+        return 0
+    av, ac = np.unique(a, return_counts=True)
+    bv, bc = np.unique(b, return_counts=True)
+    ai = np.isin(av, bv)
+    bi = np.isin(bv, av)
+    return int(np.sum(ac[ai].astype(np.int64) * bc[bi].astype(np.int64)))
+
+
+def first_moment(values: Iterable[int] | np.ndarray) -> int:
+    """Stream length n (trivial, provided for symmetry)."""
+    return int(_as_value_array(values).size)
+
+
+def distinct_values(values: Iterable[int] | np.ndarray) -> int:
+    """Number of distinct values in a stream (F0)."""
+    arr = _as_value_array(values)
+    if arr.size == 0:
+        return 0
+    return int(np.unique(arr).size)

@@ -1,0 +1,254 @@
+"""k-wise independent hash families used by the sketching algorithms.
+
+The tug-of-war sketch (Section 2.2 of the paper) and the k-TW join
+signature scheme (Section 4.3) require, for each counter, a random
+mapping ``v -> eps(v)`` from the value domain into ``{-1, +1}`` drawn
+from a *4-wise independent* family.  Four-wise independence is exactly
+what the variance analysis of [AMS99] needs: it makes
+``E[eps(u) eps(v) eps(w) eps(x)]`` vanish for distinct arguments, which
+in turn bounds ``Var[Z^2]`` by ``2 * SJ(R)^2``.
+
+We implement the textbook construction: degree-(k-1) polynomials with
+random coefficients over the prime field GF(p).  Evaluating a random
+degree-3 polynomial at k <= 4 distinct points gives independent uniform
+values over [0, p), hence 4-wise independence.  The +/-1 sign is the
+least-significant bit of the polynomial value; because p is odd, one
+bit of a uniform value over [0, p) has bias at most 1/(2p), which for
+p = 2^31 - 1 is ~2.3e-10 — negligible against every statistical
+tolerance in the paper's study (the substitution is recorded in
+DESIGN.md).
+
+Everything is vectorised with numpy so that a sketch with thousands of
+counters can process an update with a handful of array operations:
+coefficients are stored as a ``(num_functions, degree)`` uint64 matrix
+and evaluation uses Horner's rule.  All intermediate products fit in
+uint64 because coefficients and points are both < 2^31.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_PRIME_31",
+    "PolynomialHashFamily",
+    "SignHashFamily",
+]
+
+#: The Mersenne prime 2^31 - 1 used as the field modulus.  Domain
+#: values must lie in [0, MERSENNE_PRIME_31).
+MERSENNE_PRIME_31 = (1 << 31) - 1
+
+
+class PolynomialHashFamily:
+    """A bundle of ``count`` independent k-wise independent hash functions.
+
+    Each function is a uniformly random polynomial of degree
+    ``independence - 1`` over GF(p), p = 2^31 - 1, evaluated with
+    Horner's rule.  The family therefore provides ``independence``-wise
+    independent uniform values over [0, p).
+
+    Parameters
+    ----------
+    count:
+        Number of independent hash functions in the bundle.
+    independence:
+        Level of k-wise independence (the polynomial degree is
+        ``independence - 1``).  The paper's algorithms need 4.
+    seed:
+        Seed for the coefficient-drawing RNG.  Two families built with
+        the same ``(count, independence, seed)`` are identical, which
+        is how k-TW signatures for *different relations* share their
+        eps mappings (Section 4.3).
+
+    Notes
+    -----
+    The leading coefficient is allowed to be zero; this is the standard
+    "random polynomial" family, which is exactly k-wise independent
+    (degenerating to lower degree only blends in lower-degree members
+    of the same family).
+    """
+
+    __slots__ = ("count", "independence", "seed", "_coeffs")
+
+    def __init__(self, count: int, independence: int = 4, seed: int | None = None):
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if independence < 1:
+            raise ValueError(f"independence must be >= 1, got {independence}")
+        self.count = int(count)
+        self.independence = int(independence)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Shape (count, independence): row i holds the coefficients of
+        # polynomial i, highest degree first (Horner order).
+        self._coeffs = rng.integers(
+            0, MERSENNE_PRIME_31, size=(self.count, self.independence), dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def hash_one(self, value: int) -> np.ndarray:
+        """Evaluate all ``count`` functions at a single domain value.
+
+        Returns a uint64 array of shape ``(count,)`` with entries in
+        [0, p).
+        """
+        v = int(value)
+        if not 0 <= v < MERSENNE_PRIME_31:
+            raise ValueError(
+                f"value {value!r} outside hashable domain [0, {MERSENNE_PRIME_31})"
+            )
+        x = np.uint64(v)
+        acc = self._coeffs[:, 0].copy()
+        p = np.uint64(MERSENNE_PRIME_31)
+        for d in range(1, self.independence):
+            acc = (acc * x + self._coeffs[:, d]) % p
+        return acc
+
+    def hash_many(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Evaluate all functions at many domain values at once.
+
+        Parameters
+        ----------
+        values:
+            Integer array of shape ``(m,)`` with entries in [0, p).
+
+        Returns
+        -------
+        numpy.ndarray
+            uint64 array of shape ``(count, m)``; entry ``[i, j]`` is
+            function i evaluated at ``values[j]``.
+        """
+        vals = np.asarray(values, dtype=np.uint64)
+        if vals.ndim != 1:
+            raise ValueError(f"values must be one-dimensional, got shape {vals.shape}")
+        if vals.size and int(vals.max()) >= MERSENNE_PRIME_31:
+            raise ValueError(
+                f"values contain entries >= {MERSENNE_PRIME_31}, outside the field"
+            )
+        p = np.uint64(MERSENNE_PRIME_31)
+        x = vals[np.newaxis, :]  # (1, m)
+        acc = np.broadcast_to(self._coeffs[:, 0:1], (self.count, vals.size)).copy()
+        for d in range(1, self.independence):
+            acc = (acc * x + self._coeffs[:, d : d + 1]) % p
+        return acc
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> np.ndarray:
+        """A read-only view of the coefficient matrix (count x degree)."""
+        view = self._coeffs.view()
+        view.flags.writeable = False
+        return view
+
+    def to_dict(self) -> dict:
+        """Serialise the family to plain Python types."""
+        return {
+            "count": self.count,
+            "independence": self.independence,
+            "seed": self.seed,
+            "coefficients": self._coeffs.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolynomialHashFamily":
+        """Reconstruct a family from :meth:`to_dict` output."""
+        family = cls.__new__(cls)
+        family.count = int(payload["count"])
+        family.independence = int(payload["independence"])
+        family.seed = payload.get("seed")
+        coeffs = np.asarray(payload["coefficients"], dtype=np.uint64)
+        if coeffs.shape != (family.count, family.independence):
+            raise ValueError(
+                "coefficient matrix has shape "
+                f"{coeffs.shape}, expected {(family.count, family.independence)}"
+            )
+        family._coeffs = coeffs
+        return family
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolynomialHashFamily):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.independence == other.independence
+            and np.array_equal(self._coeffs, other._coeffs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolynomialHashFamily(count={self.count}, "
+            f"independence={self.independence}, seed={self.seed!r})"
+        )
+
+
+class SignHashFamily:
+    """A bundle of 4-wise independent ``v -> {-1, +1}`` mappings.
+
+    This is the ``eps`` family of the tug-of-war sketch: the sign is
+    the least-significant bit of a :class:`PolynomialHashFamily` value,
+    mapped ``0 -> -1`` and ``1 -> +1``.
+
+    The class deliberately mirrors the polynomial family's API but
+    returns int8 arrays of signs, which the sketches consume directly.
+    """
+
+    __slots__ = ("_family",)
+
+    def __init__(self, count: int, seed: int | None = None, independence: int = 4):
+        self._family = PolynomialHashFamily(count, independence=independence, seed=seed)
+
+    @property
+    def count(self) -> int:
+        """Number of independent sign functions."""
+        return self._family.count
+
+    @property
+    def independence(self) -> int:
+        """k-wise independence level of the underlying family."""
+        return self._family.independence
+
+    @property
+    def seed(self) -> int | None:
+        """Seed the family was built from (None if reconstructed)."""
+        return self._family.seed
+
+    def signs_one(self, value: int) -> np.ndarray:
+        """Signs of all functions at one value: int8 array (count,)."""
+        bits = self._family.hash_one(value) & np.uint64(1)
+        return (bits.astype(np.int8) << 1) - 1
+
+    def signs_many(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Signs of all functions at many values: int8 array (count, m)."""
+        bits = self._family.hash_many(values) & np.uint64(1)
+        return (bits.astype(np.int8) << 1) - 1
+
+    def to_dict(self) -> dict:
+        """Serialise to plain Python types."""
+        return {"kind": "sign", "family": self._family.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SignHashFamily":
+        """Reconstruct from :meth:`to_dict` output."""
+        if payload.get("kind") != "sign":
+            raise ValueError(f"not a SignHashFamily payload: {payload.get('kind')!r}")
+        obj = cls.__new__(cls)
+        obj._family = PolynomialHashFamily.from_dict(payload["family"])
+        return obj
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignHashFamily):
+            return NotImplemented
+        return self._family == other._family
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SignHashFamily(count={self.count}, seed={self.seed!r}, "
+            f"independence={self.independence})"
+        )

@@ -1,0 +1,171 @@
+"""General frequency moments F_k (the [AMS99] machinery behind Section 2).
+
+The self-join size is the second frequency moment F2 of the stream; the
+sample-count estimator is the k = 2 case of the general [AMS99]
+estimator
+
+    X = n * (r^k - (r - 1)^k),
+
+where r counts the occurrences of a uniformly sampled element at or
+after its sampled position: E[X] = F_k = sum_v f_v^k for every k >= 1.
+Since the paper's sample-count tracker maintains exactly the (position,
+r)-sample needed, generalising it to arbitrary moments is free — this
+module does that, providing:
+
+* :func:`exact_moment` — ground-truth F_k (F0 = distinct count,
+  F1 = length, F_inf = max frequency via ``k=None``);
+* :func:`fk_estimate_offline` — the vectorised known-n estimator for
+  any k >= 1 (k = 2 reproduces
+  :func:`repro.core.samplecount.sample_count_estimate_offline` exactly);
+* :class:`FrequencyMomentTracker` — the Figure 1 tracker with a
+  ``moment_estimate(k)`` query, inheriting O(1) amortised updates and
+  deletion handling unchanged (the sample structure is
+  moment-agnostic; only the query-time map r -> X changes).
+
+[AMS99] shows this needs s1 = O(k t^(1-1/k) / eps^2) basic estimators
+for relative error eps; :func:`fk_sample_size_bound` exposes that bound
+(it specialises to Theorem 2.1's Theta(sqrt t) for k = 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .estimators import group_shape_for, median_of_means
+from .samplecount import SampleCountSketch
+
+__all__ = [
+    "exact_moment",
+    "fk_estimate_offline",
+    "fk_sample_size_bound",
+    "FrequencyMomentTracker",
+]
+
+
+def exact_moment(values: Iterable[int] | np.ndarray, k: int | None) -> float:
+    """Exact frequency moment F_k of a stream.
+
+    ``k = 0`` counts distinct values, ``k = 1`` the stream length,
+    ``k = 2`` the self-join size; ``k = None`` returns F_infinity (the
+    maximum frequency).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        return 0.0
+    _, counts = np.unique(arr, return_counts=True)
+    if k is None:
+        return float(counts.max())
+    if k < 0:
+        raise ValueError(f"moment order must be >= 0 or None, got {k}")
+    if k == 0:
+        return float(counts.size)
+    return float(np.sum(counts.astype(np.float64) ** k))
+
+
+def fk_sample_size_bound(k: int, domain_size: int, epsilon: float) -> float:
+    """The [AMS99] upper bound on s1 for F_k: ~ k t^(1-1/k) / eps^2.
+
+    For k = 2 this is the Theta(sqrt t) of Theorem 2.1 (up to the
+    constant); exposed so experiments can size their samples the way
+    the theory prescribes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if domain_size < 1:
+        raise ValueError(f"domain size must be >= 1, got {domain_size}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return k * domain_size ** (1.0 - 1.0 / k) / (epsilon * epsilon)
+
+
+def fk_estimate_offline(
+    values: np.ndarray | Iterable[int],
+    k: int,
+    s1: int,
+    s2: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """[AMS99] F_k estimate for a full in-memory stream.
+
+    Draws s1*s2 uniform positions, computes each r (occurrences of the
+    sampled value at or after the position), maps through
+    ``X = n (r^k - (r-1)^k)``, and combines by median-of-means.
+    """
+    if k < 1:
+        raise ValueError(f"moment order k must be >= 1, got {k}")
+    s1, s2 = group_shape_for(s1, s2)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    n = arr.size
+    if n == 0:
+        return 0.0
+
+    positions = gen.integers(0, n, size=s1 * s2)
+    order = np.argsort(arr, kind="stable")
+    sorted_vals = arr[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    if n > 1:
+        is_start[1:] = sorted_vals[1:] != sorted_vals[:-1]
+    group_id = np.cumsum(is_start) - 1
+    group_start = np.flatnonzero(is_start)
+    within = np.arange(n) - group_start[group_id]
+    sizes = np.diff(np.append(group_start, n))
+    before = np.empty(n, dtype=np.int64)
+    before[order] = within
+    freq = np.empty(n, dtype=np.int64)
+    freq[order] = sizes[group_id]
+
+    r = (freq[positions] - before[positions]).astype(np.float64)
+    x = float(n) * (r**k - (r - 1.0) ** k)
+    return median_of_means(x.reshape(s2, s1))
+
+
+class FrequencyMomentTracker(SampleCountSketch):
+    """The Figure 1 tracker queried for arbitrary moments F_k.
+
+    Inherits the complete sample-count machinery (reservoir skipping,
+    S_v lists, N_v counters, deletion eviction, O(1) amortised
+    updates); only the query changes: each in-sample slot contributes
+    ``X = n (r^k - (r-1)^k)``.  ``estimate()`` remains the F2 query, so
+    the tracker is a drop-in SampleCountSketch that can additionally
+    answer, e.g., F3 (a skewness measure) or F4 from the same sample.
+    """
+
+    def moment_basic_estimators(self, k: int) -> np.ndarray:
+        """Per-slot F_k basic estimators; NaN for slots not in the sample."""
+        if k < 1:
+            raise ValueError(f"moment order k must be >= 1, got {k}")
+        x = np.full(self.s, np.nan, dtype=np.float64)
+        n = float(self.n)
+        for v, count in self._nv.items():
+            i = self._head.get(v, -1)
+            while i != -1:
+                r = float(count - int(self._entry[i]))
+                x[i] = n * (r**k - (r - 1.0) ** k)
+                i = int(self._next[i])
+        return x
+
+    def moment_estimate(self, k: int) -> float:
+        """Median-of-means F_k estimate from the current sample.
+
+        Falls back to the minimum possible value (n, since every
+        f_v >= 1 implies F_k >= n for k >= 1) when the sample is empty;
+        0 for an empty multiset.
+        """
+        if self.n == 0:
+            return 0.0
+        x = self.moment_basic_estimators(k).reshape(self.s2, self.s1)
+        mask = ~np.isnan(x)
+        members = mask.sum(axis=1)
+        valid = members > 0
+        if not valid.any():
+            return float(self.n)
+        sums = np.where(mask, x, 0.0).sum(axis=1)
+        return float(np.median(sums[valid] / members[valid]))

@@ -1,0 +1,165 @@
+"""The naive-sampling baseline (Section 2.3 of the paper).
+
+The standard approach sample-count and tug-of-war are compared against:
+draw ``s`` elements of the sequence without replacement, build a tiny
+histogram of the sample, compute its self-join size ``SJ(S)``, and
+unbias it with
+
+    X = n + (SJ(S) - s) * n * (n - 1) / (s * (s - 1)),
+
+so that ``E[X] = SJ(A)`` (each of the ``SJ(S) - s`` cross pairs in the
+sample witnesses one of the ``SJ(A) - n`` equal-value ordered pairs of
+the sequence, each sampled with probability ``s(s-1)/(n(n-1))``).
+
+Lemma 2.3 shows this needs an Omega(sqrt n)-sized sample to avoid a
+factor-2 error (birthday bound: a smaller sample of the "n/2 pairs"
+data set usually contains no duplicate at all); the experimental study
+confirms it is far less accurate than the AMS estimators at equal
+storage.  The adversarial pair of relations from the lemma is built by
+:func:`repro.data.adversarial.lemma23_pair`.
+
+Two implementations are provided:
+
+* :class:`NaiveSamplingEstimator` — a streaming tracker that maintains
+  a size-s uniform sample of an insertion-only stream with a classic
+  reservoir [Vit85] (the scenario of Section 2.3, where n is the
+  stream length so far);
+* :func:`naive_sampling_estimate_offline` — the vectorised known-n
+  evaluator used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..streams.reservoir import ReservoirSample
+
+__all__ = [
+    "NaiveSamplingEstimator",
+    "naive_sampling_estimate_offline",
+    "scale_sample_self_join",
+]
+
+
+def scale_sample_self_join(sample_sj: float, sample_size: int, n: int) -> float:
+    """Scale a sample's self-join size into an estimate for the sequence.
+
+    Implements ``X = n + (SJ(S) - s) n (n-1) / (s (s-1))``.  For a
+    degenerate one-element sample the cross-pair term is undefined and
+    the minimum-possible estimate n is returned (SJ >= n always).
+    """
+    if sample_size < 0:
+        raise ValueError(f"sample_size must be >= 0, got {sample_size}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    if sample_size <= 1:
+        return float(n)
+    return float(n) + (float(sample_sj) - sample_size) * n * (n - 1) / (
+        sample_size * (sample_size - 1)
+    )
+
+
+class NaiveSamplingEstimator:
+    """Streaming naive-sampling tracker for insertion-only sequences.
+
+    Maintains a uniform without-replacement sample of the stream seen
+    so far via reservoir sampling, so a query can be answered at any
+    point without knowing the final length in advance.
+
+    Parameters
+    ----------
+    s:
+        Sample size (the storage budget in memory words).
+    seed:
+        RNG seed for the reservoir.
+
+    Notes
+    -----
+    Section 2.3 defines naive-sampling for insertion-only sequences
+    only; :meth:`delete` raises ``NotImplementedError`` by design, and
+    the experimental comparison on update streams with deletions is
+    restricted to the two AMS algorithms.
+    """
+
+    def __init__(self, s: int, seed: int | None = None):
+        if s < 1:
+            raise ValueError(f"sample size s must be >= 1, got {s}")
+        self.s = int(s)
+        self._reservoir = ReservoirSample(self.s, seed=seed)
+
+    def insert(self, value: int) -> None:
+        """Offer one stream element to the reservoir."""
+        self._reservoir.offer(int(value))
+
+    def delete(self, value: int) -> None:
+        """Unsupported: the paper defines naive-sampling for inserts only."""
+        raise NotImplementedError(
+            "naive-sampling is defined for insertion-only sequences (Section 2.3)"
+        )
+
+    def update_from_stream(self, values: Iterable[int] | np.ndarray) -> None:
+        """Offer every element of a stream."""
+        for v in np.asarray(values).tolist():
+            self.insert(int(v))
+
+    def estimate(self) -> float:
+        """Histogram the sample, compute SJ(S), scale up (Section 2.3)."""
+        sample = self._reservoir.items
+        n = self._reservoir.offered
+        if n == 0:
+            return 0.0
+        arr = np.asarray(sample, dtype=np.int64)
+        _, counts = np.unique(arr, return_counts=True)
+        sample_sj = float(np.sum(counts.astype(np.float64) ** 2))
+        return scale_sample_self_join(sample_sj, arr.size, n)
+
+    @property
+    def n(self) -> int:
+        """Number of stream elements offered so far."""
+        return self._reservoir.offered
+
+    @property
+    def sample_size(self) -> int:
+        """Number of elements currently held (min(s, n))."""
+        return len(self._reservoir.items)
+
+    @property
+    def memory_words(self) -> int:
+        """Storage in the paper's cost model: the sample size s."""
+        return self.s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NaiveSamplingEstimator(s={self.s}, n={self.n})"
+
+
+def naive_sampling_estimate_offline(
+    values: np.ndarray | Iterable[int],
+    s: int,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Naive-sampling estimate for a full in-memory stream.
+
+    Draws ``min(s, n)`` elements without replacement, computes the
+    sample self-join size, and scales with
+    :func:`scale_sample_self_join`.  This is the harness fast path; it
+    matches the streaming class distributionally (both produce uniform
+    without-replacement samples).
+    """
+    if s < 1:
+        raise ValueError(f"sample size s must be >= 1, got {s}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    n = arr.size
+    if n == 0:
+        return 0.0
+    k = min(int(s), n)
+    sample = gen.choice(arr, size=k, replace=False)
+    _, counts = np.unique(sample, return_counts=True)
+    sample_sj = float(np.sum(counts.astype(np.float64) ** 2))
+    return scale_sample_self_join(sample_sj, k, n)

@@ -1,0 +1,556 @@
+"""The improved sample-count algorithm (Figure 1 of the paper).
+
+Sample-count is the first AMS self-join estimator: pick a uniformly
+random stream position p with value v, count the occurrences ``r`` of v
+at or after p, and use ``X = n (2 r - 1)`` — an unbiased estimator of
+``SJ(R)`` whose median-of-means over ``s = s1 * s2`` copies is within
+``4 t^{1/4} / sqrt(s1)`` relative error with probability
+``1 - 2^{-s2/2}`` (Theorem 2.1).
+
+The naive implementation costs Omega(k) per insert when the inserted
+value occurs k times among the sample points (Omega(s) on skewed data)
+plus Theta(s) per insert for reservoir maintenance.  The paper's
+contribution — reproduced faithfully here — is the O(1)-amortised
+update structure:
+
+* ``Pos[i]`` / the ``P_m`` look-up table: each sample slot i knows the
+  *future* stream position at which it will (re)sample, selected with
+  the reservoir-sampling *skipping* technique of [Vit85], so positions
+  are replaced in O(1) amortised time instead of s coin flips per
+  insert.
+* ``N_v``: one running occurrence counter per value *currently in the
+  sample* (O(s) of them), incremented once per insert — instead of
+  incrementing up to s per-slot counters.
+* ``EntryN_v[i]``: snapshot of ``N_v`` when slot i entered, so slot i's
+  count is reconstructed at query time as ``r_i = N_v - EntryN_v[i]``.
+* ``S_v``: a doubly-linked list of the slots holding value v, ordered
+  most-recently-entered first, so a deletion can evict exactly the
+  slots whose sampled insertion is the one being reversed.
+
+Deletions follow the canonical-sequence semantics of Section 2.1: a
+``delete(v)`` reverses the most recent undeleted ``insert(v)``.  After
+decrementing ``N_v``, every slot at the head of ``S_v`` whose snapshot
+now equals ``N_v`` is exactly a slot that sampled the reversed
+insertion, and is removed from the sample (it is *not* replaced; the
+paper's Chernoff argument shows at least s/2 slots survive when
+deletions are at most a 1/5 fraction of any prefix).
+
+Two query paths are provided, matching the two variants in the paper:
+
+* :class:`SampleCountSketch` — O(1) amortised updates, O(s) queries
+  (the Figure 1 algorithm);
+* :class:`SampleCountFastQuery` — maintains the group sums ``Y_j``
+  during updates (the ``k_{v,j}`` / ``Num_j`` scheme described at the
+  end of Section 2.1) for O(s2) queries at O(s2) amortised update cost.
+
+For the experiment harness there is also
+:func:`sample_count_estimate_offline`, a vectorised known-n evaluator
+that draws the s positions up front and computes every ``r_i`` with
+numpy; it implements the same estimator (the [AMS99] insertion-only
+description) and is validated against the tracking classes in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .estimators import group_shape_for, median_of_means
+
+__all__ = [
+    "SampleCountSketch",
+    "SampleCountFastQuery",
+    "sample_count_estimate_offline",
+]
+
+_NO_SLOT = -1
+
+
+def _default_initial_range(s: int) -> int:
+    """The paper's warm-up window: positions drawn from {1..s log s}."""
+    return s * max(1, math.ceil(math.log2(max(s, 2))))
+
+
+class SampleCountSketch:
+    """Tracks SJ(R) under inserts and deletes in O(s) memory words.
+
+    Parameters
+    ----------
+    s1:
+        Accuracy parameter: group size for the averaging stage
+        (Theorem 2.1 error ~ ``4 t^{1/4} / sqrt(s1)``).
+    s2:
+        Confidence parameter: number of groups medianed.
+    seed:
+        RNG seed for position selection (reservoir sampling).
+    initial_range:
+        The window {1..initial_range} from which the initial positions
+        are drawn.  Defaults to the paper's ``s * ceil(log2 s)``.  For
+        insertion-only experiments with a known stream length n, pass
+        ``initial_range=n`` to reproduce the a-priori-n scheme of
+        [AMS99] (uniform positions over the whole stream).
+
+    Notes
+    -----
+    Slot i's group is ``i // s1``; group means are medianed at query
+    time.  Slots whose position has not yet arrived (or that were
+    evicted by a deletion) simply do not contribute — exactly the
+    "ignore i that are not in the sample" rule of steps 28–31.
+    """
+
+    def __init__(
+        self,
+        s1: int,
+        s2: int = 1,
+        seed: int | None = None,
+        initial_range: int | None = None,
+    ):
+        self.s1, self.s2 = group_shape_for(s1, s2)
+        s = self.s1 * self.s2
+        self._s = s
+        self._rng = np.random.default_rng(seed)
+        self.initial_range = (
+            int(initial_range) if initial_range is not None else _default_initial_range(s)
+        )
+        if self.initial_range < 1:
+            raise ValueError(f"initial_range must be >= 1, got {self.initial_range}")
+
+        self._n = 0  # current multiset size
+        # Future positions: P_m look-up table, position -> [slot indices].
+        self._pending: dict[int, list[int]] = {}
+        initial = self._rng.integers(1, self.initial_range + 1, size=s)
+        for i, m in enumerate(initial.tolist()):
+            self._pending.setdefault(int(m), []).append(i)
+
+        # Per-slot state.
+        self._in_sample = np.zeros(s, dtype=bool)
+        self._val = np.zeros(s, dtype=np.int64)  # Val[i]
+        self._entry = np.zeros(s, dtype=np.int64)  # EntryN_v[i]
+        # Doubly-linked S_v lists (next/prev arrays + per-value heads).
+        self._next = np.full(s, _NO_SLOT, dtype=np.int64)
+        self._prev = np.full(s, _NO_SLOT, dtype=np.int64)
+        self._head: dict[int, int] = {}
+        # Running counts N_v for values occurring in the sample.
+        self._nv: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by the fast-query variant (no-ops here)
+    # ------------------------------------------------------------------
+    def _hook_slot_entered(self, i: int, v: int) -> None:
+        """Called after slot i enters the sample holding value v."""
+
+    def _hook_slot_discarded(self, i: int, v: int, r: int) -> None:
+        """Called after a reservoir replacement discards slot i (count r)."""
+
+    def _hook_value_inserted(self, v: int) -> None:
+        """Called after N_v is incremented by an insert of v."""
+
+    def _hook_value_delete_pre(self, v: int) -> None:
+        """Called on delete(v) for a tracked v, before N_v is decremented."""
+
+    def _hook_slot_evicted_by_delete(self, i: int, v: int) -> None:
+        """Called after a delete evicts slot i from the sample."""
+
+    # ------------------------------------------------------------------
+    # Linked-list plumbing for the S_v lists
+    # ------------------------------------------------------------------
+    def _push_head(self, v: int, i: int) -> None:
+        old = self._head.get(v, _NO_SLOT)
+        self._next[i] = old
+        self._prev[i] = _NO_SLOT
+        if old != _NO_SLOT:
+            self._prev[old] = i
+        self._head[v] = i
+
+    def _unlink(self, v: int, i: int) -> None:
+        nxt = int(self._next[i])
+        prv = int(self._prev[i])
+        if prv != _NO_SLOT:
+            self._next[prv] = nxt
+        else:
+            if nxt != _NO_SLOT:
+                self._head[v] = nxt
+            else:
+                del self._head[v]
+        if nxt != _NO_SLOT:
+            self._prev[nxt] = prv
+        self._next[i] = _NO_SLOT
+        self._prev[i] = _NO_SLOT
+
+    # ------------------------------------------------------------------
+    # Reservoir skipping [Vit85]
+    # ------------------------------------------------------------------
+    def _skip_from(self, base: int) -> int:
+        """Next replacement position for a size-1 reservoir at ``base``.
+
+        The survival law is P(next > x) = base / x for x >= base; the
+        inverse-transform draw is ``ceil(base / u)`` with u uniform on
+        (0, 1], clamped to base + 1 (the event next == base has
+        probability zero).  Expected gap ~ base, which is what makes
+        all s reservoirs cost O(1) amortised once n >= s log s.
+        """
+        u = 1.0 - float(self._rng.random())  # in (0, 1]
+        return max(base + 1, math.ceil(base / u))
+
+    def _schedule_replacement(self, i: int, current_pos: int) -> None:
+        # The initial application considers only positions beyond the
+        # warm-up window (paper, Section 2.1).
+        base = max(current_pos, self.initial_range)
+        nxt = self._skip_from(base)
+        self._pending.setdefault(nxt, []).append(i)
+
+    # ------------------------------------------------------------------
+    # Sample maintenance
+    # ------------------------------------------------------------------
+    def _discard(self, i: int) -> None:
+        """Reservoir replacement: drop slot i's current sample point."""
+        v = int(self._val[i])
+        r = self._nv[v] - int(self._entry[i])
+        self._unlink(v, i)
+        self._in_sample[i] = False
+        self._hook_slot_discarded(i, v, r)
+        if v not in self._head:
+            # v no longer occurs in the sample; stop tracking N_v to
+            # preserve the O(s) space bound.
+            del self._nv[v]
+
+    def _add_sample_point(self, i: int, v: int) -> None:
+        self._val[i] = v
+        self._entry[i] = self._nv.setdefault(v, 0)
+        self._push_head(v, i)
+        self._in_sample[i] = True
+        self._hook_slot_entered(i, v)
+
+    # ------------------------------------------------------------------
+    # Operations (Figure 1 main loop)
+    # ------------------------------------------------------------------
+    def insert(self, value: int) -> None:
+        """Process insert(v) in O(1) amortised time (steps 7–19)."""
+        v = int(value)
+        self._n += 1
+        entering = self._pending.pop(self._n, None)
+        if entering is not None:
+            for i in entering:
+                self._schedule_replacement(i, self._n)
+                if self._in_sample[i]:
+                    self._discard(i)
+                self._add_sample_point(i, v)
+        if v in self._nv:
+            self._nv[v] += 1
+            self._hook_value_inserted(v)
+
+    def delete(self, value: int) -> None:
+        """Process delete(v) (steps 20–26).
+
+        Reverses the most recent undeleted insert(v): decrements n and
+        (if v is tracked) N_v, then evicts every slot whose entry
+        snapshot equals the decremented N_v — precisely the slots that
+        sampled the reversed insertion.
+        """
+        v = int(value)
+        if self._n <= 0:
+            raise ValueError("cannot delete from an empty multiset")
+        self._n -= 1
+        if v not in self._nv:
+            return
+        self._hook_value_delete_pre(v)
+        self._nv[v] -= 1
+        nv = self._nv[v]
+        while v in self._head and int(self._entry[self._head[v]]) == nv:
+            i = self._head[v]
+            self._unlink(v, i)
+            self._in_sample[i] = False
+            self._hook_slot_evicted_by_delete(i, v)
+        if v not in self._head:
+            del self._nv[v]
+
+    def update_from_stream(self, values: Iterable[int] | np.ndarray) -> None:
+        """Insert every element of a stream (convenience loop)."""
+        for v in np.asarray(values).tolist():
+            self.insert(int(v))
+
+    # ------------------------------------------------------------------
+    # Queries (steps 27–32): O(s)
+    # ------------------------------------------------------------------
+    def basic_estimators(self) -> np.ndarray:
+        """Per-slot X_i = n (2 r_i - 1); NaN for slots not in the sample."""
+        x = np.full(self._s, np.nan, dtype=np.float64)
+        n = float(self._n)
+        for v, count in self._nv.items():
+            i = self._head.get(v, _NO_SLOT)
+            while i != _NO_SLOT:
+                r = count - int(self._entry[i])
+                x[i] = n * (2.0 * r - 1.0)
+                i = int(self._next[i])
+        return x
+
+    def estimate(self) -> float:
+        """Median over groups of the group means (steps 28–32).
+
+        Slots not currently in the sample are ignored; groups with no
+        in-sample slots are excluded from the median.  If the sample is
+        empty (stream shorter than the smallest selected position, or
+        everything evicted), the minimum-possible self-join size n is
+        returned (SJ(R) >= n always, with equality for all-distinct
+        data); for an empty multiset the estimate is 0.
+        """
+        if self._n == 0:
+            return 0.0
+        x = self.basic_estimators().reshape(self.s2, self.s1)
+        mask = ~np.isnan(x)
+        members = mask.sum(axis=1)
+        valid = members > 0
+        if not valid.any():
+            return float(self._n)
+        sums = np.where(mask, x, 0.0).sum(axis=1)
+        group_means = sums[valid] / members[valid]
+        return float(np.median(group_means))
+
+    def query(self) -> float:
+        """Alias for :meth:`estimate` (the paper's 'query' operation)."""
+        return self.estimate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Current multiset size (inserts minus deletes)."""
+        return self._n
+
+    @property
+    def s(self) -> int:
+        """Total number of sample slots s = s1 * s2."""
+        return self._s
+
+    @property
+    def sample_size(self) -> int:
+        """Number of slots currently holding a sample point."""
+        return int(self._in_sample.sum())
+
+    @property
+    def memory_words(self) -> int:
+        """Storage in the paper's cost model: Theta(s) words; we report s."""
+        return self._s
+
+    def sample_values(self) -> list[int]:
+        """The multiset of values currently held by sample slots."""
+        return [int(v) for v, ok in zip(self._val.tolist(), self._in_sample) if ok]
+
+    def check_invariants(self) -> None:
+        """Assert the Figure 1 data-structure invariants (for tests).
+
+        * every in-sample slot is linked into exactly one S_v list and
+          its value is tracked in N_v;
+        * list order is most-recent-first: entry snapshots are
+          non-increasing from head to tail;
+        * every tracked N_v exceeds the entry snapshot of every slot in
+          S_v (a slot's own sampled insertion already incremented N_v);
+        * no N_v is tracked for values absent from the sample.
+        """
+        linked: set[int] = set()
+        for v, head in self._head.items():
+            if v not in self._nv:
+                raise AssertionError(f"S_{v} exists but N_{v} is not tracked")
+            i = head
+            prev_entry = None
+            prev_slot = _NO_SLOT
+            while i != _NO_SLOT:
+                if i in linked:
+                    raise AssertionError(f"slot {i} linked twice")
+                linked.add(i)
+                if not self._in_sample[i]:
+                    raise AssertionError(f"linked slot {i} not marked in-sample")
+                if int(self._val[i]) != v:
+                    raise AssertionError(f"slot {i} in S_{v} holds value {self._val[i]}")
+                entry = int(self._entry[i])
+                if entry >= self._nv[v]:
+                    raise AssertionError(
+                        f"slot {i}: entry {entry} >= N_v {self._nv[v]} for value {v}"
+                    )
+                if prev_entry is not None and entry > prev_entry:
+                    raise AssertionError(f"S_{v} not ordered most-recent-first")
+                if int(self._prev[i]) != prev_slot:
+                    raise AssertionError(f"slot {i} has broken prev link")
+                prev_entry = entry
+                prev_slot = i
+                i = int(self._next[i])
+        in_sample = {int(i) for i in np.flatnonzero(self._in_sample)}
+        if linked != in_sample:
+            raise AssertionError(
+                f"linked slots {sorted(linked)} != in-sample slots {sorted(in_sample)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(s1={self.s1}, s2={self.s2}, n={self._n}, "
+            f"sample={self.sample_size}/{self._s})"
+        )
+
+
+class SampleCountFastQuery(SampleCountSketch):
+    """The fast-query sample-count variant (end of Section 2.1).
+
+    Maintains, for every group j, the running sum ``Ysum_j`` of the
+    counts ``r_i`` of the in-sample slots in the group, together with
+    ``Num_j`` (how many slots contribute) and ``k_{v,j}`` (how many of
+    them hold value v).  Updates touch at most s2 group entries per
+    operation (O(s2) amortised); a query is O(s2): each group's mean
+    basic estimator is ``n (2 Ysum_j / Num_j - 1)`` and the estimate is
+    the median over groups, computed as ``n (2 Y* - 1)`` from the
+    median Y* of the per-group mean counts — exactly the paper's
+    formulation.
+    """
+
+    def __init__(
+        self,
+        s1: int,
+        s2: int = 1,
+        seed: int | None = None,
+        initial_range: int | None = None,
+    ):
+        super().__init__(s1, s2, seed=seed, initial_range=initial_range)
+        self._ysum = np.zeros(self.s2, dtype=np.int64)  # sum of r_i per group
+        self._num = np.zeros(self.s2, dtype=np.int64)  # Num_j
+        self._k: dict[int, dict[int, int]] = {}  # k_{v,j}
+
+    # -- hook implementations ------------------------------------------
+    def _hook_slot_entered(self, i: int, v: int) -> None:
+        j = i // self.s1
+        per_value = self._k.setdefault(v, {})
+        per_value[j] = per_value.get(j, 0) + 1
+        self._num[j] += 1
+        # The slot's r starts at 0 here; the enclosing insert's
+        # _hook_value_inserted bump brings it to 1.
+
+    def _hook_slot_discarded(self, i: int, v: int, r: int) -> None:
+        j = i // self.s1
+        self._ysum[j] -= r
+        self._decrement_k(v, j)
+        self._num[j] -= 1
+
+    def _hook_value_inserted(self, v: int) -> None:
+        for j, count in self._k[v].items():
+            self._ysum[j] += count
+
+    def _hook_value_delete_pre(self, v: int) -> None:
+        for j, count in self._k[v].items():
+            self._ysum[j] -= count
+
+    def _hook_slot_evicted_by_delete(self, i: int, v: int) -> None:
+        # The evicted slot's r is 0 after the pre-decrement, so Ysum is
+        # already correct; only the membership counters change.
+        j = i // self.s1
+        self._decrement_k(v, j)
+        self._num[j] -= 1
+
+    def _decrement_k(self, v: int, j: int) -> None:
+        per_value = self._k[v]
+        per_value[j] -= 1
+        if per_value[j] == 0:
+            del per_value[j]
+        if not per_value:
+            del self._k[v]
+
+    # -- O(s2) query -----------------------------------------------------
+    def estimate(self) -> float:
+        """Median over groups of ``n (2 Ysum_j / Num_j - 1)``."""
+        if self._n == 0:
+            return 0.0
+        valid = self._num > 0
+        if not valid.any():
+            return float(self._n)
+        mean_counts = self._ysum[valid].astype(np.float64) / self._num[valid]
+        y_star = float(np.median(mean_counts))
+        return float(self._n) * (2.0 * y_star - 1.0)
+
+    def check_invariants(self) -> None:
+        """Base invariants plus consistency of Ysum/Num/k with slot state."""
+        super().check_invariants()
+        num = np.zeros(self.s2, dtype=np.int64)
+        ysum = np.zeros(self.s2, dtype=np.int64)
+        k: dict[int, dict[int, int]] = {}
+        for v, count in self._nv.items():
+            i = self._head.get(v, _NO_SLOT)
+            while i != _NO_SLOT:
+                j = i // self.s1
+                num[j] += 1
+                ysum[j] += count - int(self._entry[i])
+                k.setdefault(v, {})
+                k[v][j] = k[v].get(j, 0) + 1
+                i = int(self._next[i])
+        if not np.array_equal(num, self._num):
+            raise AssertionError(f"Num mismatch: {self._num.tolist()} vs {num.tolist()}")
+        if not np.array_equal(ysum, self._ysum):
+            raise AssertionError(
+                f"Ysum mismatch: {self._ysum.tolist()} vs {ysum.tolist()}"
+            )
+        if k != self._k:
+            raise AssertionError(f"k_{{v,j}} mismatch: {self._k} vs {k}")
+
+
+# ----------------------------------------------------------------------
+# Vectorised offline evaluator (known-n, insertion-only)
+# ----------------------------------------------------------------------
+def sample_count_estimate_offline(
+    values: np.ndarray | Iterable[int],
+    s1: int,
+    s2: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Sample-count estimate of SJ for a full in-memory stream.
+
+    Implements the [AMS99] insertion-only description directly: draw
+    ``s = s1 * s2`` positions uniformly (with replacement, each slot an
+    independent choice), set ``r_i`` to the number of occurrences of
+    the sampled value at or after the sampled position, and combine
+    ``X_i = n (2 r_i - 1)`` by median-of-means.  Vectorised with one
+    stable argsort; used by the experiment harness to sweep sample
+    sizes over million-element streams.
+
+    Parameters
+    ----------
+    values:
+        The insertion-only stream (1-D integer array).
+    s1, s2:
+        Accuracy / confidence split (total sample size s1 * s2).
+    rng:
+        ``numpy.random.Generator``, seed, or None.
+    """
+    s1, s2 = group_shape_for(s1, s2)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    n = arr.size
+    if n == 0:
+        return 0.0
+
+    s = s1 * s2
+    positions = gen.integers(0, n, size=s)
+
+    # occurrence-rank machinery: for every stream position p compute
+    # how many occurrences of arr[p] appear strictly before p, and the
+    # total frequency of arr[p].
+    order = np.argsort(arr, kind="stable")
+    sorted_vals = arr[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    if n > 1:
+        is_start[1:] = sorted_vals[1:] != sorted_vals[:-1]
+    group_id = np.cumsum(is_start) - 1
+    group_start = np.flatnonzero(is_start)
+    within_group = np.arange(n) - group_start[group_id]
+    group_sizes = np.diff(np.append(group_start, n))
+
+    before = np.empty(n, dtype=np.int64)
+    before[order] = within_group
+    freq = np.empty(n, dtype=np.int64)
+    freq[order] = group_sizes[group_id]
+
+    r = freq[positions] - before[positions]  # occurrences at or after p (>= 1)
+    x = float(n) * (2.0 * r.astype(np.float64) - 1.0)
+    return median_of_means(x.reshape(s2, s1))

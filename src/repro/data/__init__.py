@@ -1,0 +1,55 @@
+"""Data-set generators reproducing Table 1 of the paper.
+
+Thirteen data sets spanning a factor of 50 in lengths, three orders of
+magnitude in domain sizes, and nearly four orders of magnitude in
+self-join sizes:
+
+* seven **statistical** sets (:mod:`repro.data.synthetic`): Zipf(1.0),
+  Zipf(1.5), uniform, two multifractals (p-model), self-similar
+  (80/20-law), Poisson;
+* three **text** sets (:mod:`repro.data.text`): synthetic
+  Zipf-Mandelbrot word streams standing in for the Wuthering Heights /
+  Genesis / Brown-corpus excerpts (substitution documented in
+  DESIGN.md);
+* two **geometric** sets (:mod:`repro.data.spatial`): x/y coordinate
+  streams of a synthetic spatial point set;
+* one **artificial** set (:mod:`repro.data.adversarial`): the `path`
+  data set built to separate sample-count from tug-of-war, plus the
+  lower-bound gadgets of Lemma 2.3 and Theorem 4.3.
+
+:mod:`repro.data.registry` maps data-set names to generators and to the
+paper's Table 1 targets, and is what the experiment harness iterates.
+"""
+
+from .adversarial import (
+    lemma23_pair,
+    path_dataset,
+    theorem43_instance,
+)
+from .registry import DATASETS, DatasetSpec, load_dataset
+from .spatial import spatial_coordinates, spatial_points
+from .synthetic import (
+    multifractal,
+    poisson,
+    self_similar,
+    uniform,
+    zipf,
+)
+from .text import synthetic_text
+
+__all__ = [
+    "zipf",
+    "uniform",
+    "multifractal",
+    "self_similar",
+    "poisson",
+    "synthetic_text",
+    "spatial_points",
+    "spatial_coordinates",
+    "path_dataset",
+    "lemma23_pair",
+    "theorem43_instance",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+]

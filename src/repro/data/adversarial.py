@@ -1,0 +1,244 @@
+"""Adversarial and lower-bound data sets.
+
+Three constructions from the paper:
+
+* :func:`path_dataset` — Table 1's `path` set (Section 3.2): 40,000
+  values occurring exactly once plus one value occurring 800 times
+  (n = 40,800, t = 40,001, SJ = 40,000 + 800^2 = 6.8e5).  Built to
+  separate sample-count (which needs Theta(sqrt t) samples to ever see
+  the heavy value) from tug-of-war (O(1) words), verifying the
+  worst-case gap between Theorems 2.1 and 2.2 is real.
+* :func:`lemma23_pair` — the Lemma 2.3 gadget: R1 has n all-distinct
+  values, R2 has n/2 pairs; SJ(R2) = 2 SJ(R1), yet an o(sqrt n) sample
+  of either usually contains no duplicate, so naive-sampling estimates
+  both as n and is a factor 2 off on R2 (birthday bound).
+* :func:`theorem43_instance` — the Theorem 4.3 lower-bound input pair:
+  a uni-type relation F drawn from D1 and a spread relation G drawn
+  from D2 (built on a random set system over t = 10 m^2/B types with
+  small pairwise intersections), each padded with sqrt(B) tuples of
+  type 0 so every join size is at least the sanity bound B; the join
+  size is B or 2B depending on whether F's type lands in G's set.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "path_dataset",
+    "lemma23_pair",
+    "theorem43_instance",
+    "theorem43_set_system",
+    "theorem43_parameters",
+]
+
+
+def path_dataset(
+    singletons: int = 40_000,
+    heavy_count: int = 800,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """The pathological `path` data set of Section 3.2 (Figure 14).
+
+    ``singletons`` values occur exactly once and one additional value
+    occurs ``heavy_count`` times; the stream is shuffled.  With the
+    defaults: n = 40,800, t = 40,001, SJ = 6.8e5 — exactly Table 1.
+    """
+    if singletons < 0 or heavy_count < 0:
+        raise ValueError("singletons and heavy_count must be >= 0")
+    gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    # Values 1..singletons once each; value 0 heavy_count times.
+    stream = np.concatenate(
+        [
+            np.arange(1, singletons + 1, dtype=np.int64),
+            np.zeros(heavy_count, dtype=np.int64),
+        ]
+    )
+    gen.shuffle(stream)
+    return stream
+
+
+def lemma23_pair(
+    n: int, rng: np.random.Generator | int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Lemma 2.3 pair (R1, R2) separating naive-sampling.
+
+    R1: n items, all distinct (SJ = n).  R2: n/2 values, each occurring
+    exactly twice (SJ = 2n).  Both shuffled.  ``n`` must be even.
+    """
+    if n < 2 or n % 2:
+        raise ValueError(f"n must be a positive even integer, got {n}")
+    gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    r1 = np.arange(n, dtype=np.int64)
+    gen.shuffle(r1)
+    r2 = np.repeat(np.arange(n // 2, dtype=np.int64), 2)
+    gen.shuffle(r2)
+    return r1, r2
+
+
+def theorem43_set_system(
+    t: int,
+    set_size: int,
+    count: int,
+    rng: np.random.Generator,
+    max_intersection: int | None = None,
+    max_attempts: int = 10_000,
+) -> list[np.ndarray]:
+    """A family of ``count`` subsets of {1..t} with small pairwise overlap.
+
+    The probabilistic-method construction behind Theorem 4.3: random
+    ``set_size``-subsets of a t-element universe have expected pairwise
+    intersection ``set_size^2 / t``; we draw candidates and reject any
+    exceeding ``max_intersection`` (default ``set_size / 2``, the
+    paper's t/20 for set_size = t/10).  Raises if the target family
+    cannot be realised — which, per the probabilistic method, does not
+    happen for the parameter ranges the theorem uses.
+    """
+    if set_size > t:
+        raise ValueError(f"set_size {set_size} exceeds universe size {t}")
+    if max_intersection is None:
+        max_intersection = set_size // 2
+    family: list[np.ndarray] = []
+    family_masks: list[set[int]] = []
+    attempts = 0
+    while len(family) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not build {count} sets of size {set_size} over {t} types "
+                f"with pairwise intersection <= {max_intersection} "
+                f"in {max_attempts} attempts"
+            )
+        candidate = rng.choice(t, size=set_size, replace=False) + 1  # types 1..t
+        cset = set(candidate.tolist())
+        if all(len(cset & other) <= max_intersection for other in family_masks):
+            family.append(np.sort(candidate).astype(np.int64))
+            family_masks.append(cset)
+    return family
+
+
+def theorem43_parameters(k: int, c: int) -> tuple[int, int]:
+    """Valid (n, sanity_bound) pairs for :func:`theorem43_instance`.
+
+    The construction needs ``B = root^2`` with ``m = n - root``,
+    ``m | B`` (integral per-type multiplicity B/m) and ``B | m^2``
+    (integral set size m^2/B).  Parameterising ``m = c k^2`` and
+    ``B = c^2 k^2`` satisfies all three with root = c k, giving
+    ``n = c k (k + 1)``, per-type multiplicity c, and set size k^2.
+
+    Parameters
+    ----------
+    k:
+        Controls the set size (k^2) and hence the lower bound
+        ``m^2/B = k^2`` bits.
+    c:
+        Per-type multiplicity B/m.
+
+    Returns
+    -------
+    (n, B)
+        Ready to pass to :func:`theorem43_instance`.
+    """
+    if k < 1 or c < 1:
+        raise ValueError(f"k and c must be >= 1, got k={k}, c={c}")
+    n = c * k * (k + 1)
+    b = c * c * k * k
+    if not n <= b <= n * n // 2:
+        raise ValueError(
+            f"parameters k={k}, c={c} give B={b} outside [n, n^2/2] for n={n}; "
+            "increase c"
+        )
+    return n, b
+
+
+def theorem43_instance(
+    n: int,
+    sanity_bound: int,
+    rng: np.random.Generator | int | None = None,
+    family_size: int | None = None,
+) -> dict:
+    """One random (F, G) input pair from the Theorem 4.3 distributions.
+
+    Parameters
+    ----------
+    n:
+        Relation size; the construction uses m = n - sqrt(B) "payload"
+        tuples plus sqrt(B) tuples of the shared type 0.
+    sanity_bound:
+        The sanity bound B, with n <= B <= n^2 / 2.
+    family_size:
+        Size of the D2 set family to draw from (default: min(64,
+        2^(m^2/B)) — the full 2^(t/10) family of the proof is
+        astronomically large; estimation hardness only needs a few
+        mutually-confusable members).
+
+    Returns
+    -------
+    dict
+        ``F`` (uni-type relation from D1), ``G`` (spread relation from
+        D2), ``join_size`` (exact: B if F's type misses G's set, 2B if
+        it hits), ``f_type`` and ``g_set`` for inspection.
+
+    Notes
+    -----
+    Type 0 contributes ``sqrt(B) * sqrt(B) = B`` to every join, the
+    guaranteed sanity-bound floor.  F's m tuples all share one type i;
+    G spreads B/m tuples over each of m^2/B types, so the payload join
+    is m * (B/m) = B exactly when ``i`` is in G's set and 0 otherwise.
+    """
+    gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    if n < 4:
+        raise ValueError(f"n must be >= 4, got {n}")
+    b = int(sanity_bound)
+    if not n <= b <= n * n // 2:
+        raise ValueError(f"sanity bound must satisfy n <= B <= n^2/2, got {b}")
+    root_b = int(math.isqrt(b))
+    if root_b * root_b != b:
+        raise ValueError(f"sanity bound must be a perfect square, got {b}")
+    m = n - root_b
+    if m < 1:
+        raise ValueError(f"n - sqrt(B) = {m} must be positive")
+    if b % m:
+        raise ValueError(
+            f"construction needs m | B for an integral per-type multiplicity; "
+            f"got m={m}, B={b} (use theorem43_parameters to pick valid (n, B))"
+        )
+    per_type = b // m
+    if (m * m) % b:
+        raise ValueError(
+            f"construction needs B | m^2 for an integral set size; got m={m}, B={b}"
+        )
+    set_size = m * m // b
+    if set_size < 1:
+        raise ValueError(
+            f"m^2/B = {m * m}/{b} < 1; increase n or decrease the sanity bound"
+        )
+    t = 10 * set_size
+
+    if family_size is None:
+        family_size = min(64, 2 ** min(20, set_size))
+    family = theorem43_set_system(
+        t, set_size, family_size, gen, max_intersection=max(1, set_size // 2)
+    )
+
+    # D1: uniform over uni-type relations (m tuples of one random type).
+    f_type = int(gen.integers(1, t + 1))
+    pad = np.zeros(root_b, dtype=np.int64)  # type 0: sqrt(B) tuples each
+    f_rel = np.concatenate([np.full(m, f_type, dtype=np.int64), pad])
+
+    # D2: uniform over the set family (B/m tuples of each type in S).
+    g_set = family[int(gen.integers(0, len(family)))]
+    g_rel = np.concatenate([np.repeat(g_set, per_type), pad])
+
+    join = b + (m * per_type if f_type in set(g_set.tolist()) else 0)
+    return {
+        "F": f_rel,
+        "G": g_rel,
+        "join_size": int(join),
+        "f_type": f_type,
+        "g_set": g_set,
+        "types": t,
+        "payload_size": m,
+    }

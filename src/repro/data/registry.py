@@ -1,0 +1,156 @@
+"""Registry mapping Table 1 data-set names to generators and targets.
+
+Each :class:`DatasetSpec` records the paper's reported characteristics
+(length, domain size, self-join size, type, figure number) alongside a
+generator closure, so the experiment harness can iterate "all Table 1
+data sets" and the table-1 benchmark can print paper-vs-measured rows.
+
+Scaling: ``load_dataset(name, scale=0.1)`` shrinks the stream length
+(for quick CI runs) while keeping every distributional parameter fixed;
+``scale=1.0`` reproduces the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .adversarial import path_dataset
+from .spatial import spatial_coordinates
+from .synthetic import multifractal, poisson, self_similar, uniform, zipf
+from .text import synthetic_text
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 1 row: paper targets plus our generator."""
+
+    name: str
+    #: generator(n, rng) -> int64 stream of length n
+    generator: Callable[[int, np.random.Generator], np.ndarray]
+    paper_length: int
+    paper_domain: int
+    paper_self_join: float
+    kind: str  # statistical | text | geometric | artificial
+    figure: int
+
+    def load(
+        self, rng: np.random.Generator | int | None = None, scale: float = 1.0
+    ) -> np.ndarray:
+        """Generate the stream at ``scale`` times the paper length."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        n = max(1, int(round(self.paper_length * scale)))
+        return self.generator(n, gen)
+
+
+def _gen_zipf10(n: int, rng: np.random.Generator) -> np.ndarray:
+    return zipf(n, 10_000, alpha=1.0, rng=rng)
+
+
+def _gen_zipf15(n: int, rng: np.random.Generator) -> np.ndarray:
+    return zipf(n, 10_000, alpha=1.5, rng=rng)
+
+
+def _gen_uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    return uniform(n, 32_768, rng=rng)
+
+
+def _gen_mf2(n: int, rng: np.random.Generator) -> np.ndarray:
+    return multifractal(n, 0.2, 12, rng=rng)
+
+
+def _gen_mf3(n: int, rng: np.random.Generator) -> np.ndarray:
+    return multifractal(n, 0.3, 12, rng=rng)
+
+
+def _gen_selfsimilar(n: int, rng: np.random.Generator) -> np.ndarray:
+    return self_similar(n, 200, h=0.91, rng=rng)
+
+
+def _gen_poisson(n: int, rng: np.random.Generator) -> np.ndarray:
+    return poisson(n, lam=20.0, rng=rng)
+
+
+def _gen_wuther(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic_text(n, vocabulary=13_000, q=0.9, rng=rng)
+
+
+def _gen_genesis(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic_text(n, vocabulary=3_200, q=0.7, rng=rng)
+
+
+def _gen_brown2(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic_text(n, vocabulary=55_000, q=0.6, rng=rng)
+
+
+def _gen_xout1(n: int, rng: np.random.Generator) -> np.ndarray:
+    return spatial_coordinates(n=n, rng=rng)
+
+
+def _gen_yout1(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Independent draw with the same profile; Table 1's yout1 differs
+    # from xout1 only marginally (t 12,140 vs 12,113; SJ 9.46e7 vs 9.17e7).
+    return spatial_coordinates(n=n, rng=rng)
+
+
+def _gen_path(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Preserve the 40000:800 singleton:heavy proportion under scaling.
+    singletons = max(1, int(round(n * 40_000 / 40_800)))
+    heavy = max(1, n - singletons)
+    return path_dataset(singletons=singletons, heavy_count=heavy, rng=rng)
+
+
+#: Table 1, in paper order.
+DATASETS: Mapping[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("zipf1.0", _gen_zipf10, 500_000, 9_994, 4.30e9, "statistical", 2),
+        DatasetSpec("zipf1.5", _gen_zipf15, 120_000, 2_184, 2.59e9, "statistical", 3),
+        DatasetSpec("uniform", _gen_uniform, 1_000_000, 32_768, 3.15e7, "statistical", 4),
+        DatasetSpec("mf2", _gen_mf2, 19_998, 1_693, 3.98e6, "statistical", 5),
+        DatasetSpec("mf3", _gen_mf3, 19_968, 2_881, 6.19e5, "statistical", 6),
+        DatasetSpec(
+            "selfsimilar", _gen_selfsimilar, 120_000, 200, 3.41e9, "statistical", 7
+        ),
+        DatasetSpec("poisson", _gen_poisson, 120_000, 39, 9.12e8, "statistical", 8),
+        DatasetSpec("wuther", _gen_wuther, 120_952, 10_546, 1.12e8, "text", 9),
+        DatasetSpec("genesis", _gen_genesis, 43_119, 2_674, 2.31e7, "text", 10),
+        DatasetSpec("brown2", _gen_brown2, 855_043, 46_153, 5.84e9, "text", 11),
+        DatasetSpec("xout1", _gen_xout1, 142_732, 12_113, 9.17e7, "geometric", 12),
+        DatasetSpec("yout1", _gen_yout1, 142_732, 12_140, 9.46e7, "geometric", 13),
+        DatasetSpec("path", _gen_path, 40_800, 40_001, 6.80e5, "artificial", 14),
+    ]
+}
+
+
+def load_dataset(
+    name: str,
+    rng: np.random.Generator | int | None = None,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Generate one Table 1 data set by name.
+
+    Parameters
+    ----------
+    name:
+        A Table 1 name (``"zipf1.0"``, ..., ``"path"``).
+    rng:
+        Generator or seed (datasets are randomized; fix the seed for
+        reproducible experiments).
+    scale:
+        Fraction of the paper's stream length to generate.
+    """
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown data set {name!r}; choose from {sorted(DATASETS)}")
+    return spec.load(rng=rng, scale=scale)

@@ -1,0 +1,156 @@
+"""Statistical data-set generators (the first seven rows of Table 1).
+
+Each generator returns a 1-D int64 numpy array of attribute values — an
+insertion-only stream.  All are parameterised the way the paper
+describes them, and the module docstrings record the closed-form
+self-join sizes used to check the generators against Table 1:
+
+* Zipf(alpha) over domain t:      SJ ~ n^2 * (sum i^-2a) / (sum i^-a)^2
+* uniform over t:                 SJ ~ n^2/t + n (1 - 1/t)
+* multifractal(n, bias, order):   SJ ~ n^2 (b^2 + (1-b)^2)^order + n
+* self-similar (h-law, levels L): SJ ~ n^2 (h^2 + (1-h)^2)^L + n
+* Poisson(lam):                   SJ ~ n^2 / (2 sqrt(pi lam))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf", "uniform", "multifractal", "self_similar", "poisson"]
+
+
+def _generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf(
+    n: int,
+    domain: int,
+    alpha: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    offset: float = 0.0,
+) -> np.ndarray:
+    """A Zipf(alpha) value stream: P(value = i) ~ 1 / (i + offset)^alpha.
+
+    Values are 1..domain; larger ``alpha`` means more skew (the paper's
+    zipf1.0 / zipf1.5 sets use alpha = 1.0 and 1.5).  The optional
+    Zipf-Mandelbrot ``offset`` flattens the head, which is how the
+    synthetic text streams are tuned (see :mod:`repro.data.text`).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if domain < 1:
+        raise ValueError(f"domain must be >= 1, got {domain}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    gen = _generator(rng)
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks + offset, alpha)
+    probs = weights / weights.sum()
+    return gen.choice(domain, size=n, p=probs).astype(np.int64) + 1
+
+
+def uniform(
+    n: int, domain: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """A uniform value stream over {0, ..., domain-1}.
+
+    Table 1's `uniform` set: n = 1,000,000 over t = 32,768; expected
+    SJ = n^2/t + n (1 - 1/t) = 3.15e7, matching the paper exactly.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if domain < 1:
+        raise ValueError(f"domain must be >= 1, got {domain}")
+    gen = _generator(rng)
+    return gen.integers(0, domain, size=n, dtype=np.int64)
+
+
+def multifractal(
+    n: int,
+    bias: float,
+    order: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A multifractal (binomial p-model) stream over 2^order values.
+
+    Each value is assembled from ``order`` independent bits, each 1
+    with probability ``bias``; the probability of a value whose binary
+    representation has z ones is ``bias^z (1-bias)^(order-z)``.  The
+    paper's mf2 = Multifractal(20000, 0.2, 12) and
+    mf3 = Multifractal(20000, 0.3, 12).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError(f"bias must be in [0, 1], got {bias}")
+    if order < 1 or order > 62:
+        raise ValueError(f"order must be in [1, 62], got {order}")
+    gen = _generator(rng)
+    bits = gen.random((n, order)) < bias
+    powers = (np.int64(1) << np.arange(order, dtype=np.int64))[np.newaxis, :]
+    return (bits.astype(np.int64) * powers).sum(axis=1)
+
+
+def self_similar(
+    n: int,
+    domain: int,
+    h: float = 0.91,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A self-similar (recursive h-law / 80-20-rule) stream.
+
+    The domain [0, domain) is split recursively: each halving sends a
+    draw to the *lower* half with probability h.  After
+    ``ceil(log2 domain)`` levels this yields the classic self-similar
+    skew (h = 0.8 is the 80/20 law); draws that land beyond the domain
+    (when it is not a power of two) are redrawn.  The default
+    h = 0.91 calibrates SJ to Table 1's selfsimilar row
+    (n = 120,000, t = 200, SJ = 3.41e9: solve
+    (h^2 + (1-h)^2)^8 = SJ/n^2).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if domain < 1:
+        raise ValueError(f"domain must be >= 1, got {domain}")
+    if not 0.5 <= h < 1.0:
+        raise ValueError(f"h must be in [0.5, 1), got {h}")
+    gen = _generator(rng)
+    levels = max(1, int(np.ceil(np.log2(domain))))
+    out = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        need = n - filled
+        # Draw a batch with ~20% slack to cover rejections.
+        batch = max(16, int(need * 1.25))
+        bits = gen.random((batch, levels)) >= h  # True -> upper half
+        powers = (np.int64(1) << np.arange(levels - 1, -1, -1, dtype=np.int64))[
+            np.newaxis, :
+        ]
+        vals = (bits.astype(np.int64) * powers).sum(axis=1)
+        vals = vals[vals < domain]
+        take = min(need, vals.size)
+        out[filled : filled + take] = vals[:take]
+        filled += take
+    return out
+
+
+def poisson(
+    n: int, lam: float = 20.0, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """A Poisson(lam) value stream.
+
+    Table 1's poisson row (n = 120,000, t = 39 observed distinct
+    values, SJ = 9.12e8) corresponds to lam ~ 20:
+    SJ ~ n^2 / (2 sqrt(pi lam)) = 9.1e8.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    gen = _generator(rng)
+    return gen.poisson(lam, size=n).astype(np.int64)

@@ -1,0 +1,37 @@
+"""Experiment harness reproducing the paper's evaluation (Sections 3–4).
+
+* :mod:`repro.experiments.harness` — accuracy-vs-memory sweeps: run the
+  three self-join estimators over sample sizes 2^0..2^14 on any stream;
+* :mod:`repro.experiments.metrics` — normalized estimates and the
+  15%-relative-error convergence metric of Section 3.1;
+* :mod:`repro.experiments.figures` — one runner per paper figure
+  (Figures 2–15);
+* :mod:`repro.experiments.tables` — Table 1, the Section 3.1
+  convergence summary, and the Section 4.4 analytic comparison;
+* :mod:`repro.experiments.joins` — the join-signature study the paper
+  lists as future work (k-TW vs sample signatures);
+* :mod:`repro.experiments.lowerbounds` — empirical demonstrations of
+  Lemma 2.3 and Theorem 4.3.
+
+Scale control: every runner takes ``scale`` (fraction of paper stream
+lengths) and ``max_log2_s``; :func:`default_scale` reads the
+``REPRO_SCALE`` environment variable (``quick`` | ``full`` | a float).
+"""
+
+from .harness import AccuracyPoint, SweepResult, accuracy_sweep, default_scale
+from .metrics import convergence_sample_size, normalized_estimates, relative_error
+from . import figures, joins, lowerbounds, tables
+
+__all__ = [
+    "AccuracyPoint",
+    "SweepResult",
+    "accuracy_sweep",
+    "default_scale",
+    "normalized_estimates",
+    "relative_error",
+    "convergence_sample_size",
+    "figures",
+    "tables",
+    "joins",
+    "lowerbounds",
+]

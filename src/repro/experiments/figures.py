@@ -1,0 +1,142 @@
+"""One runner per paper figure (Figures 2–15).
+
+Figures 2–14 are accuracy-vs-memory sweeps on the 13 Table 1 data sets;
+:func:`figure` dispatches by number, :func:`run_figure` by data-set
+name.  Figure 15 (:func:`figure15`) is the estimator-robustness plot:
+1024 individual tug-of-war basic estimators X_ij on zipf1.5, sorted by
+value, showing the wide spread that makes median-of-means combining
+essential.
+
+Every runner returns plain data (a SweepResult or numpy array) plus a
+``format_*`` helper that prints the same series the paper plots; the
+benchmark suite calls these and asserts the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frequency import self_join_size
+from ..core.tugofwar import TugOfWarSketch
+from ..data.registry import DATASETS
+from .harness import SweepResult, accuracy_sweep, default_sample_sizes
+
+__all__ = [
+    "FIGURE_DATASETS",
+    "figure",
+    "run_figure",
+    "figure15",
+    "format_figure15",
+]
+
+#: Figure number -> Table 1 data-set name (Figures 2-14).
+FIGURE_DATASETS: dict[int, str] = {
+    spec.figure: name for name, spec in DATASETS.items()
+}
+
+
+def run_figure(
+    dataset: str,
+    scale: float = 1.0,
+    max_log2_s: int = 14,
+    seed: int = 0,
+    repeats: int = 1,
+) -> SweepResult:
+    """The Figures 2–14 sweep for one named Table 1 data set.
+
+    Parameters
+    ----------
+    dataset:
+        Table 1 name (``"zipf1.0"`` ... ``"path"``).
+    scale:
+        Fraction of the paper's stream length (1.0 = paper scale).
+    max_log2_s:
+        Largest sample size 2^max_log2_s (paper: 14).
+    seed:
+        Seed for both the data generator and the estimators.
+    repeats:
+        Estimates per point (the paper plots 1; benchmarks use more
+        for stable shape assertions).
+    """
+    spec = DATASETS.get(dataset)
+    if spec is None:
+        raise KeyError(f"unknown data set {dataset!r}; choose from {sorted(DATASETS)}")
+    rng = np.random.default_rng(seed)
+    values = spec.load(rng=rng, scale=scale)
+    return accuracy_sweep(
+        values,
+        dataset=dataset,
+        sample_sizes=default_sample_sizes(max_log2_s),
+        rng=rng,
+        repeats=repeats,
+    )
+
+
+def figure(
+    number: int,
+    scale: float = 1.0,
+    max_log2_s: int = 14,
+    seed: int = 0,
+    repeats: int = 1,
+) -> SweepResult:
+    """Dispatch Figures 2–14 by figure number."""
+    name = FIGURE_DATASETS.get(number)
+    if name is None:
+        raise KeyError(
+            f"figure {number} is not an accuracy sweep; valid numbers: "
+            f"{sorted(FIGURE_DATASETS)} (use figure15() for Figure 15)"
+        )
+    return run_figure(
+        name, scale=scale, max_log2_s=max_log2_s, seed=seed, repeats=repeats
+    )
+
+
+def figure15(
+    estimators: int = 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Figure 15: the distribution of individual estimators X_ij.
+
+    Builds one tug-of-war sketch with ``estimators`` basic estimators
+    on the zipf1.5 data set and returns the X_ij sorted in increasing
+    order, together with the exact self-join size — the paper plots
+    estimator value against rank with the actual SJ as a horizontal
+    line.  (The paper uses 10^3 estimators; we default to 1024.)
+
+    Returns
+    -------
+    dict
+        ``sorted_estimators`` (float64 array), ``actual`` (exact SJ),
+        ``median`` (median individual estimator), ``n``.
+    """
+    if estimators < 1:
+        raise ValueError(f"estimators must be >= 1, got {estimators}")
+    rng = np.random.default_rng(seed)
+    values = DATASETS["zipf1.5"].load(rng=rng, scale=scale)
+    sketch = TugOfWarSketch(s1=estimators, s2=1, seed=int(rng.integers(0, 2**63 - 1)))
+    sketch.update_from_stream(values)
+    x = np.sort(sketch.basic_estimators())
+    actual = self_join_size(values)
+    return {
+        "sorted_estimators": x,
+        "actual": float(actual),
+        "median": float(np.median(x)),
+        "n": int(values.size),
+    }
+
+
+def format_figure15(result: dict, bins: int = 16) -> str:
+    """Render Figure 15 as a text table of ranked estimator quantiles."""
+    x = result["sorted_estimators"]
+    actual = result["actual"]
+    lines = [
+        f"# Figure 15: {x.size} individual tug-of-war estimators on zipf1.5",
+        f"# actual SJ = {actual:.4g}; median estimator = {result['median']:.4g} "
+        f"({result['median'] / actual:.3f} of actual)",
+        "rank-quantile    estimator    normalized",
+    ]
+    for q in np.linspace(0.0, 1.0, bins + 1):
+        idx = min(x.size - 1, int(q * (x.size - 1)))
+        lines.append(f"{q:>12.3f}  {x[idx]:>12.4g}  {x[idx] / actual:>10.4f}")
+    return "\n".join(lines)

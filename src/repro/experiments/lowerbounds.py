@@ -1,0 +1,127 @@
+"""Empirical demonstrations of the paper's lower bounds.
+
+* :func:`lemma23_demo` — Lemma 2.3: naive-sampling with an o(sqrt n)
+  sample cannot distinguish R1 (all distinct, SJ = n) from R2 (n/2
+  pairs, SJ = 2n): with sizeable probability its sample contains no
+  duplicate at all and both estimates equal n — a factor 2 off on R2.
+* :func:`theorem43_demo` — Theorem 4.3: on the D1/D2 input pair, a
+  signature scheme whose stored bits are far below (n - sqrt(B))^2 / B
+  cannot tell join size B from 2B.  We run the *sampling* signature
+  at sub-lower-bound budgets and report how often its estimate falls
+  on the wrong side of 1.5B — the separation the proof argues no small
+  scheme can achieve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frequency import self_join_size
+from ..core.join import sample_join_estimate
+from ..core.naivesampling import naive_sampling_estimate_offline
+from ..data.adversarial import lemma23_pair, theorem43_instance
+
+__all__ = ["lemma23_demo", "theorem43_demo"]
+
+
+def lemma23_demo(
+    n: int = 10_000,
+    sample_size: int | None = None,
+    trials: int = 100,
+    seed: int = 0,
+) -> dict:
+    """Run naive-sampling on the Lemma 2.3 pair and measure the failure.
+
+    Parameters
+    ----------
+    n:
+        Size of each relation (even).
+    sample_size:
+        Sample budget; defaults to ``int(sqrt(n) / 4)`` — comfortably
+        o(sqrt n), the regime where the lemma predicts failure.
+    trials:
+        Independent runs.
+
+    Returns
+    -------
+    dict
+        The exact SJ of both relations, per-relation median estimates,
+        and ``factor2_failure_rate`` — the fraction of trials whose R2
+        estimate is off by at least (almost) a factor of 2 (we test
+        estimate <= 0.55 * SJ(R2), allowing the +n diagonal term).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = np.random.default_rng(seed)
+    r1, r2 = lemma23_pair(n, rng=rng)
+    s = sample_size if sample_size is not None else max(2, int(np.sqrt(n) / 4))
+    sj1 = self_join_size(r1)
+    sj2 = self_join_size(r2)
+    est1 = np.array(
+        [naive_sampling_estimate_offline(r1, s, rng=rng) for _ in range(trials)]
+    )
+    est2 = np.array(
+        [naive_sampling_estimate_offline(r2, s, rng=rng) for _ in range(trials)]
+    )
+    failures = float(np.mean(est2 <= 0.55 * sj2))
+    return {
+        "n": n,
+        "sample_size": s,
+        "sj_r1": sj1,
+        "sj_r2": sj2,
+        "median_estimate_r1": float(np.median(est1)),
+        "median_estimate_r2": float(np.median(est2)),
+        "factor2_failure_rate": failures,
+        "trials": trials,
+    }
+
+
+def theorem43_demo(
+    k: int = 8,
+    c: int = 16,
+    signature_words: int | None = None,
+    trials: int = 50,
+    seed: int = 0,
+) -> dict:
+    """Sampling signatures below the Theorem 4.3 bound cannot separate B from 2B.
+
+    The instance family is parameterised via
+    :func:`~repro.data.adversarial.theorem43_parameters` (k = 8, c = 16
+    gives n = 1152, B = 16384, a 64-bit lower bound).  Draws ``trials``
+    independent (F, G) pairs from the D1/D2 distributions, estimates
+    each join with sample signatures of expected size
+    ``signature_words`` (default: a quarter of the Lemma 4.2
+    requirement n^2/B), and classifies the estimate as "B" or "2B" by
+    thresholding at 1.5B.
+
+    Returns the misclassification rate; at sub-lower-bound budgets it
+    stays far from 0 (the theorem says >= a constant for *any* scheme).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    from ..data.adversarial import theorem43_parameters
+
+    n, b = theorem43_parameters(k, c)
+    rng = np.random.default_rng(seed)
+    words = (
+        signature_words
+        if signature_words is not None
+        else max(2, (n * n // b) // 4)
+    )
+    p = min(1.0, words / n)
+    wrong = 0
+    for _ in range(trials):
+        inst = theorem43_instance(n, b, rng=rng)
+        est = sample_join_estimate(inst["F"], inst["G"], p, rng=rng)
+        predicted_large = est >= 1.5 * b
+        actually_large = inst["join_size"] == 2 * b
+        if predicted_large != actually_large:
+            wrong += 1
+    return {
+        "n": n,
+        "sanity_bound": b,
+        "signature_words": words,
+        "lower_bound_bits": (n - int(np.sqrt(b))) ** 2 / b,
+        "misclassification_rate": wrong / trials,
+        "trials": trials,
+    }

@@ -1,0 +1,84 @@
+"""Accuracy metrics, including the paper's 15%-convergence measure.
+
+Section 3.1: "As a simple means of quantifying convergence towards a
+reasonable approximation, we will consider the metric of the minimum
+sample size each algorithm needed to be within 15% relative error for
+this and all larger sample sizes."  :func:`convergence_sample_size`
+implements exactly that over a sweep series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "normalized_estimates",
+    "convergence_sample_size",
+    "convergence_from_sweep",
+]
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """|estimate - actual| / actual (inf for actual == 0 and estimate != 0)."""
+    if actual == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - actual) / abs(actual)
+
+
+def normalized_estimates(
+    estimates: Sequence[float] | np.ndarray, actual: float
+) -> np.ndarray:
+    """estimate / actual for each estimate — the figures' y-axis."""
+    arr = np.asarray(estimates, dtype=np.float64)
+    if actual == 0:
+        raise ValueError("cannot normalise by an exact value of zero")
+    return arr / actual
+
+
+def convergence_sample_size(
+    series: Sequence[tuple[int, float]],
+    tolerance: float = 0.15,
+) -> int | None:
+    """Minimum s within ``tolerance`` relative error *for all s' >= s*.
+
+    Parameters
+    ----------
+    series:
+        (sample_size, normalized_estimate) pairs; normalized = 1.0 is
+        exact.  Unsorted input is sorted by sample size.
+    tolerance:
+        Relative-error threshold (paper: 0.15).
+
+    Returns
+    -------
+    int or None
+        The convergence sample size, or None if even the largest
+        sample size is outside tolerance (the paper's "has yet to
+        converge", e.g. naive-sampling on mf3 in Figure 6).
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    ordered = sorted(series, key=lambda p: p[0])
+    if not ordered:
+        raise ValueError("empty series")
+    answer: int | None = None
+    for s, normalized in ordered:
+        if abs(normalized - 1.0) <= tolerance:
+            if answer is None:
+                answer = int(s)
+        else:
+            answer = None
+    return answer
+
+
+def convergence_from_sweep(
+    sweep, tolerance: float = 0.15
+) -> Mapping[str, int | None]:
+    """Per-algorithm convergence sample sizes for a SweepResult."""
+    return {
+        algo: convergence_sample_size(sweep.series(algo), tolerance=tolerance)
+        for algo in sweep.algorithms()
+    }

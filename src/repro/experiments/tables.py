@@ -1,0 +1,207 @@
+"""Table runners: Table 1, the Section 3.1 summary, and Section 4.4.
+
+* :func:`table1` — generate each Table 1 data set and report measured
+  length / domain size / self-join size against the paper's values;
+* :func:`convergence_table` — the Section 3.1 summary ("tug-of-war
+  needed only 4-256 memory words ... over 4 times fewer than
+  sample-count, over 50 times fewer than naive-sampling"): the
+  15%-convergence sample size per data set and algorithm;
+* :func:`table_section44` — the analytic comparison of Section 4.4:
+  per data set, the B/n threshold ``C^2/n^3`` above which k-TW beats
+  sample signatures and the advantage ``n^3/C^2`` at B = n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.bounds import ktw_advantage, ktw_break_even_sanity_bound
+from ..core.frequency import distinct_values, self_join_size
+from ..data.registry import DATASETS
+from .figures import run_figure
+from .metrics import convergence_from_sweep
+
+__all__ = [
+    "Table1Row",
+    "table1",
+    "format_table1",
+    "convergence_table",
+    "format_convergence_table",
+    "Section44Row",
+    "table_section44",
+    "format_table_section44",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One data set's paper-vs-measured characteristics."""
+
+    name: str
+    kind: str
+    figure: int
+    paper_length: int
+    paper_domain: int
+    paper_self_join: float
+    measured_length: int
+    measured_domain: int
+    measured_self_join: float
+
+
+def table1(
+    seed: int = 0,
+    scale: float = 1.0,
+    datasets: Sequence[str] | None = None,
+) -> list[Table1Row]:
+    """Generate every Table 1 data set and measure its characteristics."""
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    rows: list[Table1Row] = []
+    for name in names:
+        spec = DATASETS[name]
+        values = spec.load(rng=np.random.default_rng(seed), scale=scale)
+        rows.append(
+            Table1Row(
+                name=name,
+                kind=spec.kind,
+                figure=spec.figure,
+                paper_length=spec.paper_length,
+                paper_domain=spec.paper_domain,
+                paper_self_join=spec.paper_self_join,
+                measured_length=int(values.size),
+                measured_domain=distinct_values(values),
+                measured_self_join=float(self_join_size(values)),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1 with paper and measured columns side by side."""
+    lines = [
+        "# Table 1: data sets and their characteristics (paper / measured)",
+        f"{'data set':<12} {'type':<12} {'length':>19} {'domain size':>17} "
+        f"{'self-join size':>23}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<12} {r.kind:<12} "
+            f"{r.paper_length:>9}/{r.measured_length:<9} "
+            f"{r.paper_domain:>8}/{r.measured_domain:<8} "
+            f"{r.paper_self_join:>10.2e}/{r.measured_self_join:<10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def convergence_table(
+    datasets: Sequence[str] | None = None,
+    scale: float = 1.0,
+    max_log2_s: int = 14,
+    seed: int = 0,
+    repeats: int = 1,
+    tolerance: float = 0.15,
+) -> dict[str, Mapping[str, int | None]]:
+    """15%-convergence sample sizes per data set and algorithm.
+
+    Returns ``{dataset: {algorithm: convergence s or None}}`` — the
+    numbers behind the paper's "tug-of-war needed a sample size of only
+    16, sample-count 128, naive-sampling 2048" style statements.
+    """
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    out: dict[str, Mapping[str, int | None]] = {}
+    for name in names:
+        sweep = run_figure(
+            name, scale=scale, max_log2_s=max_log2_s, seed=seed, repeats=repeats
+        )
+        out[name] = convergence_from_sweep(sweep, tolerance=tolerance)
+    return out
+
+
+def format_convergence_table(
+    table: Mapping[str, Mapping[str, int | None]], tolerance: float = 0.15
+) -> str:
+    """Render the convergence summary (None -> 'not conv.')."""
+
+    def fmt(v: int | None) -> str:
+        return str(v) if v is not None else "not conv."
+
+    algos = ["tug-of-war", "sample-count", "naive-sampling"]
+    lines = [
+        f"# Minimum sample size within {tolerance:.0%} relative error "
+        "(this and all larger sizes)",
+        f"{'data set':<12} " + " ".join(f"{a:>15}" for a in algos),
+    ]
+    for name, per_algo in table.items():
+        lines.append(
+            f"{name:<12} " + " ".join(f"{fmt(per_algo.get(a)):>15}" for a in algos)
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Section44Row:
+    """One data set's analytic k-TW-vs-sampling comparison."""
+
+    name: str
+    n: int
+    self_join: float
+    #: B/n threshold above which k-TW wins (C^2 / n^3); <= 1 means
+    #: k-TW already wins at the minimum sanity bound B = n.
+    break_even_factor: float
+    #: storage advantage of k-TW at B = n (n^3 / C^2); < 1 means
+    #: sampling wins at B = n.
+    advantage_at_n: float
+
+
+def table_section44(
+    seed: int = 0,
+    scale: float = 1.0,
+    datasets: Sequence[str] | None = None,
+    use_paper_values: bool = False,
+) -> list[Section44Row]:
+    """The Section 4.4 analytic comparison for every Table 1 data set.
+
+    With ``use_paper_values=True`` the paper's (n, SJ) are used
+    directly (reproducing the quoted factors exactly); otherwise the
+    data sets are generated and measured.
+    """
+    names = list(datasets) if datasets is not None else list(DATASETS)
+    rows: list[Section44Row] = []
+    for name in names:
+        spec = DATASETS[name]
+        if use_paper_values:
+            n = spec.paper_length
+            sj = spec.paper_self_join
+        else:
+            values = spec.load(rng=np.random.default_rng(seed), scale=scale)
+            n = int(values.size)
+            sj = float(self_join_size(values))
+        rows.append(
+            Section44Row(
+                name=name,
+                n=n,
+                self_join=sj,
+                break_even_factor=ktw_break_even_sanity_bound(n, sj),
+                advantage_at_n=ktw_advantage(n, sj, float(n)),
+            )
+        )
+    return rows
+
+
+def format_table_section44(rows: Sequence[Section44Row]) -> str:
+    """Render the Section 4.4 comparison table."""
+    lines = [
+        "# Section 4.4: k-TW vs sample signatures (C = self-join size)",
+        "#   break-even: B must exceed n by this factor for k-TW to win",
+        "#   advantage@B=n: storage ratio sampling/k-TW at B = n (>1 = k-TW wins)",
+        f"{'data set':<12} {'n':>9} {'SJ':>11} {'break-even B/n':>15} "
+        f"{'advantage@B=n':>14}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<12} {r.n:>9} {r.self_join:>11.3g} "
+            f"{r.break_even_factor:>15.3g} {r.advantage_at_n:>14.3g}"
+        )
+    return "\n".join(lines)

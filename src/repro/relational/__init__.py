@@ -1,0 +1,32 @@
+"""Relational substrate: relations, signature catalogs, plan selection.
+
+The paper motivates join-size tracking with query optimization: an
+optimizer must choose between join plans using fast, high-quality size
+estimates, without touching base data at estimation time.  This package
+provides the minimal relational layer that exercises the signatures the
+way a database would:
+
+* :class:`Relation` — a named multiset of joining-attribute values with
+  exact statistics (the ground truth);
+* :class:`SignatureCatalog` — tracks one k-TW signature per relation
+  (maintained incrementally under inserts/deletes) and answers
+  pairwise join-size estimates from signatures alone, avoiding the
+  quadratic blow-up of per-pair state;
+* :class:`~repro.relational.optimizer.choose_join_order` — a toy
+  greedy left-deep join-order chooser driven by any size-estimating
+  catalog, used to demonstrate end-to-end that better estimates pick
+  better plans.
+"""
+
+from .catalog import SampleCatalog, SignatureCatalog
+from .optimizer import JoinPlan, choose_join_order, plan_cost
+from .relation import Relation
+
+__all__ = [
+    "Relation",
+    "SignatureCatalog",
+    "SampleCatalog",
+    "JoinPlan",
+    "choose_join_order",
+    "plan_cost",
+]

@@ -1,0 +1,186 @@
+"""Signature catalogs: per-relation synopses answering pairwise joins.
+
+The scheme of Section 4: "maintain a small signature of each relation
+independently, such that join sizes can be quickly and accurately
+estimated between any pair of relations using only these signatures" —
+no per-pair state, so adding a relation costs one signature, not a row
+of a quadratic matrix.
+
+:class:`SignatureCatalog` uses k-TW signatures (Section 4.3);
+:class:`SampleCatalog` uses Bernoulli sample signatures (Section 4.1).
+Both expose the same interface so the optimizer demo and the join
+benchmarks can swap them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.join import JoinSignatureFamily, SampleJoinSignature
+
+__all__ = ["SignatureCatalog", "SampleCatalog"]
+
+
+class SignatureCatalog:
+    """Tracks one k-TW join signature per registered relation.
+
+    Parameters
+    ----------
+    k:
+        Signature size (memory words per relation); all signatures
+        share one :class:`~repro.core.join.JoinSignatureFamily` so any
+        pair can be estimated.
+    seed:
+        Seed for the shared sign functions.
+    """
+
+    def __init__(self, k: int, seed: int | None = None):
+        self._family = JoinSignatureFamily(k, seed=seed)
+        self._signatures: dict[str, object] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str, values: Iterable[int] | np.ndarray | None = None):
+        """Start tracking a relation; optionally bulk-load its values."""
+        if name in self._signatures:
+            raise KeyError(f"relation {name!r} already registered")
+        sig = self._family.signature()
+        if values is not None:
+            sig.update_from_stream(np.asarray(values, dtype=np.int64))
+        self._signatures[name] = sig
+        return sig
+
+    def drop(self, name: str) -> None:
+        """Stop tracking a relation."""
+        if name not in self._signatures:
+            raise KeyError(f"relation {name!r} not registered")
+        del self._signatures[name]
+
+    # -- incremental maintenance --------------------------------------------
+    def insert(self, name: str, value: int) -> None:
+        """Route insert(v) on a relation to its signature."""
+        self._sig(name).insert(value)
+
+    def delete(self, name: str, value: int) -> None:
+        """Route delete(v) on a relation to its signature."""
+        self._sig(name).delete(value)
+
+    # -- estimation ----------------------------------------------------------
+    def join_estimate(self, left: str, right: str) -> float:
+        """k-TW estimate of |left join right| from signatures alone."""
+        return self._sig(left).join_estimate(self._sig(right))
+
+    def self_join_estimate(self, name: str) -> float:
+        """k-TW estimate of SJ(name)."""
+        return self._sig(name).self_join_estimate()
+
+    def join_error_bound(self, left: str, right: str) -> float:
+        """Lemma 4.4 standard error using the *estimated* self-joins.
+
+        sqrt(2 SJ(F) SJ(G) / k) with the signature's own SJ estimates
+        plugged in — the bound a real optimizer could compute online.
+        """
+        sj_l = max(0.0, self.self_join_estimate(left))
+        sj_r = max(0.0, self.self_join_estimate(right))
+        return self._sig(left).error_bound(sj_l, sj_r)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def relations(self) -> list[str]:
+        """Registered relation names (sorted)."""
+        return sorted(self._signatures)
+
+    @property
+    def k(self) -> int:
+        """Words per relation signature."""
+        return self._family.k
+
+    @property
+    def memory_words(self) -> int:
+        """Total catalog storage: k words per registered relation."""
+        return self._family.k * len(self._signatures)
+
+    def _sig(self, name: str):
+        sig = self._signatures.get(name)
+        if sig is None:
+            raise KeyError(f"relation {name!r} not registered")
+        return sig
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SignatureCatalog(k={self.k}, relations={len(self)})"
+
+
+class SampleCatalog:
+    """Tracks one Bernoulli sample signature per relation (Section 4.1)."""
+
+    def __init__(self, p: float, seed: int | None = None):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"sampling probability must be in (0, 1], got {p}")
+        self.p = float(p)
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._signatures: dict[str, SampleJoinSignature] = {}
+
+    def register(self, name: str, values: Iterable[int] | np.ndarray | None = None):
+        """Start tracking a relation; optionally bulk-load its values."""
+        if name in self._signatures:
+            raise KeyError(f"relation {name!r} already registered")
+        child_seed = self._seed_seq.spawn(1)[0]
+        sig = SampleJoinSignature(self.p, seed=int(child_seed.generate_state(1)[0]))
+        if values is not None:
+            sig.update_from_stream(np.asarray(values, dtype=np.int64))
+        self._signatures[name] = sig
+        return sig
+
+    def drop(self, name: str) -> None:
+        """Stop tracking a relation."""
+        if name not in self._signatures:
+            raise KeyError(f"relation {name!r} not registered")
+        del self._signatures[name]
+
+    def insert(self, name: str, value: int) -> None:
+        """Route insert(v) on a relation to its signature."""
+        self._sig(name).insert(value)
+
+    def delete(self, name: str, value: int) -> None:
+        """Route delete(v) on a relation to its signature."""
+        self._sig(name).delete(value)
+
+    def join_estimate(self, left: str, right: str) -> float:
+        """t_cross estimate of |left join right|."""
+        return self._sig(left).join_estimate(self._sig(right))
+
+    def self_join_estimate(self, name: str) -> float:
+        """Scaled sample self-join estimate of SJ(name)."""
+        return self._sig(name).self_join_estimate()
+
+    @property
+    def relations(self) -> list[str]:
+        """Registered relation names (sorted)."""
+        return sorted(self._signatures)
+
+    @property
+    def memory_words(self) -> int:
+        """Total stored sample values across relations."""
+        return sum(sig.memory_words for sig in self._signatures.values())
+
+    def _sig(self, name: str) -> SampleJoinSignature:
+        sig = self._signatures.get(name)
+        if sig is None:
+            raise KeyError(f"relation {name!r} not registered")
+        return sig
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampleCatalog(p={self.p}, relations={len(self)})"

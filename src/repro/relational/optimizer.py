@@ -1,0 +1,154 @@
+"""A toy greedy join-order chooser driven by size estimates.
+
+The paper's motivation: "Query optimizers rely on fast, high-quality
+estimates of join sizes in order to select between various join plans."
+This module closes that loop with the smallest useful optimizer — a
+greedy left-deep join-order chooser whose only input is a
+``join_estimate(left, right)`` oracle, so it runs identically on exact
+statistics, a :class:`~repro.relational.catalog.SignatureCatalog`, or a
+:class:`~repro.relational.catalog.SampleCatalog`.  The join-estimation
+example and benchmark use it to show that k-TW estimates select the
+same (or nearly the same) plan as exact statistics while the sample
+catalog at equal storage often does not.
+
+Cost model: the classic sum of intermediate result sizes.  Estimating
+the size of a multi-way intermediate from pairwise signatures uses the
+standard independence heuristic (product of pairwise selectivities),
+which is exactly what real optimizers do with pairwise statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence
+
+__all__ = ["JoinPlan", "choose_join_order", "plan_cost", "EstimatingCatalog"]
+
+
+class EstimatingCatalog(Protocol):
+    """Anything that can estimate pairwise join sizes by relation name."""
+
+    def join_estimate(self, left: str, right: str) -> float:
+        """Estimated |left join right| for two registered relations."""
+        ...
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A left-deep join order with its estimated cost."""
+
+    order: tuple[str, ...]
+    estimated_cost: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " ⋈ ".join(self.order) + f"  (est. cost {self.estimated_cost:.3g})"
+
+
+def _pairwise_selectivity(
+    catalog: EstimatingCatalog, sizes: Mapping[str, int], left: str, right: str
+) -> float:
+    """Estimated join selectivity: |L join R| / (|L| |R|), clamped to >= 0."""
+    denom = sizes[left] * sizes[right]
+    if denom == 0:
+        return 0.0
+    est = max(0.0, float(catalog.join_estimate(left, right)))
+    return est / denom
+
+
+def choose_join_order(
+    relations: Sequence[str],
+    sizes: Mapping[str, int],
+    catalog: EstimatingCatalog,
+) -> JoinPlan:
+    """Greedy left-deep join ordering from pairwise estimates.
+
+    Starts from the pair with the smallest estimated join size, then
+    repeatedly appends the relation minimising the estimated size of
+    the next intermediate (independence heuristic: intermediate
+    cardinality times the product of the new relation's selectivities
+    against every relation already joined).
+
+    Parameters
+    ----------
+    relations:
+        Names of the relations to join (at least two).
+    sizes:
+        Exact (or estimated) cardinalities |R| per relation — these are
+        cheap to track exactly (one counter), as the paper assumes.
+    catalog:
+        Pairwise join-size estimator.
+
+    Returns
+    -------
+    JoinPlan
+        The chosen order and its estimated cost (sum of estimated
+        intermediate sizes).
+    """
+    names = list(dict.fromkeys(relations))
+    if len(names) < 2:
+        raise ValueError(f"need at least two relations, got {names}")
+    for name in names:
+        if name not in sizes:
+            raise KeyError(f"no size recorded for relation {name!r}")
+
+    # Seed: cheapest pair.
+    best_pair = None
+    best_size = None
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            est = max(0.0, float(catalog.join_estimate(a, b)))
+            if best_size is None or est < best_size:
+                best_size = est
+                best_pair = (a, b)
+    assert best_pair is not None and best_size is not None
+    order = [best_pair[0], best_pair[1]]
+    remaining = [n for n in names if n not in order]
+    intermediate = best_size
+    cost = intermediate
+
+    while remaining:
+        best_next = None
+        best_next_size = None
+        for cand in remaining:
+            sel = 1.0
+            for joined in order:
+                sel *= _pairwise_selectivity(catalog, sizes, joined, cand)
+            next_size = intermediate * sizes[cand] * sel
+            if best_next_size is None or next_size < best_next_size:
+                best_next_size = next_size
+                best_next = cand
+        assert best_next is not None and best_next_size is not None
+        order.append(best_next)
+        remaining.remove(best_next)
+        intermediate = best_next_size
+        cost += intermediate
+
+    return JoinPlan(order=tuple(order), estimated_cost=cost)
+
+
+def plan_cost(
+    order: Sequence[str],
+    sizes: Mapping[str, int],
+    join_size: Callable[[str, str], float],
+) -> float:
+    """Evaluate a left-deep order under the sum-of-intermediates model.
+
+    ``join_size`` supplies *true* pairwise join sizes (the independence
+    heuristic is applied for deeper intermediates, so plans chosen from
+    estimates and from exact statistics are scored consistently).
+    """
+    names = list(order)
+    if len(names) < 2:
+        raise ValueError(f"need at least two relations, got {names}")
+    intermediate = max(0.0, float(join_size(names[0], names[1])))
+    cost = intermediate
+    joined = [names[0], names[1]]
+    for cand in names[2:]:
+        sel = 1.0
+        for j in joined:
+            denom = sizes[j] * sizes[cand]
+            sel *= (max(0.0, float(join_size(j, cand))) / denom) if denom else 0.0
+        intermediate = intermediate * sizes[cand] * sel
+        cost += intermediate
+        joined.append(cand)
+    return cost

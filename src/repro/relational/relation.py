@@ -1,0 +1,86 @@
+"""A named relation restricted to its joining attribute.
+
+The paper (footnote 2) restricts attention to equality joins on one
+attribute A; a relation is then fully described — for join-size
+purposes — by the multiset of its A-values.  :class:`Relation` wraps a
+:class:`~repro.core.frequency.FrequencyVector` with a name and exact
+statistics; it is the ground-truth object the signature catalogs are
+validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.bounds import join_size_upper_bound
+from ..core.frequency import FrequencyVector
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named multiset of joining-attribute values with exact stats."""
+
+    __slots__ = ("name", "_freq")
+
+    def __init__(self, name: str, values: Iterable[int] | np.ndarray | None = None):
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self.name = str(name)
+        self._freq = (
+            FrequencyVector.from_stream(values)
+            if values is not None
+            else FrequencyVector()
+        )
+
+    # -- updates ---------------------------------------------------------
+    def insert(self, value: int) -> None:
+        """Insert a tuple with joining-attribute value v."""
+        self._freq.insert(value)
+
+    def delete(self, value: int) -> None:
+        """Delete a tuple with joining-attribute value v."""
+        self._freq.delete(value)
+
+    # -- exact statistics --------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of tuples |R|."""
+        return self._freq.total
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct joining-attribute values."""
+        return self._freq.distinct
+
+    def self_join_size(self) -> int:
+        """Exact SJ(R) on the joining attribute."""
+        return self._freq.self_join_size()
+
+    def join_size(self, other: "Relation") -> int:
+        """Exact |self join other| on the joining attribute."""
+        if not isinstance(other, Relation):
+            raise TypeError(f"expected Relation, got {type(other).__name__}")
+        return self._freq.join_size(other._freq)
+
+    def join_size_bound(self, other: "Relation") -> float:
+        """Fact 1.1 upper bound from the two exact self-join sizes."""
+        return join_size_upper_bound(self.self_join_size(), other.self_join_size())
+
+    @property
+    def frequencies(self) -> FrequencyVector:
+        """The underlying frequency vector (shared, not a copy)."""
+        return self._freq
+
+    def values_array(self) -> np.ndarray:
+        """Expand back to a value stream (sorted); for test comparisons."""
+        vals, counts = self._freq.as_arrays()
+        return np.repeat(vals, counts)
+
+    def __len__(self) -> int:
+        return self._freq.total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, size={self.size}, distinct={self.distinct})"

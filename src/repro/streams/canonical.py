@@ -1,0 +1,79 @@
+"""The canonical-sequence reduction of Section 2.1.
+
+The paper reduces tracking under deletions to tracking insertions only:
+scan the operation sequence left to right; each ``delete(v)`` is
+replaced by a nil and, in addition, the *nearest insert(v) to its left*
+that has not already been nil-ed is replaced by a nil.  The surviving
+insertions — the canonical sequence A — carry exactly the multiset that
+remains, and a correct deletion-handling tracker must behave as if it
+had processed A.
+
+This module implements that reduction.  The test suite uses it to
+validate both AMS trackers: sample-count's eviction rule must leave the
+tracker in a state equivalent (in distribution over its own coins) to
+having run on the canonical sequence, and tug-of-war's counters must be
+*bit-identical* to the canonical run (linearity makes this exact).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List
+
+from .operations import Delete, Insert, Operation, Query
+
+__all__ = ["canonical_sequence", "remaining_multiset"]
+
+
+def canonical_sequence(operations: Iterable[Operation]) -> List[int]:
+    """Reduce an insert/delete sequence to its canonical insertion list.
+
+    Returns the values of the surviving insertions in stream order
+    (the sequence the paper calls A: A-hat with nil positions dropped).
+    Query operations are ignored.
+
+    Raises
+    ------
+    ValueError
+        If some delete has no matching earlier undeleted insert — such
+        a sequence is not a valid multiset history.
+    """
+    values: List[int] = []
+    # For each value, stack of indices into `values` of its undeleted
+    # insertions; a delete nils the most recent one (top of stack).
+    alive: dict[int, List[int]] = {}
+    nil: set[int] = set()
+    for k, op in enumerate(operations):
+        if isinstance(op, Insert):
+            stack = alive.setdefault(op.value, [])
+            stack.append(len(values))
+            values.append(op.value)
+        elif isinstance(op, Delete):
+            stack = alive.get(op.value)
+            if not stack:
+                raise ValueError(
+                    f"operation {k}: delete({op.value}) has no matching insert"
+                )
+            nil.add(stack.pop())
+        elif isinstance(op, Query):
+            continue
+        else:
+            raise TypeError(f"not an operation: {op!r}")
+    return [v for idx, v in enumerate(values) if idx not in nil]
+
+
+def remaining_multiset(operations: Iterable[Operation]) -> Counter:
+    """The multiset left after a sequence (== histogram of the canonical)."""
+    counts: Counter = Counter()
+    for k, op in enumerate(operations):
+        if isinstance(op, Insert):
+            counts[op.value] += 1
+        elif isinstance(op, Delete):
+            if counts[op.value] <= 0:
+                raise ValueError(
+                    f"operation {k}: delete({op.value}) has no matching insert"
+                )
+            counts[op.value] -= 1
+        elif not isinstance(op, Query):
+            raise TypeError(f"not an operation: {op!r}")
+    return Counter({v: c for v, c in counts.items() if c > 0})

@@ -1,0 +1,252 @@
+"""Typed update operations and operation sequences.
+
+The tracking problem (Section 2) is defined over a sequence of
+operations on a multiset R, initially empty:
+
+* ``insert(v)`` — insert a value v from the domain into R,
+* ``delete(v)`` — delete an occurrence of v from R,
+* ``query``    — produce an estimate of SJ(R).
+
+This module gives those operations concrete types, a container with
+validation and workload statistics (e.g. the Theorem 2.1 precondition
+that deletions are outnumbered 4:1), generators of mixed workloads, and
+a :func:`replay` driver that feeds a sequence to any tracker exposing
+``insert`` / ``delete`` / ``estimate``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Protocol, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Insert",
+    "Delete",
+    "Query",
+    "Operation",
+    "OperationSequence",
+    "Tracker",
+    "replay",
+    "mixed_workload",
+    "insertions_only",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """insert(v): add one occurrence of ``value`` to the multiset."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Delete:
+    """delete(v): remove one occurrence of ``value`` from the multiset."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Query:
+    """query: ask the tracker for its current SJ(R) estimate."""
+
+
+Operation = Union[Insert, Delete, Query]
+
+
+class Tracker(Protocol):
+    """Anything that can consume an operation stream.
+
+    All three self-join trackers (tug-of-war, sample-count,
+    naive-sampling) and the exact :class:`~repro.core.frequency.FrequencyVector`
+    satisfy this protocol.
+    """
+
+    def insert(self, value: int) -> None:
+        """Process insert(v)."""
+        ...
+
+    def delete(self, value: int) -> None:
+        """Process delete(v)."""
+        ...
+
+
+class OperationSequence:
+    """A validated sequence of insert/delete/query operations.
+
+    Validation enforces the multiset semantics: a prefix never deletes
+    a value with no remaining occurrences.  The workload statistics
+    exposed here are the quantities the paper's theorems condition on.
+    """
+
+    def __init__(self, operations: Iterable[Operation] = ()):
+        self._ops: List[Operation] = []
+        self._live: Counter = Counter()
+        self._inserts = 0
+        self._deletes = 0
+        self._max_delete_fraction = 0.0
+        for op in operations:
+            self.append(op)
+
+    def append(self, op: Operation) -> None:
+        """Append one operation, validating multiset semantics."""
+        if isinstance(op, Insert):
+            self._live[op.value] += 1
+            self._inserts += 1
+        elif isinstance(op, Delete):
+            if self._live[op.value] <= 0:
+                raise ValueError(
+                    f"operation {len(self._ops)}: delete({op.value}) with no "
+                    "remaining occurrence"
+                )
+            self._live[op.value] -= 1
+            self._deletes += 1
+        elif not isinstance(op, Query):
+            raise TypeError(f"not an operation: {op!r}")
+        self._ops.append(op)
+        updates = self._inserts + self._deletes
+        if updates:
+            fraction = self._deletes / updates
+            if fraction > self._max_delete_fraction:
+                self._max_delete_fraction = fraction
+
+    # -- workload statistics -------------------------------------------
+    @property
+    def insert_count(self) -> int:
+        """Total insert operations."""
+        return self._inserts
+
+    @property
+    def delete_count(self) -> int:
+        """Total delete operations."""
+        return self._deletes
+
+    @property
+    def max_delete_fraction(self) -> float:
+        """Max over prefixes of deletes / updates.
+
+        The sample-count analysis (Section 2.1) requires this to stay
+        at or below 1/5 for the Chernoff survival argument; Theorem 2.1
+        states the 4:1 insert:delete form of the same condition.
+        """
+        return self._max_delete_fraction
+
+    def satisfies_theorem_2_1_ratio(self) -> bool:
+        """Whether inserts exceed deletes by at least a factor of 4."""
+        return self._inserts >= 4 * self._deletes
+
+    def remaining_multiset(self) -> Counter:
+        """The multiset R left after applying every operation."""
+        return Counter({v: c for v, c in self._live.items() if c > 0})
+
+    # -- container protocol ---------------------------------------------
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, index):
+        return self._ops[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OperationSequence(len={len(self._ops)}, inserts={self._inserts}, "
+            f"deletes={self._deletes})"
+        )
+
+
+def replay(sequence: Iterable[Operation], tracker) -> List[float]:
+    """Drive a tracker with an operation sequence.
+
+    Returns the list of estimates produced at the Query operations, in
+    order.  The tracker must expose ``insert``/``delete`` and either
+    ``estimate`` or ``self_join_size`` (so the exact FrequencyVector
+    can be replayed for ground truth).
+    """
+    answer = getattr(tracker, "estimate", None) or getattr(
+        tracker, "self_join_size", None
+    )
+    if answer is None:
+        raise TypeError(f"{type(tracker).__name__} has no estimate/self_join_size")
+    results: List[float] = []
+    for op in sequence:
+        if isinstance(op, Insert):
+            tracker.insert(op.value)
+        elif isinstance(op, Delete):
+            tracker.delete(op.value)
+        elif isinstance(op, Query):
+            results.append(float(answer()))
+        else:
+            raise TypeError(f"not an operation: {op!r}")
+    return results
+
+
+def insertions_only(values: Iterable[int] | np.ndarray) -> OperationSequence:
+    """Wrap a plain value stream as an insertion-only operation sequence."""
+    seq = OperationSequence()
+    for v in np.asarray(values).tolist():
+        seq.append(Insert(int(v)))
+    return seq
+
+
+def mixed_workload(
+    values: Sequence[int] | np.ndarray,
+    delete_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+    query_every: int | None = None,
+) -> OperationSequence:
+    """Interleave deletions into a value stream.
+
+    Produces a valid operation sequence where roughly
+    ``delete_fraction`` of all updates are deletions of values
+    currently live, the regime of the paper's deletion analysis
+    (``delete_fraction <= 0.2`` keeps the Theorem 2.1 precondition
+    satisfiable; larger values are permitted for stress tests).
+
+    Parameters
+    ----------
+    values:
+        The base insertion stream (consumed in order).
+    delete_fraction:
+        Target fraction of updates that are deletions (of a uniformly
+        random live value), in [0, 0.5).
+    rng:
+        Generator or seed.
+    query_every:
+        If given, a Query is appended after every this-many updates.
+    """
+    if not 0.0 <= delete_fraction < 0.5:
+        raise ValueError(f"delete_fraction must be in [0, 0.5), got {delete_fraction}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    arr = np.asarray(values, dtype=np.int64)
+    seq = OperationSequence()
+    live: list[int] = []  # multiset of live values, with repetition
+    updates = 0
+    idx = 0
+    total = arr.size
+
+    def maybe_query() -> None:
+        if query_every and updates and updates % query_every == 0:
+            seq.append(Query())
+
+    while idx < total:
+        do_delete = live and gen.random() < delete_fraction
+        if do_delete:
+            j = int(gen.integers(0, len(live)))
+            v = live[j]
+            live[j] = live[-1]
+            live.pop()
+            seq.append(Delete(v))
+        else:
+            v = int(arr[idx])
+            idx += 1
+            live.append(v)
+            seq.append(Insert(v))
+        updates += 1
+        maybe_query()
+    seq.append(Query())
+    return seq

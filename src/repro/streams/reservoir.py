@@ -1,0 +1,182 @@
+"""Reservoir sampling with the skipping technique of [Vit85].
+
+Sample-count's O(1)-amortised update bound rests on treating each of
+its s sample slots as an independent size-1 reservoir and, instead of
+flipping a coin per insertion, drawing the *next position at which the
+reservoir accepts* directly from the skip distribution.  This module
+provides:
+
+* :class:`SingleReservoir` — a size-1 reservoir exposing both the
+  coin-flip and the skipping interface.  The skipping law for a
+  reservoir currently holding position m is ``P(next > x) = m / x``
+  (survive positions m+1..x), inverted as ``ceil(m / u)`` for u uniform
+  on (0, 1].
+* :class:`ReservoirSample` — a classic size-k uniform
+  without-replacement reservoir (Algorithm R with an Algorithm-L style
+  geometric skip once the reservoir is full), used by the
+  naive-sampling tracker.
+
+Both are deterministic given their seed, which the tests exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["SingleReservoir", "ReservoirSample", "skip_length"]
+
+
+def skip_length(current: int, u: float) -> int:
+    """Next accepting position for a size-1 reservoir at position ``current``.
+
+    Given u uniform on (0, 1], returns M with ``P(M > x) = current / x``
+    for integers x >= current — the exact law of "replace position
+    current by n+1 with probability 1/(n+1), by n+2 with probability
+    (1 - 1/(n+1)) / (n+2), ...".  Clamped to ``current + 1`` (the event
+    M == current has probability zero).
+    """
+    if current < 1:
+        raise ValueError(f"current position must be >= 1, got {current}")
+    if not 0.0 < u <= 1.0:
+        raise ValueError(f"u must be in (0, 1], got {u}")
+    return max(current + 1, math.ceil(current / u))
+
+
+class SingleReservoir:
+    """A size-1 uniform reservoir over a stream of unknown length.
+
+    After ``offer``-ing n items, :attr:`item` is a uniformly random one
+    of them.  :meth:`next_accept_position` exposes the skipping draw so
+    callers (sample-count) can schedule replacements ahead of time
+    instead of offering every element.
+    """
+
+    __slots__ = ("_rng", "_count", "_item")
+
+    def __init__(self, seed: int | None = None):
+        self._rng = np.random.default_rng(seed)
+        self._count = 0
+        self._item = None
+
+    def offer(self, item) -> bool:
+        """Offer one stream element; returns True if it was accepted."""
+        self._count += 1
+        if self._count == 1 or self._rng.random() < 1.0 / self._count:
+            self._item = item
+            return True
+        return False
+
+    def next_accept_position(self) -> int:
+        """Draw the next (1-based) position this reservoir will accept.
+
+        Only meaningful once at least one element has been offered.
+        The internal count advances to the returned position minus one,
+        so the caller is expected to offer exactly that element next
+        (via :meth:`accept_scheduled`).
+        """
+        if self._count == 0:
+            raise ValueError("reservoir is empty; offer an element first")
+        nxt = skip_length(self._count, 1.0 - float(self._rng.random()))
+        self._count = nxt - 1
+        return nxt
+
+    def accept_scheduled(self, item) -> None:
+        """Install the element at the position promised by the skip draw."""
+        self._count += 1
+        self._item = item
+
+    @property
+    def item(self):
+        """The current sample (None before any offer)."""
+        return self._item
+
+    @property
+    def seen(self) -> int:
+        """Number of stream positions accounted for so far."""
+        return self._count
+
+
+class ReservoirSample:
+    """A size-k uniform without-replacement reservoir (Algorithm R + skips).
+
+    The first k offers fill the reservoir; afterwards element n
+    replaces a uniformly random slot with probability k/n.  Once full,
+    a skip counter (drawn from the exact acceptance law via sequential
+    search on the product form) batches the rejected offers so the
+    amortised per-offer cost is O(k/n) random draws — the [Vit85]
+    optimisation naive-sampling relies on for cheap tracking.
+    """
+
+    __slots__ = ("k", "_rng", "_items", "_offered", "_skip")
+
+    def __init__(self, k: int, seed: int | None = None):
+        if k < 1:
+            raise ValueError(f"reservoir size k must be >= 1, got {k}")
+        self.k = int(k)
+        self._rng = np.random.default_rng(seed)
+        self._items: List = []
+        self._offered = 0
+        self._skip = 0  # offers to reject before the next acceptance
+
+    def _draw_skip(self) -> int:
+        """Number of offers to skip before the next acceptance.
+
+        Uses the distribution of Vitter's Algorithm X: starting at
+        stream position n (just accepted), the gap G satisfies
+        ``P(G > g) = prod_{j=1..g} (n + j - k) / (n + j)``.  Sequential
+        search against a single uniform; expected work O(n/k) draws per
+        acceptance, i.e. O(1) amortised per *accepted* element.
+        """
+        n = self._offered
+        u = float(self._rng.random())
+        gap = 0
+        survive = 1.0
+        while True:
+            nxt = survive * (n + gap + 1 - self.k) / (n + gap + 1)
+            if nxt <= u:
+                return gap
+            survive = nxt
+            gap += 1
+
+    def offer(self, item) -> bool:
+        """Offer one stream element; returns True if it entered the sample."""
+        if len(self._items) < self.k:
+            self._items.append(item)
+            self._offered += 1
+            if len(self._items) == self.k:
+                self._skip = self._draw_skip()
+            return True
+        if self._skip > 0:
+            self._skip -= 1
+            self._offered += 1
+            return False
+        # Accept: replace a uniform slot, then draw the next gap.
+        self._offered += 1
+        slot = int(self._rng.integers(0, self.k))
+        self._items[slot] = item
+        self._skip = self._draw_skip()
+        return True
+
+    def extend(self, items: Iterable) -> None:
+        """Offer every element of an iterable."""
+        for item in items:
+            self.offer(item)
+
+    @property
+    def items(self) -> List:
+        """The current sample contents (length min(k, offered))."""
+        return list(self._items)
+
+    @property
+    def offered(self) -> int:
+        """Total number of elements offered so far."""
+        return self._offered
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReservoirSample(k={self.k}, offered={self._offered})"

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests needing other seeds build their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_stream(rng) -> np.ndarray:
+    """A 2,000-element moderately skewed stream over ~60 values."""
+    return (rng.zipf(1.5, size=2000) % 60).astype(np.int64)
+
+
+@pytest.fixture
+def uniform_stream(rng) -> np.ndarray:
+    """A 3,000-element uniform stream over 500 values."""
+    return rng.integers(0, 500, size=3000, dtype=np.int64)

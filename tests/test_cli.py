@@ -1,0 +1,69 @@
+"""Tests for the reproduction CLI (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_requires_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+    def test_sweep_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "zipf1.0" in out and "path" in out
+
+    def test_figure_sweep(self, capsys):
+        assert main(["figure", "8", "--scale", "0.02", "--max-log2-s", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson" in out
+        assert "15%-convergence" in out
+
+    def test_figure_15(self, capsys):
+        assert main(["figure", "15", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 15" in out
+
+    def test_figure_invalid_number(self):
+        with pytest.raises(KeyError):
+            main(["figure", "1", "--scale", "0.02"])
+
+    def test_convergence_subset(self, capsys):
+        assert main(
+            ["convergence", "--datasets", "poisson", "--scale", "0.03",
+             "--max-log2-s", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "poisson" in out
+
+    def test_section44_paper_values(self, capsys):
+        assert main(["section44", "--paper-values"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+        assert "selfsimilar" in out
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "--dataset", "mf3", "--scale", "0.05", "--max-log2-s", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mf3" in out and "tug-of-war" in out
+
+    def test_sweep_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "--dataset", "nope", "--scale", "0.05"])

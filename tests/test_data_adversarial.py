@@ -1,0 +1,126 @@
+"""Unit tests for the adversarial / lower-bound data sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import distinct_values, join_size, self_join_size
+from repro.data.adversarial import (
+    lemma23_pair,
+    path_dataset,
+    theorem43_instance,
+    theorem43_parameters,
+    theorem43_set_system,
+)
+
+
+class TestPathDataset:
+    def test_table1_characteristics(self):
+        out = path_dataset(rng=0)
+        assert out.size == 40_800
+        assert distinct_values(out) == 40_001
+        assert self_join_size(out) == 680_000  # 40000 + 800^2 = 6.8e5
+
+    def test_heavy_value_count(self):
+        out = path_dataset(singletons=100, heavy_count=30, rng=1)
+        values, counts = np.unique(out, return_counts=True)
+        assert counts.max() == 30
+        assert (counts == 1).sum() == 100
+
+    def test_shuffled(self):
+        out = path_dataset(singletons=1000, heavy_count=100, rng=2)
+        # Heavy value (0) should not be contiguous after shuffling.
+        positions = np.flatnonzero(out == 0)
+        assert positions.max() - positions.min() > 200
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            path_dataset(singletons=-1)
+
+
+class TestLemma23Pair:
+    def test_self_join_sizes(self):
+        r1, r2 = lemma23_pair(1000, rng=0)
+        assert self_join_size(r1) == 1000
+        assert self_join_size(r2) == 2000
+
+    def test_shapes(self):
+        r1, r2 = lemma23_pair(500, rng=1)
+        assert r1.size == r2.size == 500
+        assert distinct_values(r1) == 500
+        assert distinct_values(r2) == 250
+
+    def test_rejects_odd_or_tiny(self):
+        with pytest.raises(ValueError):
+            lemma23_pair(7)
+        with pytest.raises(ValueError):
+            lemma23_pair(0)
+
+
+class TestTheorem43:
+    def test_parameters_integrality(self):
+        n, b = theorem43_parameters(8, 16)
+        assert n == 16 * 8 * 9 == 1152
+        assert b == (16 * 8) ** 2 == 16_384
+        root = int(np.sqrt(b))
+        m = n - root
+        assert b % m == 0
+        assert (m * m) % b == 0
+
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            theorem43_parameters(0, 1)
+        with pytest.raises(ValueError, match="outside"):
+            theorem43_parameters(8, 1)  # B = 64 < n = 72
+
+    def test_set_system_properties(self):
+        rng = np.random.default_rng(0)
+        family = theorem43_set_system(100, 10, 8, rng, max_intersection=5)
+        assert len(family) == 8
+        for i, a in enumerate(family):
+            assert a.size == 10
+            assert np.unique(a).size == 10
+            assert a.min() >= 1 and a.max() <= 100
+            for b in family[i + 1 :]:
+                assert len(set(a.tolist()) & set(b.tolist())) <= 5
+
+    def test_set_system_impossible_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError, match="could not build"):
+            # 5 pairwise-(almost-)disjoint 6-subsets of a 10-universe
+            # cannot exist (needs 5*6 - overlaps > 10 by pigeonhole).
+            theorem43_set_system(10, 6, 5, rng, max_intersection=0, max_attempts=200)
+
+    def test_set_size_exceeding_universe_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="exceeds"):
+            theorem43_set_system(5, 6, 1, rng)
+
+    def test_instance_join_size_exact(self):
+        n, b = theorem43_parameters(6, 12)
+        for seed in range(10):
+            inst = theorem43_instance(n, b, rng=seed)
+            assert inst["F"].size == n
+            assert inst["G"].size == n
+            assert join_size(inst["F"], inst["G"]) == inst["join_size"]
+            assert inst["join_size"] in (b, 2 * b)
+
+    def test_instance_meets_sanity_bound(self):
+        n, b = theorem43_parameters(6, 12)
+        inst = theorem43_instance(n, b, rng=3)
+        assert inst["join_size"] >= b
+
+    def test_both_join_sizes_occur(self):
+        n, b = theorem43_parameters(6, 12)
+        seen = {theorem43_instance(n, b, rng=seed)["join_size"] for seed in range(40)}
+        assert seen == {b, 2 * b}
+
+    def test_instance_validates_inputs(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            theorem43_instance(100, 101)
+        with pytest.raises(ValueError, match="sanity bound"):
+            theorem43_instance(100, 10)
+        n, b = theorem43_parameters(6, 12)
+        with pytest.raises(ValueError, match="m | B|integral"):
+            theorem43_instance(n + 1, b)

@@ -1,0 +1,219 @@
+"""Unit tests for the synthetic / text / spatial data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import distinct_values, self_join_size
+from repro.data.spatial import spatial_coordinates, spatial_points
+from repro.data.synthetic import multifractal, poisson, self_similar, uniform, zipf
+from repro.data.text import TEXT_PROFILES, synthetic_text
+
+
+class TestZipf:
+    def test_length_and_domain(self):
+        out = zipf(5000, 100, alpha=1.0, rng=0)
+        assert out.size == 5000
+        assert out.min() >= 1 and out.max() <= 100
+
+    def test_zero_length(self):
+        assert zipf(0, 10, rng=0).size == 0
+
+    def test_more_alpha_more_skew(self):
+        lo = zipf(30_000, 500, alpha=0.8, rng=1)
+        hi = zipf(30_000, 500, alpha=1.8, rng=1)
+        assert self_join_size(hi) > self_join_size(lo)
+
+    def test_rank_one_most_frequent(self):
+        out = zipf(50_000, 50, alpha=1.2, rng=2)
+        values, counts = np.unique(out, return_counts=True)
+        assert values[np.argmax(counts)] == 1
+
+    def test_offset_flattens_head(self):
+        plain = zipf(50_000, 500, alpha=1.0, offset=0.0, rng=3)
+        flat = zipf(50_000, 500, alpha=1.0, offset=3.0, rng=3)
+        assert self_join_size(flat) < self_join_size(plain)
+
+    def test_sj_matches_analytic(self):
+        # SJ ~ n^2 sum p_i^2 for a big sample.
+        n, t = 200_000, 100
+        out = zipf(n, t, alpha=1.0, rng=4)
+        ranks = np.arange(1, t + 1, dtype=np.float64)
+        p = (1 / ranks) / np.sum(1 / ranks)
+        expected = n * n * float(np.sum(p * p))
+        assert self_join_size(out) == pytest.approx(expected, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf(-1, 10)
+        with pytest.raises(ValueError):
+            zipf(1, 0)
+        with pytest.raises(ValueError):
+            zipf(1, 10, alpha=-1)
+        with pytest.raises(ValueError):
+            zipf(1, 10, offset=-0.5)
+
+
+class TestUniform:
+    def test_range(self):
+        out = uniform(1000, 64, rng=0)
+        assert out.min() >= 0 and out.max() < 64
+
+    def test_sj_matches_analytic(self):
+        # E[SJ] = n^2/t + n(1 - 1/t).
+        n, t = 100_000, 1024
+        out = uniform(n, t, rng=1)
+        expected = n * n / t + n * (1 - 1 / t)
+        assert self_join_size(out) == pytest.approx(expected, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform(-1, 10)
+        with pytest.raises(ValueError):
+            uniform(1, 0)
+
+
+class TestMultifractal:
+    def test_domain_bound(self):
+        out = multifractal(2000, 0.2, 8, rng=0)
+        assert out.min() >= 0 and out.max() < 256
+
+    def test_sj_matches_pmodel(self):
+        # sum p_leaf^2 = (b^2 + (1-b)^2)^order.
+        n, b, order = 60_000, 0.2, 10
+        out = multifractal(n, b, order, rng=1)
+        expected = n * n * (b * b + (1 - b) ** 2) ** order
+        assert self_join_size(out) == pytest.approx(expected, rel=0.1)
+
+    def test_bias_half_is_uniform(self):
+        out = multifractal(50_000, 0.5, 6, rng=2)  # 64 values, uniform
+        n, t = 50_000, 64
+        expected = n * n / t + n
+        assert self_join_size(out) == pytest.approx(expected, rel=0.05)
+
+    def test_bias_zero_all_zero(self):
+        out = multifractal(100, 0.0, 5, rng=0)
+        assert np.all(out == 0)
+
+    def test_bias_one_all_max(self):
+        out = multifractal(100, 1.0, 5, rng=0)
+        assert np.all(out == 31)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            multifractal(1, -0.1, 4)
+        with pytest.raises(ValueError):
+            multifractal(1, 0.5, 0)
+        with pytest.raises(ValueError):
+            multifractal(-1, 0.5, 4)
+
+
+class TestSelfSimilar:
+    def test_domain_bound(self):
+        out = self_similar(5000, 200, rng=0)
+        assert out.min() >= 0 and out.max() < 200
+
+    def test_skew_increases_with_h(self):
+        lo = self_similar(40_000, 256, h=0.6, rng=1)
+        hi = self_similar(40_000, 256, h=0.95, rng=1)
+        assert self_join_size(hi) > self_join_size(lo)
+
+    def test_sj_matches_analytic_power_of_two(self):
+        # For a power-of-two domain there is no rejection: sum p^2 =
+        # (h^2 + (1-h)^2)^levels.
+        n, t, h = 80_000, 256, 0.905
+        out = self_similar(n, t, h=h, rng=2)
+        expected = n * n * (h * h + (1 - h) ** 2) ** 8
+        assert self_join_size(out) == pytest.approx(expected, rel=0.1)
+
+    def test_low_values_most_popular(self):
+        out = self_similar(50_000, 256, h=0.9, rng=3)
+        values, counts = np.unique(out, return_counts=True)
+        assert values[np.argmax(counts)] == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            self_similar(1, 0)
+        with pytest.raises(ValueError):
+            self_similar(1, 10, h=0.4)
+        with pytest.raises(ValueError):
+            self_similar(1, 10, h=1.0)
+
+
+class TestPoisson:
+    def test_small_domain(self):
+        out = poisson(120_000, lam=20.0, rng=0)
+        assert distinct_values(out) < 70
+
+    def test_sj_matches_analytic(self):
+        # SJ ~ n^2 / (2 sqrt(pi lam)).
+        n, lam = 200_000, 20.0
+        out = poisson(n, lam=lam, rng=1)
+        expected = n * n / (2 * np.sqrt(np.pi * lam))
+        assert self_join_size(out) == pytest.approx(expected, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson(-1)
+        with pytest.raises(ValueError):
+            poisson(1, lam=0)
+
+
+class TestSyntheticText:
+    def test_named_profiles(self):
+        for name in TEXT_PROFILES:
+            out = synthetic_text(name, rng=0)
+            assert out.size == TEXT_PROFILES[name]["n"]
+
+    def test_explicit_parameters(self):
+        out = synthetic_text(5000, vocabulary=300, q=1.0, rng=0)
+        assert out.size == 5000
+        assert out.max() <= 300
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown text profile"):
+            synthetic_text("moby-dick")
+
+    def test_length_requires_vocabulary(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            synthetic_text(100)
+
+    def test_textlike_head_frequency(self):
+        # The most common "word" should carry roughly 4-9% of tokens,
+        # like "the" in English text (pure Zipf over a 22k vocabulary
+        # would give ~10%).
+        out = synthetic_text("wuther", rng=1)
+        _, counts = np.unique(out, return_counts=True)
+        top_share = counts.max() / out.size
+        assert 0.03 < top_share < 0.10
+
+
+class TestSpatial:
+    def test_shapes(self):
+        out = spatial_coordinates(n=5000, rng=0)
+        assert out.size == 5000
+        assert out.min() >= 0
+
+    def test_distinct_count_scales(self):
+        out = spatial_coordinates(n=142_732, rng=1)
+        # ~popular + background distinct values at full length.
+        assert 9_000 < distinct_values(out) < 15_000
+
+    def test_point_set_pair(self):
+        x, y = spatial_points(n=3000, rng=2)
+        assert x.size == y.size == 3000
+        assert not np.array_equal(x, y)
+
+    def test_popular_mass_increases_skew(self):
+        light = spatial_coordinates(n=40_000, popular_mass=0.1, rng=3)
+        heavy = spatial_coordinates(n=40_000, popular_mass=0.6, rng=3)
+        assert self_join_size(heavy) > self_join_size(light)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            spatial_coordinates(n=-1)
+        with pytest.raises(ValueError):
+            spatial_coordinates(popular_mass=1.5)
+        with pytest.raises(ValueError):
+            spatial_coordinates(value_range=10, popular=100, background=100)

@@ -1,0 +1,95 @@
+"""Tests for the Table 1 data-set registry.
+
+The scaled-down checks run on every data set; the full-size
+characteristic checks (paper n / t / SJ within tolerance) run on the
+smaller data sets only, to keep the default suite fast.  The table-1
+benchmark covers all 13 at full scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import distinct_values, self_join_size
+from repro.data.registry import DATASETS, load_dataset
+
+
+class TestRegistryStructure:
+    def test_thirteen_datasets(self):
+        assert len(DATASETS) == 13
+
+    def test_paper_order_and_figures(self):
+        figures = [spec.figure for spec in DATASETS.values()]
+        assert figures == list(range(2, 15))
+
+    def test_kinds(self):
+        kinds = {spec.kind for spec in DATASETS.values()}
+        assert kinds == {"statistical", "text", "geometric", "artificial"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown data set"):
+            load_dataset("zipf9.9")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("poisson", scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("poisson", scale=1.5)
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+class TestEveryDatasetScaled:
+    def test_loads_at_small_scale(self, name):
+        spec = DATASETS[name]
+        values = load_dataset(name, rng=0, scale=0.02)
+        assert values.dtype == np.int64
+        assert values.ndim == 1
+        expected = max(1, round(spec.paper_length * 0.02))
+        assert abs(values.size - expected) <= 1
+
+    def test_deterministic_given_seed(self, name):
+        a = load_dataset(name, rng=7, scale=0.01)
+        b = load_dataset(name, rng=7, scale=0.01)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self, name):
+        a = load_dataset(name, rng=1, scale=0.01)
+        b = load_dataset(name, rng=2, scale=0.01)
+        assert not np.array_equal(a, b)
+
+
+#: Data sets small enough to check full-scale characteristics in tests.
+_FULL_CHECK = ["mf2", "mf3", "poisson", "path", "genesis", "selfsimilar"]
+
+
+@pytest.mark.parametrize("name", _FULL_CHECK)
+class TestFullScaleCharacteristics:
+    def test_length_matches_paper(self, name):
+        spec = DATASETS[name]
+        values = load_dataset(name, rng=0)
+        assert values.size == spec.paper_length
+
+    def test_self_join_near_paper(self, name):
+        spec = DATASETS[name]
+        values = load_dataset(name, rng=0)
+        measured = self_join_size(values)
+        assert measured == pytest.approx(spec.paper_self_join, rel=0.5), (
+            f"{name}: measured SJ {measured:.3g} vs paper {spec.paper_self_join:.3g}"
+        )
+
+    def test_domain_size_same_order(self, name):
+        spec = DATASETS[name]
+        values = load_dataset(name, rng=0)
+        measured = distinct_values(values)
+        assert spec.paper_domain / 3 <= measured <= spec.paper_domain * 3, (
+            f"{name}: measured domain {measured} vs paper {spec.paper_domain}"
+        )
+
+
+class TestPathExact:
+    def test_path_characteristics_exact(self):
+        values = load_dataset("path", rng=0)
+        assert values.size == 40_800
+        assert distinct_values(values) == 40_001
+        assert self_join_size(values) == 680_000

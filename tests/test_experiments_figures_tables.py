@@ -1,0 +1,196 @@
+"""Tests for figure/table runners and the join / lower-bound studies.
+
+These run at small scale; the full-scale reproductions live in
+benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, joins, lowerbounds, tables
+
+
+class TestFigures:
+    def test_figure_dataset_map_complete(self):
+        assert sorted(figures.FIGURE_DATASETS) == list(range(2, 15))
+
+    def test_run_figure_small_scale(self):
+        res = figures.run_figure("poisson", scale=0.02, max_log2_s=6, seed=0)
+        assert res.dataset == "poisson"
+        assert len(res.points) == 3 * 7
+
+    def test_figure_dispatch(self):
+        res = figures.figure(8, scale=0.02, max_log2_s=4, seed=0)
+        assert res.dataset == "poisson"
+
+    def test_figure_dispatch_invalid(self):
+        with pytest.raises(KeyError, match="not an accuracy sweep"):
+            figures.figure(15)
+        with pytest.raises(KeyError):
+            figures.figure(1)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            figures.run_figure("nope")
+
+    def test_figure15_structure(self):
+        out = figures.figure15(estimators=64, scale=0.05, seed=0)
+        x = out["sorted_estimators"]
+        assert x.size == 64
+        assert np.all(np.diff(x) >= 0)  # sorted
+        assert out["actual"] > 0
+        assert out["median"] == pytest.approx(float(np.median(x)))
+
+    def test_figure15_median_near_actual(self):
+        out = figures.figure15(estimators=512, scale=0.05, seed=1)
+        assert out["median"] == pytest.approx(out["actual"], rel=1.0)
+
+    def test_figure15_spread_is_wide(self):
+        # The paper's point: individual estimators are spread, not
+        # clustered at the actual value.
+        out = figures.figure15(estimators=512, scale=0.05, seed=2)
+        x = out["sorted_estimators"]
+        assert x.max() > 2.0 * out["actual"] or x.min() < 0.2 * out["actual"]
+
+    def test_figure15_format(self):
+        out = figures.figure15(estimators=32, scale=0.05, seed=0)
+        text = figures.format_figure15(out)
+        assert "Figure 15" in text
+
+    def test_figure15_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            figures.figure15(estimators=0)
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = tables.table1(seed=0, scale=0.02, datasets=["poisson", "path"])
+        assert [r.name for r in rows] == ["poisson", "path"]
+        for r in rows:
+            assert r.measured_length > 0
+            assert r.measured_self_join > 0
+
+    def test_table1_format(self):
+        rows = tables.table1(seed=0, scale=0.02, datasets=["mf3"])
+        text = tables.format_table1(rows)
+        assert "mf3" in text and "Table 1" in text
+
+    def test_convergence_table(self):
+        table = tables.convergence_table(
+            datasets=["poisson"], scale=0.05, max_log2_s=10, seed=0, repeats=3
+        )
+        assert "poisson" in table
+        per_algo = table["poisson"]
+        assert set(per_algo) == {"tug-of-war", "sample-count", "naive-sampling"}
+
+    def test_convergence_format(self):
+        text = tables.format_convergence_table(
+            {"x": {"tug-of-war": 16, "sample-count": None, "naive-sampling": 64}}
+        )
+        assert "not conv." in text and "16" in text
+
+    def test_section44_paper_values(self):
+        rows = tables.table_section44(use_paper_values=True)
+        by_name = {r.name: r for r in rows}
+        assert by_name["selfsimilar"].break_even_factor == pytest.approx(6730, rel=0.1)
+        assert by_name["uniform"].advantage_at_n == pytest.approx(1008, rel=0.1)
+        assert by_name["path"].advantage_at_n == pytest.approx(147, rel=0.1)
+
+    def test_section44_measured(self):
+        rows = tables.table_section44(
+            seed=0, scale=0.05, datasets=["poisson", "uniform"]
+        )
+        assert len(rows) == 2
+        for r in rows:
+            assert r.break_even_factor > 0
+            assert r.advantage_at_n > 0
+
+    def test_section44_format(self):
+        rows = tables.table_section44(use_paper_values=True, datasets=["mf2"])
+        text = tables.format_table_section44(rows)
+        assert "mf2" in text and "break-even" in text
+
+
+class TestJoinExperiments:
+    def test_make_relation_pair(self):
+        left, right = joins.make_relation_pair("zipf1.0", n=5000, overlap=0.5, seed=0)
+        assert left.size > 0 and right.size > 0
+
+    def test_overlap_zero_no_payload_join(self):
+        left, right = joins.make_relation_pair("uniform", n=5000, overlap=0.0, seed=1)
+        from repro.core.frequency import join_size
+
+        assert join_size(left, right) == 0
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            joins.make_relation_pair(overlap=1.5)
+        with pytest.raises(KeyError):
+            joins.make_relation_pair("nope")
+
+    def test_join_accuracy_sweep(self, rng):
+        left = rng.integers(0, 40, size=3000).astype(np.int64)
+        right = rng.integers(0, 40, size=3000).astype(np.int64)
+        out = joins.join_accuracy_sweep(left, right, budgets=[64, 512], seed=0)
+        assert out["exact_join"] > 0
+        schemes = {p.scheme for p in out["points"]}
+        assert schemes == {"k-TW", "sample"}
+        text = joins.format_join_sweep(out)
+        assert "k-TW" in text
+
+    def test_error_shrinks_with_budget(self, rng):
+        left = rng.integers(0, 40, size=4000).astype(np.int64)
+        right = rng.integers(0, 40, size=4000).astype(np.int64)
+        out = joins.join_accuracy_sweep(
+            left, right, budgets=[16, 2048], seed=1, repeats=5
+        )
+        ktw = {p.memory_words: p.relative_error for p in out["points"] if p.scheme == "k-TW"}
+        assert ktw[2048] <= ktw[16] + 0.05
+
+    def test_ktw_error_vs_bound(self, rng):
+        left = rng.integers(0, 30, size=2000).astype(np.int64)
+        right = rng.integers(0, 30, size=2000).astype(np.int64)
+        out = joins.ktw_error_vs_bound(left, right, k=64, trials=20, seed=0)
+        # Lemma 4.4: RMS error at or below the bound (sampling noise margin).
+        assert out["ratio"] <= 1.3
+
+    def test_sweep_validates_budgets(self, rng):
+        a = rng.integers(0, 5, size=10).astype(np.int64)
+        with pytest.raises(ValueError):
+            joins.join_accuracy_sweep(a, a, budgets=[0])
+
+    def test_bound_validates(self, rng):
+        a = rng.integers(0, 5, size=10).astype(np.int64)
+        with pytest.raises(ValueError):
+            joins.ktw_error_vs_bound(a, a, k=0)
+
+
+class TestLowerBoundDemos:
+    def test_lemma23_demo(self):
+        out = lowerbounds.lemma23_demo(n=4000, trials=40, seed=0)
+        # R1's estimate is essentially exact (all-distinct sample).
+        assert out["median_estimate_r1"] == pytest.approx(out["sj_r1"], rel=0.05)
+        # R2 is typically reported near n — a factor ~2 below 2n.
+        assert out["factor2_failure_rate"] >= 0.5
+
+    def test_lemma23_validates(self):
+        with pytest.raises(ValueError):
+            lowerbounds.lemma23_demo(trials=0)
+
+    def test_theorem43_demo_small_signature_fails(self):
+        out = lowerbounds.theorem43_demo(k=6, c=12, trials=30, seed=0)
+        # Sub-lower-bound signatures misclassify a constant fraction.
+        assert out["misclassification_rate"] >= 0.15
+
+    def test_theorem43_demo_large_signature_succeeds(self):
+        out = lowerbounds.theorem43_demo(
+            k=6, c=12, signature_words=10_000, trials=30, seed=1
+        )
+        # With p = 1 (full relation stored) the join size is exact.
+        assert out["misclassification_rate"] == 0.0
+
+    def test_theorem43_validates(self):
+        with pytest.raises(ValueError):
+            lowerbounds.theorem43_demo(trials=0)

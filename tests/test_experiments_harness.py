@@ -1,0 +1,159 @@
+"""Tests for the experiment harness and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    accuracy_sweep,
+    default_sample_sizes,
+    default_scale,
+    estimate_once,
+)
+from repro.experiments.metrics import (
+    convergence_from_sweep,
+    convergence_sample_size,
+    normalized_estimates,
+    relative_error,
+)
+
+
+class TestDefaults:
+    def test_sample_sizes_powers_of_two(self):
+        sizes = default_sample_sizes(14)
+        assert sizes[0] == 1 and sizes[-1] == 16_384
+        assert len(sizes) == 15
+
+    def test_sample_sizes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            default_sample_sizes(-1)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert default_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert default_scale() == 0.05
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert default_scale() == 0.25
+
+    def test_default_scale_rejects_bad(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(ValueError):
+            default_scale()
+
+
+class TestEstimateOnce:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_each_algorithm_runs(self, algorithm, small_stream):
+        from repro.core.frequency import self_join_size
+
+        exact = self_join_size(small_stream)
+        est = estimate_once(algorithm, small_stream, s=1024, rng=0)
+        assert est == pytest.approx(exact, rel=0.5)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            estimate_once("magic", [1, 2], 4)
+
+    def test_rejects_bad_s(self):
+        with pytest.raises(ValueError):
+            estimate_once("tug-of-war", [1, 2], 0)
+
+
+class TestAccuracySweep:
+    def test_sweep_structure(self, small_stream):
+        res = accuracy_sweep(
+            small_stream, dataset="t", sample_sizes=[4, 64, 512], rng=0
+        )
+        assert res.n == small_stream.size
+        assert len(res.points) == 9  # 3 algorithms x 3 sizes
+        assert set(res.algorithms()) == set(ALGORITHMS)
+
+    def test_series_extraction(self, small_stream):
+        res = accuracy_sweep(small_stream, sample_sizes=[16, 256], rng=0)
+        series = res.series("tug-of-war")
+        assert [s for s, _ in series] == [16, 256]
+
+    def test_rows_aligned(self, small_stream):
+        res = accuracy_sweep(small_stream, sample_sizes=[8, 32], rng=0)
+        rows = res.rows()
+        assert [s for s, _ in rows] == [8, 32]
+        for _, by_algo in rows:
+            assert set(by_algo) == set(ALGORITHMS)
+
+    def test_normalization(self, small_stream):
+        res = accuracy_sweep(small_stream, sample_sizes=[2048], rng=1)
+        for p in res.points:
+            assert p.normalized == pytest.approx(p.estimate / res.exact_self_join)
+
+    def test_large_budget_converges(self, small_stream):
+        res = accuracy_sweep(small_stream, sample_sizes=[4096], rng=2, repeats=3)
+        for p in res.points:
+            assert p.normalized == pytest.approx(1.0, abs=0.4)
+
+    def test_format_table(self, small_stream):
+        res = accuracy_sweep(small_stream, sample_sizes=[16], rng=0)
+        text = res.format_table()
+        assert "tug-of-war" in text and "log2(s)" in text
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_sweep(np.array([], dtype=np.int64))
+
+    def test_rejects_unknown_algorithm(self, small_stream):
+        with pytest.raises(KeyError):
+            accuracy_sweep(small_stream, algorithms=["nope"])
+
+    def test_rejects_bad_repeats(self, small_stream):
+        with pytest.raises(ValueError):
+            accuracy_sweep(small_stream, repeats=0)
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_normalized_estimates(self):
+        out = normalized_estimates([50, 100, 200], 100)
+        assert out.tolist() == [0.5, 1.0, 2.0]
+
+    def test_normalized_rejects_zero_actual(self):
+        with pytest.raises(ValueError):
+            normalized_estimates([1.0], 0)
+
+    def test_convergence_basic(self):
+        series = [(1, 3.0), (2, 0.5), (4, 1.1), (8, 0.9), (16, 1.05)]
+        assert convergence_sample_size(series) == 4
+
+    def test_convergence_requires_staying_within(self):
+        # Within at s=4 but out again at s=8: convergence is at 16.
+        series = [(4, 1.0), (8, 2.0), (16, 1.0)]
+        assert convergence_sample_size(series) == 16
+
+    def test_convergence_none_when_never(self):
+        assert convergence_sample_size([(1, 5.0), (2, 3.0)]) is None
+
+    def test_convergence_unsorted_input(self):
+        series = [(16, 1.0), (1, 9.0), (4, 1.0)]
+        assert convergence_sample_size(series) == 4
+
+    def test_convergence_empty_raises(self):
+        with pytest.raises(ValueError):
+            convergence_sample_size([])
+
+    def test_convergence_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            convergence_sample_size([(1, 1.0)], tolerance=0)
+
+    def test_convergence_from_sweep(self, small_stream):
+        res = accuracy_sweep(
+            small_stream, sample_sizes=[64, 512, 2048], rng=3, repeats=3
+        )
+        table = convergence_from_sweep(res)
+        assert set(table) == set(ALGORITHMS)
+        for v in table.values():
+            assert v is None or v in (64, 512, 2048)

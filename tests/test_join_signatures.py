@@ -1,0 +1,255 @@
+"""Unit tests for k-TW and sample join signatures (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import join_size, self_join_size
+from repro.core.join import (
+    JoinSignatureFamily,
+    SampleJoinSignature,
+    sample_join_estimate,
+)
+
+
+@pytest.fixture
+def relation_pair(rng):
+    left = rng.integers(0, 50, size=3000).astype(np.int64)
+    right = rng.integers(0, 50, size=2500).astype(np.int64)
+    return left, right
+
+
+class TestJoinSignatureFamily:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            JoinSignatureFamily(0)
+
+    def test_signature_starts_empty(self):
+        sig = JoinSignatureFamily(8, seed=0).signature()
+        assert sig.n == 0
+        assert np.all(sig.counters == 0)
+
+    def test_signature_from_stream(self, relation_pair):
+        left, _ = relation_pair
+        sig = JoinSignatureFamily(16, seed=0).signature_from_stream(left)
+        assert sig.n == left.size
+
+    def test_k_and_memory_words(self):
+        sig = JoinSignatureFamily(32, seed=0).signature()
+        assert sig.k == 32
+        assert sig.memory_words == 32
+
+
+class TestTugOfWarJoinSignature:
+    def test_join_estimate_close(self, relation_pair):
+        left, right = relation_pair
+        exact = join_size(left, right)
+        family = JoinSignatureFamily(512, seed=3)
+        est = family.signature_from_stream(left).join_estimate(
+            family.signature_from_stream(right)
+        )
+        assert est == pytest.approx(exact, rel=0.3)
+
+    def test_self_join_estimate_close(self, relation_pair):
+        left, _ = relation_pair
+        exact = self_join_size(left)
+        family = JoinSignatureFamily(512, seed=4)
+        sig = family.signature_from_stream(left)
+        assert sig.self_join_estimate() == pytest.approx(exact, rel=0.3)
+
+    def test_unbiasedness_over_families(self, rng):
+        left = rng.integers(0, 12, size=400).astype(np.int64)
+        right = rng.integers(0, 12, size=400).astype(np.int64)
+        exact = join_size(left, right)
+        estimates = []
+        for seed in range(300):
+            family = JoinSignatureFamily(1, seed=seed)
+            estimates.append(
+                family.signature_from_stream(left).join_estimate(
+                    family.signature_from_stream(right)
+                )
+            )
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.25)
+
+    def test_variance_within_lemma44_bound(self, rng):
+        # Var[S(F)S(G)] <= 2 SJ(F) SJ(G): empirical variance of 1-TW
+        # estimators over many families must respect it (with margin).
+        left = rng.integers(0, 20, size=500).astype(np.int64)
+        right = rng.integers(0, 20, size=500).astype(np.int64)
+        bound = 2.0 * self_join_size(left) * self_join_size(right)
+        estimates = []
+        for seed in range(400):
+            family = JoinSignatureFamily(1, seed=seed)
+            estimates.append(
+                family.signature_from_stream(left).join_estimate(
+                    family.signature_from_stream(right)
+                )
+            )
+        assert np.var(estimates) <= 1.5 * bound
+
+    def test_deletion_reverses_insert(self):
+        family = JoinSignatureFamily(16, seed=0)
+        sig = family.signature()
+        sig.insert(4)
+        before = sig.counters.copy()
+        sig.insert(9)
+        sig.delete(9)
+        assert np.array_equal(sig.counters, before)
+        assert sig.n == 1
+
+    def test_delete_from_empty_raises(self):
+        sig = JoinSignatureFamily(4, seed=0).signature()
+        with pytest.raises(ValueError, match="empty"):
+            sig.delete(1)
+
+    def test_incremental_matches_bulk(self, relation_pair):
+        left, _ = relation_pair
+        family = JoinSignatureFamily(32, seed=5)
+        bulk = family.signature_from_stream(left)
+        inc = family.signature()
+        for v in left.tolist():
+            inc.insert(int(v))
+        assert np.array_equal(bulk.counters, inc.counters)
+
+    def test_cross_family_rejected(self, relation_pair):
+        left, right = relation_pair
+        f1 = JoinSignatureFamily(8, seed=0)
+        f2 = JoinSignatureFamily(8, seed=0)  # same seed, different object
+        with pytest.raises(ValueError, match="different JoinSignatureFamily"):
+            f1.signature_from_stream(left).join_estimate(
+                f2.signature_from_stream(right)
+            )
+
+    def test_join_estimate_rejects_other_types(self):
+        sig = JoinSignatureFamily(4, seed=0).signature()
+        with pytest.raises(TypeError):
+            sig.join_estimate("nope")
+
+    def test_median_of_means_variant(self, relation_pair):
+        left, right = relation_pair
+        exact = join_size(left, right)
+        family = JoinSignatureFamily(500, seed=6)
+        a = family.signature_from_stream(left)
+        b = family.signature_from_stream(right)
+        assert a.join_estimate_median_of_means(b, groups=5) == pytest.approx(
+            exact, rel=0.35
+        )
+
+    def test_median_of_means_requires_divisor(self):
+        family = JoinSignatureFamily(10, seed=0)
+        a, b = family.signature(), family.signature()
+        with pytest.raises(ValueError, match="divide"):
+            a.join_estimate_median_of_means(b, groups=3)
+
+    def test_error_bound_formula(self):
+        sig = JoinSignatureFamily(8, seed=0).signature()
+        assert sig.error_bound(4.0, 9.0) == pytest.approx(np.sqrt(2 * 36 / 8))
+
+    def test_error_bound_rejects_negative(self):
+        sig = JoinSignatureFamily(8, seed=0).signature()
+        with pytest.raises(ValueError):
+            sig.error_bound(-1.0, 2.0)
+
+    def test_empirical_rms_within_bound(self, rng):
+        # Lemma 4.4: RMS error of k-TW <= sqrt(2 SJ SJ / k).
+        left = rng.integers(0, 30, size=1000).astype(np.int64)
+        right = rng.integers(0, 30, size=1000).astype(np.int64)
+        exact = join_size(left, right)
+        k = 64
+        bound = np.sqrt(2.0 * self_join_size(left) * self_join_size(right) / k)
+        errors = []
+        for seed in range(60):
+            family = JoinSignatureFamily(k, seed=seed)
+            est = family.signature_from_stream(left).join_estimate(
+                family.signature_from_stream(right)
+            )
+            errors.append(est - exact)
+        rms = np.sqrt(np.mean(np.square(errors)))
+        assert rms <= 1.3 * bound
+
+    def test_update_from_frequencies_validates(self):
+        sig = JoinSignatureFamily(4, seed=0).signature()
+        with pytest.raises(ValueError, match="equal-length"):
+            sig.update_from_frequencies([1], [1, 2])
+
+
+class TestSampleJoinSignature:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            SampleJoinSignature(0.0)
+        with pytest.raises(ValueError):
+            SampleJoinSignature(1.5)
+
+    def test_p_one_is_exact(self, relation_pair):
+        left, right = relation_pair
+        a = SampleJoinSignature(1.0, seed=0)
+        b = SampleJoinSignature(1.0, seed=1)
+        a.update_from_stream(left)
+        b.update_from_stream(right)
+        assert a.join_estimate(b) == pytest.approx(float(join_size(left, right)))
+
+    def test_p_one_self_join_exact(self, relation_pair):
+        left, _ = relation_pair
+        sig = SampleJoinSignature(1.0, seed=0)
+        sig.update_from_stream(left)
+        assert sig.self_join_estimate() == pytest.approx(float(self_join_size(left)))
+
+    def test_expected_memory(self):
+        sig = SampleJoinSignature(0.1, seed=0)
+        sig.update_from_stream(np.arange(10_000))
+        assert sig.expected_memory_words == pytest.approx(1000.0)
+        assert 700 <= sig.memory_words <= 1300
+
+    def test_join_estimate_roughly_unbiased(self, rng):
+        left = rng.integers(0, 15, size=2000).astype(np.int64)
+        right = rng.integers(0, 15, size=2000).astype(np.int64)
+        exact = join_size(left, right)
+        estimates = []
+        for seed in range(60):
+            a = SampleJoinSignature(0.2, seed=seed)
+            b = SampleJoinSignature(0.2, seed=seed + 1000)
+            a.update_from_stream(left)
+            b.update_from_stream(right)
+            estimates.append(a.join_estimate(b))
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.2)
+
+    def test_insert_and_delete_counts(self):
+        sig = SampleJoinSignature(1.0, seed=0)
+        sig.insert(5)
+        sig.insert(5)
+        assert sig.memory_words == 2
+        sig.delete(5)
+        assert sig.n == 1
+        assert sig.memory_words == 1
+
+    def test_delete_from_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SampleJoinSignature(0.5, seed=0).delete(1)
+
+    def test_join_estimate_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            SampleJoinSignature(0.5, seed=0).join_estimate(42)
+
+
+class TestSampleJoinEstimateOffline:
+    def test_p_one_exact(self, relation_pair):
+        left, right = relation_pair
+        est = sample_join_estimate(left, right, 1.0, rng=0)
+        assert est == pytest.approx(float(join_size(left, right)))
+
+    def test_roughly_unbiased(self, rng):
+        left = rng.integers(0, 10, size=1500).astype(np.int64)
+        right = rng.integers(0, 10, size=1500).astype(np.int64)
+        exact = join_size(left, right)
+        ests = [
+            sample_join_estimate(left, right, 0.25, rng=seed) for seed in range(60)
+        ]
+        assert np.mean(ests) == pytest.approx(exact, rel=0.2)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            sample_join_estimate([1], [1], 0.0)
+
+    def test_empty_sample_gives_zero(self):
+        assert sample_join_estimate([], [1, 2], 0.5, rng=0) == 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for general frequency moments (core.moments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.moments import (
+    FrequencyMomentTracker,
+    exact_moment,
+    fk_estimate_offline,
+    fk_sample_size_bound,
+)
+from repro.core.samplecount import sample_count_estimate_offline
+
+
+class TestExactMoment:
+    def test_f0_distinct(self):
+        assert exact_moment([1, 1, 2, 9], 0) == 3.0
+
+    def test_f1_length(self):
+        assert exact_moment([1, 1, 2, 9], 1) == 4.0
+
+    def test_f2_is_self_join(self, small_stream):
+        from repro.core.frequency import self_join_size
+
+        assert exact_moment(small_stream, 2) == float(self_join_size(small_stream))
+
+    def test_f3_manual(self):
+        # freqs 2, 1 -> 8 + 1 = 9.
+        assert exact_moment([5, 5, 7], 3) == 9.0
+
+    def test_f_infinity(self):
+        assert exact_moment([1, 1, 1, 2], None) == 3.0
+
+    def test_empty_stream(self):
+        assert exact_moment([], 2) == 0.0
+        assert exact_moment([], None) == 0.0
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ValueError):
+            exact_moment([1], -1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            exact_moment(np.zeros((2, 2), dtype=np.int64), 2)
+
+
+class TestSampleSizeBound:
+    def test_k2_is_sqrt_t(self):
+        assert fk_sample_size_bound(2, 10_000, 1.0) == pytest.approx(200.0)
+
+    def test_grows_with_k(self):
+        assert fk_sample_size_bound(3, 1000, 0.5) > fk_sample_size_bound(2, 1000, 0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fk_sample_size_bound(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            fk_sample_size_bound(2, 0, 0.5)
+        with pytest.raises(ValueError):
+            fk_sample_size_bound(2, 10, 0.0)
+
+
+class TestOfflineFk:
+    def test_k2_matches_sample_count(self, small_stream):
+        # Same rng seed -> identical positions -> identical estimates.
+        a = fk_estimate_offline(small_stream, 2, 64, 5, rng=9)
+        b = sample_count_estimate_offline(small_stream, 64, 5, rng=9)
+        assert a == pytest.approx(b)
+
+    def test_k1_is_exactly_n(self, small_stream):
+        # X = n(r - (r-1)) = n for every slot.
+        est = fk_estimate_offline(small_stream, 1, 16, 2, rng=0)
+        assert est == pytest.approx(float(small_stream.size))
+
+    def test_all_distinct_any_k_exact(self):
+        # r = 1 always -> X = n(1 - 0) = n = F_k for all-distinct data.
+        stream = np.arange(400)
+        for k in (1, 2, 3, 4):
+            assert fk_estimate_offline(stream, k, 32, 2, rng=1) == pytest.approx(400.0)
+
+    def test_f3_unbiased_over_seeds(self):
+        stream = np.array([1] * 12 + [2] * 5 + list(range(10, 60)), dtype=np.int64)
+        exact = exact_moment(stream, 3)
+        ests = [fk_estimate_offline(stream, 3, 1, 1, rng=s) for s in range(3000)]
+        assert np.mean(ests) == pytest.approx(exact, rel=0.15)
+
+    def test_f3_accuracy_with_large_sample(self, small_stream):
+        exact = exact_moment(small_stream, 3)
+        est = fk_estimate_offline(small_stream, 3, 2000, 5, rng=3)
+        assert est == pytest.approx(exact, rel=0.5)
+
+    def test_empty_stream(self):
+        assert fk_estimate_offline(np.array([], dtype=np.int64), 2, 4, 1) == 0.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            fk_estimate_offline([1], 0, 4, 1)
+
+
+class TestFrequencyMomentTracker:
+    def make(self, stream, s1=256, s2=5, seed=0):
+        arr = np.asarray(stream, dtype=np.int64)
+        tr = FrequencyMomentTracker(s1=s1, s2=s2, seed=seed, initial_range=arr.size)
+        tr.update_from_stream(arr)
+        return tr
+
+    def test_is_a_sample_count_sketch(self, small_stream):
+        tr = self.make(small_stream)
+        # F2 query equals the inherited estimate().
+        assert tr.moment_estimate(2) == pytest.approx(tr.estimate())
+        tr.check_invariants()
+
+    def test_f1_exact(self, small_stream):
+        tr = self.make(small_stream)
+        assert tr.moment_estimate(1) == pytest.approx(float(small_stream.size))
+
+    def test_f3_reasonable(self, small_stream):
+        tr = self.make(small_stream, s1=600)
+        exact = exact_moment(small_stream, 3)
+        assert tr.moment_estimate(3) == pytest.approx(exact, rel=0.6)
+
+    def test_empty(self):
+        tr = FrequencyMomentTracker(s1=4, seed=0)
+        assert tr.moment_estimate(3) == 0.0
+
+    def test_deletions_supported(self, rng):
+        tr = FrequencyMomentTracker(s1=64, s2=2, seed=1, initial_range=200)
+        live = []
+        for v in rng.integers(0, 15, size=1000).tolist():
+            tr.insert(int(v))
+            live.append(int(v))
+        for _ in range(200):
+            tr.delete(live.pop())
+        tr.check_invariants()
+        assert tr.moment_estimate(1) == pytest.approx(float(len(live)))
+
+    def test_rejects_bad_order(self, small_stream):
+        tr = self.make(small_stream, s1=8, s2=1)
+        with pytest.raises(ValueError):
+            tr.moment_estimate(0)

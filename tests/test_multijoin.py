@@ -1,0 +1,169 @@
+"""Unit tests for multi-way join signatures (core.multijoin)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multijoin import MultiJoinFamily
+
+
+def multiway_join_size(relations: list[np.ndarray]) -> float:
+    """Exact m-way equality-join size on one attribute."""
+    from collections import Counter
+
+    counters = [Counter(r.tolist()) for r in relations]
+    shared = set(counters[0])
+    for c in counters[1:]:
+        shared &= set(c)
+    total = 0
+    for v in shared:
+        prod = 1
+        for c in counters:
+            prod *= c[v]
+        total += prod
+    return float(total)
+
+
+@pytest.fixture
+def three_relations(rng):
+    return [rng.integers(0, 20, size=800).astype(np.int64) for _ in range(3)]
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MultiJoinFamily(0, 2)
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            MultiJoinFamily(4, 1)
+
+    def test_signatures_cover_positions(self):
+        fam = MultiJoinFamily(8, 4, seed=0)
+        sigs = fam.signatures()
+        assert [s.position for s in sigs] == [0, 1, 2, 3]
+
+    def test_position_bounds(self):
+        fam = MultiJoinFamily(8, 3, seed=0)
+        with pytest.raises(ValueError):
+            fam.signature(3)
+        with pytest.raises(ValueError):
+            fam.position_signs(-1, 0)
+
+
+class TestSignCollapse:
+    def test_product_of_signs_is_one(self):
+        # The defining property: prod_j xi_j(v) = 1 for every value.
+        for ways in (2, 3, 5):
+            fam = MultiJoinFamily(16, ways, seed=1)
+            for v in (0, 1, 17, 12345):
+                prod = np.ones(16, dtype=np.int64)
+                for j in range(ways):
+                    prod *= fam.position_signs(j, v).astype(np.int64)
+                assert np.all(prod == 1), (ways, v)
+
+    def test_signs_many_matches_one(self):
+        fam = MultiJoinFamily(8, 3, seed=2)
+        values = np.arange(20)
+        for j in range(3):
+            many = fam.position_signs_many(j, values)
+            for idx, v in enumerate(values):
+                assert np.array_equal(many[:, idx], fam.position_signs(j, int(v)))
+
+
+class TestEstimation:
+    def test_two_way_matches_exact_roughly(self, rng):
+        a = rng.integers(0, 15, size=1500).astype(np.int64)
+        b = rng.integers(0, 15, size=1500).astype(np.int64)
+        exact = multiway_join_size([a, b])
+        fam = MultiJoinFamily(2048, 2, seed=3)
+        sigs = fam.signatures()
+        sigs[0].update_from_stream(a)
+        sigs[1].update_from_stream(b)
+        assert fam.join_estimate(sigs) == pytest.approx(exact, rel=0.3)
+
+    def test_three_way_unbiased_over_seeds(self, three_relations):
+        exact = multiway_join_size(three_relations)
+        estimates = []
+        for seed in range(150):
+            fam = MultiJoinFamily(8, 3, seed=seed)
+            sigs = fam.signatures()
+            for sig, rel in zip(sigs, three_relations):
+                sig.update_from_stream(rel)
+            estimates.append(fam.join_estimate(sigs))
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.3)
+
+    def test_three_way_accuracy_with_large_k(self, three_relations):
+        exact = multiway_join_size(three_relations)
+        fam = MultiJoinFamily(8192, 3, seed=4)
+        sigs = fam.signatures()
+        for sig, rel in zip(sigs, three_relations):
+            sig.update_from_stream(rel)
+        assert fam.join_estimate(sigs) == pytest.approx(exact, rel=0.5)
+
+    def test_estimate_order_independent(self, three_relations):
+        fam = MultiJoinFamily(64, 3, seed=5)
+        sigs = fam.signatures()
+        for sig, rel in zip(sigs, three_relations):
+            sig.update_from_stream(rel)
+        a = fam.join_estimate(sigs)
+        b = fam.join_estimate(list(reversed(sigs)))
+        assert a == pytest.approx(b)
+
+    def test_estimate_validates_signature_set(self, three_relations):
+        fam = MultiJoinFamily(16, 3, seed=6)
+        sigs = fam.signatures()
+        with pytest.raises(ValueError, match="exactly 3"):
+            fam.join_estimate(sigs[:2])
+        with pytest.raises(ValueError, match="cover positions"):
+            fam.join_estimate([sigs[0], sigs[0], sigs[2]])
+        other = MultiJoinFamily(16, 3, seed=6)
+        with pytest.raises(ValueError, match="different MultiJoinFamily"):
+            fam.join_estimate(other.signatures())
+
+    def test_disjoint_three_way_near_zero(self, rng):
+        rels = [
+            (rng.integers(0, 10, size=500) + 100 * i).astype(np.int64)
+            for i in range(3)
+        ]
+        fam = MultiJoinFamily(4096, 3, seed=7)
+        sigs = fam.signatures()
+        for sig, rel in zip(sigs, rels):
+            sig.update_from_stream(rel)
+        # Exact is 0; the estimate must sit within a few standard
+        # deviations, where Var <= prod_j SJ(R_j) / k (the m-way
+        # analogue of Lemma 4.4's bound).
+        from repro.core.frequency import self_join_size
+
+        sj_prod = 1.0
+        for rel in rels:
+            sj_prod *= self_join_size(rel)
+        std_bound = (sj_prod / 4096) ** 0.5
+        assert abs(fam.join_estimate(sigs)) < 4 * std_bound
+
+
+class TestUpdates:
+    def test_insert_delete_reverses(self):
+        fam = MultiJoinFamily(32, 3, seed=8)
+        sig = fam.signature(1)
+        sig.insert(4)
+        before = sig.counters.copy()
+        sig.insert(9)
+        sig.delete(9)
+        assert np.array_equal(sig.counters, before)
+
+    def test_delete_empty_raises(self):
+        sig = MultiJoinFamily(4, 2, seed=0).signature(0)
+        with pytest.raises(ValueError, match="empty"):
+            sig.delete(1)
+
+    def test_bulk_matches_incremental(self, rng):
+        fam = MultiJoinFamily(32, 3, seed=9)
+        values = rng.integers(0, 25, size=400).astype(np.int64)
+        bulk = fam.signature(1)
+        bulk.update_from_stream(values)
+        inc = fam.signature(1)
+        for v in values.tolist():
+            inc.insert(int(v))
+        assert np.array_equal(bulk.counters, inc.counters)

@@ -1,0 +1,131 @@
+"""Unit tests for the naive-sampling baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import self_join_size
+from repro.core.naivesampling import (
+    NaiveSamplingEstimator,
+    naive_sampling_estimate_offline,
+    scale_sample_self_join,
+)
+
+
+class TestScaling:
+    def test_all_distinct_sample_gives_n(self):
+        # SJ(S) = s (no duplicates) -> X = n exactly.
+        assert scale_sample_self_join(10, 10, 500) == pytest.approx(500.0)
+
+    def test_single_value_sample_gives_n_squared(self):
+        # SJ(S) = s^2 -> X = n + n(n-1) = n^2 exactly.
+        assert scale_sample_self_join(25, 5, 100) == pytest.approx(100.0**2)
+
+    def test_degenerate_sample_size_one(self):
+        assert scale_sample_self_join(1, 1, 77) == 77.0
+
+    def test_empty_stream(self):
+        assert scale_sample_self_join(0, 0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            scale_sample_self_join(1, -1, 10)
+        with pytest.raises(ValueError):
+            scale_sample_self_join(1, 1, -10)
+
+
+class TestStreamingEstimator:
+    def test_empty_estimate_zero(self):
+        assert NaiveSamplingEstimator(s=4, seed=0).estimate() == 0.0
+
+    def test_all_distinct_exact(self):
+        est = NaiveSamplingEstimator(s=50, seed=0)
+        est.update_from_stream(np.arange(1000))
+        assert est.estimate() == pytest.approx(1000.0)
+
+    def test_single_value_exact(self):
+        est = NaiveSamplingEstimator(s=20, seed=0)
+        est.update_from_stream(np.zeros(300, dtype=np.int64))
+        assert est.estimate() == pytest.approx(300.0**2)
+
+    def test_estimate_close_with_large_sample(self, small_stream):
+        exact = self_join_size(small_stream)
+        est = NaiveSamplingEstimator(s=1500, seed=1)
+        est.update_from_stream(small_stream)
+        assert est.estimate() == pytest.approx(exact, rel=0.3)
+
+    def test_sample_size_capped_at_n(self):
+        est = NaiveSamplingEstimator(s=100, seed=0)
+        est.update_from_stream(np.arange(10))
+        assert est.sample_size == 10
+        assert est.n == 10
+
+    def test_memory_words(self):
+        assert NaiveSamplingEstimator(s=64, seed=0).memory_words == 64
+
+    def test_delete_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            NaiveSamplingEstimator(s=4, seed=0).delete(1)
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(ValueError):
+            NaiveSamplingEstimator(s=0)
+
+    def test_unbiasedness_over_seeds(self):
+        stream = np.array([1] * 20 + list(range(10, 90)), dtype=np.int64)
+        exact = self_join_size(stream)
+        estimates = []
+        for seed in range(300):
+            est = NaiveSamplingEstimator(s=10, seed=seed)
+            est.update_from_stream(stream)
+            estimates.append(est.estimate())
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.2)
+
+
+class TestOfflineEstimator:
+    def test_all_distinct_exact(self):
+        assert naive_sampling_estimate_offline(np.arange(500), 32, rng=0) == pytest.approx(
+            500.0
+        )
+
+    def test_single_value_exact(self):
+        stream = np.full(200, 9, dtype=np.int64)
+        assert naive_sampling_estimate_offline(stream, 16, rng=0) == pytest.approx(
+            200.0**2
+        )
+
+    def test_empty_stream(self):
+        assert naive_sampling_estimate_offline(np.array([], dtype=np.int64), 4) == 0.0
+
+    def test_sample_larger_than_stream_is_exact(self, small_stream):
+        exact = self_join_size(small_stream)
+        est = naive_sampling_estimate_offline(small_stream, small_stream.size, rng=0)
+        assert est == pytest.approx(float(exact))
+
+    def test_close_to_exact_with_big_sample(self, uniform_stream):
+        exact = self_join_size(uniform_stream)
+        est = naive_sampling_estimate_offline(uniform_stream, 2000, rng=3)
+        assert est == pytest.approx(exact, rel=0.3)
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(ValueError):
+            naive_sampling_estimate_offline(np.arange(10), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            naive_sampling_estimate_offline(np.zeros((3, 3), dtype=np.int64), 2)
+
+    def test_lemma23_failure_mode(self):
+        # o(sqrt n) samples of the "n/2 pairs" relation usually see no
+        # duplicate, estimating ~n instead of 2n (Lemma 2.3).
+        from repro.data.adversarial import lemma23_pair
+
+        n = 10_000
+        _, r2 = lemma23_pair(n, rng=0)
+        s = 20  # << sqrt(10000) = 100
+        estimates = np.array(
+            [naive_sampling_estimate_offline(r2, s, rng=seed) for seed in range(50)]
+        )
+        # Most runs report close to n, a factor ~2 below SJ(R2) = 2n.
+        assert np.median(estimates) < 1.3 * n

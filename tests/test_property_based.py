@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on exact invariants.
+
+Statistical accuracy is asserted in seeded unit tests; here we check
+properties that must hold for *every* input: linearity, deletion
+reversal, canonical-sequence equivalence, data-structure invariants,
+serialisation round-trips, and estimator identities on degenerate
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import FrequencyVector, self_join_size
+from repro.core.naivesampling import naive_sampling_estimate_offline
+from repro.core.samplecount import (
+    SampleCountFastQuery,
+    SampleCountSketch,
+    sample_count_estimate_offline,
+)
+from repro.core.tugofwar import TugOfWarSketch
+from repro.streams.canonical import canonical_sequence
+from repro.streams.operations import Delete, Insert
+
+values_list = st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=120)
+nonempty_values = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=120
+)
+
+
+def ops_strategy():
+    """Valid insert/delete sequences over a small domain."""
+
+    @st.composite
+    def build(draw):
+        raw = draw(
+            st.lists(
+                st.tuples(st.booleans(), st.integers(min_value=0, max_value=10)),
+                max_size=150,
+            )
+        )
+        live: dict[int, int] = {}
+        ops = []
+        for is_delete, v in raw:
+            if is_delete and live.get(v, 0) > 0:
+                live[v] -= 1
+                ops.append(Delete(v))
+            else:
+                live[v] = live.get(v, 0) + 1
+                ops.append(Insert(v))
+        return ops
+
+    return build()
+
+
+class TestTugOfWarProperties:
+    @given(values=values_list, seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_equals_elementwise(self, values, seed):
+        a = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        a.update_from_stream(np.asarray(values, dtype=np.int64))
+        b = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        for v in values:
+            b.insert(v)
+        assert np.array_equal(a.counters, b.counters)
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_tracked_equals_canonical(self, ops, seed):
+        tracked = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        for op in ops:
+            if isinstance(op, Insert):
+                tracked.insert(op.value)
+            else:
+                tracked.delete(op.value)
+        canonical = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        for v in canonical_sequence(ops):
+            canonical.insert(v)
+        assert np.array_equal(tracked.counters, canonical.counters)
+
+    @given(values=values_list, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_nonnegative_and_n_correct(self, values, seed):
+        sk = TugOfWarSketch(s1=4, s2=3, seed=seed)
+        sk.update_from_stream(np.asarray(values, dtype=np.int64))
+        assert sk.estimate() >= 0.0
+        assert sk.n == len(values)
+
+    @given(values=nonempty_values, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_serialisation_roundtrip(self, values, seed):
+        sk = TugOfWarSketch(s1=4, s2=2, seed=seed)
+        sk.update_from_stream(np.asarray(values, dtype=np.int64))
+        clone = TugOfWarSketch.from_dict(sk.to_dict())
+        assert clone.estimate() == sk.estimate()
+
+    @given(
+        left=values_list,
+        right=values_list,
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, left, right, seed):
+        a = TugOfWarSketch(s1=4, s2=2, seed=seed)
+        a.update_from_stream(np.asarray(left, dtype=np.int64))
+        b = TugOfWarSketch(s1=4, s2=2, seed=seed)
+        b.update_from_stream(np.asarray(right, dtype=np.int64))
+        merged = a.merge(b)
+        full = TugOfWarSketch(s1=4, s2=2, seed=seed)
+        full.update_from_stream(np.asarray(left + right, dtype=np.int64))
+        assert np.array_equal(merged.counters, full.counters)
+
+    @given(values=nonempty_values, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_single_distinct_value_exact(self, values, seed):
+        # Streams with one distinct value are estimated exactly.
+        v = values[0]
+        sk = TugOfWarSketch(s1=4, s2=2, seed=seed)
+        for _ in values:
+            sk.insert(v)
+        assert sk.estimate() == pytest.approx(float(len(values) ** 2))
+
+
+class TestSampleCountProperties:
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_throughout(self, ops, seed):
+        sk = SampleCountSketch(s1=6, s2=2, seed=seed, initial_range=40)
+        fv = FrequencyVector()
+        for op in ops:
+            if isinstance(op, Insert):
+                sk.insert(op.value)
+                fv.insert(op.value)
+            else:
+                sk.delete(op.value)
+                fv.delete(op.value)
+        sk.check_invariants()
+        assert sk.n == fv.total
+        assert sk.estimate() >= 0.0 or fv.total == 0
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_query_matches_base(self, ops, seed):
+        base = SampleCountSketch(s1=6, s2=2, seed=seed, initial_range=40)
+        fast = SampleCountFastQuery(s1=6, s2=2, seed=seed, initial_range=40)
+        for op in ops:
+            if isinstance(op, Insert):
+                base.insert(op.value)
+                fast.insert(op.value)
+            else:
+                base.delete(op.value)
+                fast.delete(op.value)
+        fast.check_invariants()
+        assert fast.estimate() == pytest.approx(base.estimate())
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_values_live_in_multiset(self, ops, seed):
+        sk = SampleCountSketch(s1=6, s2=2, seed=seed, initial_range=40)
+        fv = FrequencyVector()
+        for op in ops:
+            if isinstance(op, Insert):
+                sk.insert(op.value)
+                fv.insert(op.value)
+            else:
+                sk.delete(op.value)
+                fv.delete(op.value)
+        for v in sk.sample_values():
+            assert fv.frequency(v) >= 1
+
+    @given(n=st.integers(1, 300), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_all_distinct_offline_exact(self, n, seed):
+        est = sample_count_estimate_offline(np.arange(n), 8, 2, rng=seed)
+        assert est == pytest.approx(float(n))
+
+    @given(values=nonempty_values, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_offline_estimate_in_valid_range(self, values, seed):
+        # X_i = n(2r-1) with 1 <= r <= max frequency, so the estimate
+        # lies within [n, n(2 f_max - 1)].
+        arr = np.asarray(values, dtype=np.int64)
+        n = arr.size
+        f_max = int(np.bincount(arr).max())
+        est = sample_count_estimate_offline(arr, 6, 2, rng=seed)
+        assert n <= est <= n * (2 * f_max - 1)
+
+
+class TestNaiveSamplingProperties:
+    @given(n=st.integers(1, 300), s=st.integers(2, 64), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_all_distinct_exact(self, n, s, seed):
+        est = naive_sampling_estimate_offline(np.arange(n), s, rng=seed)
+        assert est == pytest.approx(float(n))
+
+    @given(values=nonempty_values, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_full_sample_is_exact(self, values, seed):
+        arr = np.asarray(values, dtype=np.int64)
+        est = naive_sampling_estimate_offline(arr, arr.size, rng=seed)
+        assert est == pytest.approx(float(self_join_size(arr)))
+
+
+class TestFrequencyVectorProperties:
+    @given(values=values_list)
+    @settings(max_examples=60, deadline=None)
+    def test_stream_matches_incremental(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        bulk = FrequencyVector.from_stream(arr)
+        inc = FrequencyVector()
+        for v in values:
+            inc.insert(v)
+        assert bulk == inc
+        assert bulk.self_join_size() == self_join_size(arr)
+
+    @given(values=values_list)
+    @settings(max_examples=60, deadline=None)
+    def test_sj_bounds(self, values):
+        # n <= SJ <= n^2, with SJ = n iff all distinct.
+        arr = np.asarray(values, dtype=np.int64)
+        sj = self_join_size(arr)
+        n = arr.size
+        assert n <= sj <= n * n or n == 0
+        if n and np.unique(arr).size == n:
+            assert sj == n
+
+    @given(ops=ops_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_histogram_matches_tracked(self, ops):
+        fv = FrequencyVector()
+        for op in ops:
+            if isinstance(op, Insert):
+                fv.insert(op.value)
+            else:
+                fv.delete(op.value)
+        canon = FrequencyVector.from_stream(
+            np.asarray(canonical_sequence(ops), dtype=np.int64)
+        )
+        assert fv == canon

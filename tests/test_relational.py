@@ -1,0 +1,244 @@
+"""Unit tests for the relational layer: Relation, catalogs, optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational.catalog import SampleCatalog, SignatureCatalog
+from repro.relational.optimizer import JoinPlan, choose_join_order, plan_cost
+from repro.relational.relation import Relation
+
+
+class TestRelation:
+    def test_construction_from_values(self):
+        r = Relation("orders", [1, 1, 2])
+        assert r.size == 3
+        assert r.distinct == 2
+
+    def test_empty_relation(self):
+        r = Relation("empty")
+        assert r.size == 0
+        assert r.self_join_size() == 0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Relation("")
+
+    def test_insert_delete(self):
+        r = Relation("r")
+        r.insert(5)
+        r.insert(5)
+        r.delete(5)
+        assert r.size == 1
+
+    def test_self_join_size(self):
+        r = Relation("r", [1, 1, 1, 2])
+        assert r.self_join_size() == 10
+
+    def test_join_size(self):
+        a = Relation("a", [1, 1, 2])
+        b = Relation("b", [1, 2, 2])
+        assert a.join_size(b) == 2 + 2
+
+    def test_join_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Relation("a").join_size([1, 2])
+
+    def test_fact11_bound(self, rng):
+        a = Relation("a", rng.integers(0, 20, size=300))
+        b = Relation("b", rng.integers(0, 20, size=300))
+        assert a.join_size(b) <= a.join_size_bound(b)
+
+    def test_values_array_roundtrip(self):
+        r = Relation("r", [3, 1, 3])
+        assert r.values_array().tolist() == [1, 3, 3]
+
+    def test_len(self):
+        assert len(Relation("r", [1, 2])) == 2
+
+
+class TestSignatureCatalog:
+    @pytest.fixture
+    def catalog(self, rng):
+        cat = SignatureCatalog(k=512, seed=0)
+        self.streams = {
+            "A": rng.integers(0, 40, size=3000),
+            "B": rng.integers(0, 40, size=2500),
+            "C": rng.integers(100, 140, size=2000),  # disjoint from A/B
+        }
+        for name, vals in self.streams.items():
+            cat.register(name, vals)
+        return cat
+
+    def test_register_and_contains(self, catalog):
+        assert "A" in catalog and "Z" not in catalog
+        assert catalog.relations == ["A", "B", "C"]
+        assert len(catalog) == 3
+
+    def test_duplicate_register_raises(self, catalog):
+        with pytest.raises(KeyError, match="already"):
+            catalog.register("A")
+
+    def test_drop(self, catalog):
+        catalog.drop("C")
+        assert "C" not in catalog
+        with pytest.raises(KeyError):
+            catalog.drop("C")
+
+    def test_join_estimate_close(self, catalog):
+        from repro.core.frequency import join_size
+
+        exact = join_size(self.streams["A"], self.streams["B"])
+        assert catalog.join_estimate("A", "B") == pytest.approx(exact, rel=0.35)
+
+    def test_disjoint_join_near_zero(self, catalog):
+        from repro.core.frequency import join_size
+
+        exact = join_size(self.streams["A"], self.streams["C"])
+        assert exact == 0
+        est = catalog.join_estimate("A", "C")
+        # Error bound is sqrt(2 SJ_A SJ_C / k); the estimate must be small
+        # relative to the non-disjoint join sizes.
+        assert abs(est) < catalog.join_error_bound("A", "C") * 4
+
+    def test_self_join_estimate(self, catalog):
+        from repro.core.frequency import self_join_size
+
+        exact = self_join_size(self.streams["A"])
+        assert catalog.self_join_estimate("A") == pytest.approx(exact, rel=0.35)
+
+    def test_incremental_maintenance(self, catalog):
+        before = catalog.join_estimate("A", "B")
+        catalog.insert("A", 7)
+        catalog.delete("A", 7)
+        assert catalog.join_estimate("A", "B") == pytest.approx(before)
+
+    def test_memory_words(self, catalog):
+        assert catalog.memory_words == 512 * 3
+        assert catalog.k == 512
+
+    def test_unknown_relation_raises(self, catalog):
+        with pytest.raises(KeyError, match="not registered"):
+            catalog.join_estimate("A", "Z")
+
+
+class TestSampleCatalog:
+    def test_register_and_estimate(self, rng):
+        cat = SampleCatalog(p=0.5, seed=0)
+        a = rng.integers(0, 30, size=2000)
+        b = rng.integers(0, 30, size=2000)
+        cat.register("A", a)
+        cat.register("B", b)
+        from repro.core.frequency import join_size
+
+        exact = join_size(a, b)
+        assert cat.join_estimate("A", "B") == pytest.approx(exact, rel=0.4)
+
+    def test_p_one_exact(self, rng):
+        cat = SampleCatalog(p=1.0, seed=0)
+        a = rng.integers(0, 30, size=1000)
+        b = rng.integers(0, 30, size=1000)
+        cat.register("A", a)
+        cat.register("B", b)
+        from repro.core.frequency import join_size
+
+        assert cat.join_estimate("A", "B") == pytest.approx(float(join_size(a, b)))
+
+    def test_duplicate_register_raises(self):
+        cat = SampleCatalog(p=0.5, seed=0)
+        cat.register("A")
+        with pytest.raises(KeyError):
+            cat.register("A")
+
+    def test_insert_delete_and_drop(self):
+        cat = SampleCatalog(p=1.0, seed=0)
+        cat.register("A")
+        cat.insert("A", 1)
+        cat.delete("A", 1)
+        cat.drop("A")
+        assert "A" not in cat
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            SampleCatalog(p=0.0)
+
+    def test_memory_words_tracks_samples(self, rng):
+        cat = SampleCatalog(p=0.1, seed=1)
+        cat.register("A", rng.integers(0, 10, size=5000))
+        assert 300 <= cat.memory_words <= 750
+
+
+class _ExactOracle:
+    """join_estimate oracle backed by exact relation statistics."""
+
+    def __init__(self, relations: dict[str, Relation]):
+        self.relations = relations
+
+    def join_estimate(self, left: str, right: str) -> float:
+        return float(self.relations[left].join_size(self.relations[right]))
+
+
+class TestOptimizer:
+    @pytest.fixture
+    def relations(self, rng):
+        # C is selective against A (few shared values); B joins A heavily.
+        a = Relation("A", rng.integers(0, 20, size=1000))
+        b = Relation("B", rng.integers(0, 20, size=1000))
+        c = Relation("C", np.concatenate([rng.integers(0, 2, size=50), rng.integers(1000, 1100, size=950)]))
+        return {"A": a, "B": b, "C": c}
+
+    def test_plan_prefers_selective_pair(self, relations):
+        oracle = _ExactOracle(relations)
+        sizes = {k: r.size for k, r in relations.items()}
+        plan = choose_join_order(["A", "B", "C"], sizes, oracle)
+        assert isinstance(plan, JoinPlan)
+        # The cheapest first pair involves C (tiny join with A or B).
+        assert "C" in plan.order[:2]
+
+    def test_plan_cost_matches_choice(self, relations):
+        oracle = _ExactOracle(relations)
+        sizes = {k: r.size for k, r in relations.items()}
+        plan = choose_join_order(["A", "B", "C"], sizes, oracle)
+        recomputed = plan_cost(plan.order, sizes, oracle.join_estimate)
+        assert recomputed == pytest.approx(plan.estimated_cost)
+
+    def test_greedy_beats_or_ties_worst_order(self, relations):
+        oracle = _ExactOracle(relations)
+        sizes = {k: r.size for k, r in relations.items()}
+        plan = choose_join_order(["A", "B", "C"], sizes, oracle)
+        import itertools
+
+        costs = [
+            plan_cost(order, sizes, oracle.join_estimate)
+            for order in itertools.permutations(["A", "B", "C"])
+        ]
+        assert plan.estimated_cost <= max(costs)
+
+    def test_signature_catalog_picks_near_optimal_plan(self, relations):
+        # End-to-end: the estimated plan's *true* cost should be close
+        # to the exact-statistics plan's true cost.
+        oracle = _ExactOracle(relations)
+        sizes = {k: r.size for k, r in relations.items()}
+        cat = SignatureCatalog(k=1024, seed=5)
+        for name, rel in relations.items():
+            cat.register(name, rel.values_array())
+        est_plan = choose_join_order(["A", "B", "C"], sizes, cat)
+        exact_plan = choose_join_order(["A", "B", "C"], sizes, oracle)
+        true_cost_est = plan_cost(est_plan.order, sizes, oracle.join_estimate)
+        true_cost_exact = plan_cost(exact_plan.order, sizes, oracle.join_estimate)
+        assert true_cost_est <= 3.0 * max(true_cost_exact, 1.0)
+
+    def test_requires_two_relations(self, relations):
+        oracle = _ExactOracle(relations)
+        with pytest.raises(ValueError, match="two relations"):
+            choose_join_order(["A"], {"A": 10}, oracle)
+
+    def test_requires_sizes(self, relations):
+        oracle = _ExactOracle(relations)
+        with pytest.raises(KeyError, match="size"):
+            choose_join_order(["A", "B"], {"A": 10}, oracle)
+
+    def test_plan_cost_requires_two(self):
+        with pytest.raises(ValueError):
+            plan_cost(["A"], {"A": 1}, lambda a, b: 0.0)

@@ -1,0 +1,39 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            scale=0.03, max_log2_s=8, seed=0, datasets=["poisson", "path"]
+        )
+
+    def test_has_all_sections(self, report):
+        assert "## Table 1" in report
+        assert "## Figures 2–14" in report
+        assert "## Figure 15" in report
+        assert "## Section 4.4" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = [l for l in report.splitlines() if l.startswith("|")]
+        # Every table line has a consistent pipe structure.
+        assert lines
+        for line in lines:
+            assert line.count("|") >= 3
+
+    def test_requested_datasets_present(self, report):
+        assert "poisson" in report
+        assert "path" in report
+        assert "zipf1.0" not in report
+
+    def test_figure_numbers_mapped(self, report):
+        assert "Fig 8" in report and "Fig 14" in report
+
+    def test_scale_recorded(self, report):
+        assert "scale=0.03" in report

@@ -1,0 +1,158 @@
+"""Edge-case tests for the sample-count tracker's internal machinery.
+
+These exercise the corners of the Figure 1 data structures that the
+mainline tests don't reach deterministically: duplicate position
+selections (|P_m| > 1), warm-up boundaries, re-sampling of the same
+value, eviction cascades, and the skip-law scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.samplecount import SampleCountSketch, _default_initial_range
+
+
+class TestInitialRange:
+    def test_default_formula(self):
+        # s * ceil(log2 s) with a floor of s for tiny s.
+        assert _default_initial_range(1) == 1
+        assert _default_initial_range(2) == 2
+        assert _default_initial_range(8) == 24
+        assert _default_initial_range(100) == 700
+
+    def test_initial_range_one_samples_first_insert(self):
+        # Every slot selects position 1: all enter at the first insert.
+        sk = SampleCountSketch(s1=8, s2=2, seed=0, initial_range=1)
+        sk.insert(42)
+        assert sk.sample_size == 16
+        assert set(sk.sample_values()) == {42}
+        sk.check_invariants()
+
+    def test_duplicate_positions_share_entry_snapshot(self):
+        # With initial_range=1, all 16 slots enter at insert #1 and get
+        # the same EntryN_v; one delete of that insert evicts them all.
+        sk = SampleCountSketch(s1=8, s2=2, seed=1, initial_range=1)
+        sk.insert(7)
+        sk.insert(7)
+        assert sk.sample_size == 16
+        sk.delete(7)  # reverses insert #2 (not sampled by the initial slots)
+        # Slots sampled insert #1, which is still live.
+        sk.check_invariants()
+        sk.delete(7)  # reverses insert #1 -> evicts every slot that sampled it
+        assert sk.n == 0
+        assert sk.sample_size == 0
+
+    def test_estimate_with_single_slot(self):
+        sk = SampleCountSketch(s1=1, s2=1, seed=3, initial_range=1)
+        for _ in range(10):
+            sk.insert(5)
+        # The slot sampled *some* occurrence (possibly re-sampled by the
+        # reservoir); the estimate must be n(2r-1) for an integer
+        # r in 1..10.
+        est = sk.estimate()
+        valid = {10.0 * (2 * r - 1) for r in range(1, 11)}
+        assert est in valid
+
+
+class TestResampling:
+    def test_resample_same_value_resets_entry(self):
+        # A slot discarded and re-entered on the same value must count
+        # from its new position, not its old one.
+        sk = SampleCountSketch(s1=4, s2=1, seed=5, initial_range=1)
+        sk.insert(9)  # all slots sample insert #1
+        first_entries = sk._entry.copy()
+        # Push many more 9s; reservoir replacement will re-sample some
+        # slots at later positions, giving them larger entry snapshots.
+        for _ in range(5000):
+            sk.insert(9)
+        sk.check_invariants()
+        assert (sk._entry > first_entries).any()
+
+    def test_values_zero_and_negative_domain(self):
+        # Value 0 must be handled like any other (dict keys, not truthiness).
+        sk = SampleCountSketch(s1=8, s2=1, seed=0, initial_range=4)
+        for v in [0, 0, 0, 0]:
+            sk.insert(v)
+        sk.check_invariants()
+        assert set(sk.sample_values()) <= {0}
+        sk.delete(0)
+        sk.check_invariants()
+
+    def test_large_values(self):
+        sk = SampleCountSketch(s1=4, s2=1, seed=0, initial_range=2)
+        big = 2**40
+        sk.insert(big)
+        sk.insert(big + 1)
+        sk.check_invariants()
+        assert set(sk.sample_values()) <= {big, big + 1}
+
+
+class TestEvictionCascade:
+    def test_interleaved_same_value_deletes(self):
+        # Build N_v history: slots entering at different occurrences of
+        # the same value; deletes must evict in LIFO order of entry.
+        sk = SampleCountSketch(s1=2, s2=1, seed=7, initial_range=6)
+        # positions drawn from {1..6}; insert value 3 six times.
+        for _ in range(6):
+            sk.insert(3)
+        entries_before = sorted(
+            int(sk._entry[i]) for i in range(2) if sk._in_sample[i]
+        )
+        # Delete down to empty; sample must drain without underflow.
+        for expected_n in range(5, -1, -1):
+            sk.delete(3)
+            assert sk.n == expected_n
+            sk.check_invariants()
+        assert sk.sample_size == 0
+        assert entries_before == sorted(entries_before)
+
+    def test_delete_nonhead_insert_keeps_sample(self):
+        # Deleting reverses the most recent insert; a slot that sampled
+        # an *earlier* insert must survive.
+        sk = SampleCountSketch(s1=1, s2=1, seed=0, initial_range=1)
+        sk.insert(4)  # sampled (position 1)
+        sk.insert(4)  # not sampled
+        sk.delete(4)  # reverses insert #2
+        assert sk.sample_size == 1
+        assert sk.n == 1
+        # r = N_v - entry = 1 - 0 = 1 -> X = n(2r-1) = 1.
+        assert sk.estimate() == pytest.approx(1.0)
+
+
+class TestSchedulingLaw:
+    def test_pending_positions_beyond_warmup(self):
+        # After a slot fires, its next position must exceed the warm-up
+        # window (the paper's "considers only positions greater than
+        # s log s").
+        sk = SampleCountSketch(s1=4, s2=1, seed=11, initial_range=10)
+        for v in range(10):
+            sk.insert(v)
+        # All initial positions have fired; every pending position is
+        # strictly beyond the warm-up window.
+        assert sk._pending
+        assert all(m > 10 for m in sk._pending)
+
+    def test_pending_gap_distribution(self):
+        # The replacement gap from base m has P(next > x) = m/x; with
+        # m = initial_range = 1000, the median next position is ~2000.
+        nexts = []
+        for seed in range(500):
+            sk = SampleCountSketch(s1=1, s2=1, seed=seed, initial_range=1000)
+            pos0 = next(iter(sk._pending))
+            for v in range(pos0):
+                sk.insert(v)
+            nexts.append(next(iter(sk._pending)))
+        med = np.median(nexts)
+        assert 1_500 < med < 2_700  # theoretical median 2000
+
+    def test_long_run_amortised_updates(self):
+        # Smoke-check the O(1) amortised claim: 50k inserts with s=512
+        # touch far fewer than one reservoir replacement per insert.
+        sk = SampleCountSketch(s1=256, s2=2, seed=13, initial_range=512 * 9)
+        gen = np.random.default_rng(0)
+        for v in gen.integers(0, 100, size=50_000).tolist():
+            sk.insert(int(v))
+        sk.check_invariants()
+        assert sk.sample_size == 512

@@ -1,0 +1,102 @@
+"""Tests for the fast-query sample-count variant.
+
+The key property: with the same seed, the fast-query variant makes the
+same random choices as the base tracker, so the two must produce
+*identical* estimates after any operation sequence — the maintained
+Ysum/Num/k state is just a different representation of the same sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.samplecount import SampleCountFastQuery, SampleCountSketch
+
+
+def pair(s1=32, s2=3, seed=5, initial_range=1000):
+    base = SampleCountSketch(s1=s1, s2=s2, seed=seed, initial_range=initial_range)
+    fast = SampleCountFastQuery(s1=s1, s2=s2, seed=seed, initial_range=initial_range)
+    return base, fast
+
+
+class TestEquivalenceWithBase:
+    def test_identical_after_inserts(self, small_stream):
+        base, fast = pair(initial_range=small_stream.size)
+        for v in small_stream.tolist():
+            base.insert(int(v))
+            fast.insert(int(v))
+        assert fast.estimate() == pytest.approx(base.estimate())
+        fast.check_invariants()
+
+    def test_identical_after_mixed_workload(self, rng):
+        base, fast = pair(seed=9, initial_range=200)
+        live: list[int] = []
+        for step in range(4000):
+            if live and rng.random() < 0.2:
+                idx = int(rng.integers(0, len(live)))
+                v = live.pop(idx)
+                base.delete(v)
+                fast.delete(v)
+            else:
+                v = int(rng.integers(0, 25))
+                live.append(v)
+                base.insert(v)
+                fast.insert(v)
+            if step % 1000 == 0:
+                assert fast.estimate() == pytest.approx(base.estimate())
+                fast.check_invariants()
+        assert fast.estimate() == pytest.approx(base.estimate())
+
+    def test_identical_sample_contents(self, small_stream):
+        base, fast = pair(seed=2, initial_range=small_stream.size)
+        for v in small_stream.tolist():
+            base.insert(int(v))
+            fast.insert(int(v))
+        assert sorted(base.sample_values()) == sorted(fast.sample_values())
+
+
+class TestFastQueryState:
+    def test_empty_estimate_zero(self):
+        assert SampleCountFastQuery(s1=4, seed=0).estimate() == 0.0
+
+    def test_estimate_before_sample_is_n(self):
+        sk = SampleCountFastQuery(s1=4, s2=1, seed=0, initial_range=10_000)
+        sk.insert(1)
+        if sk.sample_size == 0:
+            assert sk.estimate() == 1.0
+
+    def test_all_distinct_exact(self):
+        sk = SampleCountFastQuery(s1=16, s2=2, seed=1, initial_range=300)
+        for v in range(300):
+            sk.insert(v)
+        assert sk.estimate() == pytest.approx(300.0)
+        sk.check_invariants()
+
+    def test_insert_delete_roundtrip_clears_state(self):
+        sk = SampleCountFastQuery(s1=8, s2=2, seed=0, initial_range=6)
+        values = [1, 2, 2, 3, 3, 3]
+        for v in values:
+            sk.insert(v)
+        for v in reversed(values):
+            sk.delete(v)
+        assert sk.n == 0
+        assert sk.sample_size == 0
+        assert np.all(sk._ysum == 0)
+        assert np.all(sk._num == 0)
+        assert sk._k == {}
+
+    def test_invariant_checker_catches_corruption(self, small_stream):
+        sk = SampleCountFastQuery(s1=16, s2=2, seed=3, initial_range=small_stream.size)
+        sk.update_from_stream(small_stream)
+        sk._ysum[0] += 1  # corrupt
+        with pytest.raises(AssertionError, match="Ysum"):
+            sk.check_invariants()
+
+    def test_long_reservoir_run_consistent(self):
+        sk = SampleCountFastQuery(s1=8, s2=2, seed=4, initial_range=16)
+        gen = np.random.default_rng(1)
+        for v in gen.integers(0, 12, size=6000).tolist():
+            sk.insert(int(v))
+        sk.check_invariants()
+        assert sk.sample_size == 16

@@ -1,0 +1,186 @@
+"""Unit tests for operations, sequences, replay, and canonicalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.streams.canonical import canonical_sequence, remaining_multiset
+from repro.streams.operations import (
+    Delete,
+    Insert,
+    OperationSequence,
+    Query,
+    insertions_only,
+    mixed_workload,
+    replay,
+)
+
+
+class TestOperationSequence:
+    def test_counts(self):
+        seq = OperationSequence([Insert(1), Insert(2), Delete(1), Query()])
+        assert seq.insert_count == 2
+        assert seq.delete_count == 1
+        assert len(seq) == 4
+
+    def test_validates_deletes(self):
+        with pytest.raises(ValueError, match="no remaining occurrence"):
+            OperationSequence([Insert(1), Delete(2)])
+
+    def test_validates_over_deletion(self):
+        with pytest.raises(ValueError):
+            OperationSequence([Insert(1), Delete(1), Delete(1)])
+
+    def test_rejects_non_operations(self):
+        seq = OperationSequence()
+        with pytest.raises(TypeError):
+            seq.append("insert(1)")
+
+    def test_remaining_multiset(self):
+        seq = OperationSequence([Insert(1), Insert(1), Insert(2), Delete(1)])
+        assert seq.remaining_multiset() == {1: 1, 2: 1}
+
+    def test_max_delete_fraction(self):
+        seq = OperationSequence([Insert(1), Delete(1), Insert(2), Insert(3)])
+        # After op 2: 1 delete / 2 updates = 0.5 is the max prefix.
+        assert seq.max_delete_fraction == pytest.approx(0.5)
+
+    def test_theorem_ratio(self):
+        ok = OperationSequence([Insert(1)] * 8 + [Delete(1)] * 2)
+        assert ok.satisfies_theorem_2_1_ratio()
+        bad = OperationSequence([Insert(1)] * 3 + [Delete(1)] * 1)
+        assert not bad.satisfies_theorem_2_1_ratio()
+
+    def test_indexing_and_iteration(self):
+        ops = [Insert(1), Query()]
+        seq = OperationSequence(ops)
+        assert seq[0] == Insert(1)
+        assert list(seq) == ops
+
+
+class TestReplay:
+    def test_replay_against_frequency_vector(self):
+        seq = OperationSequence(
+            [Insert(1), Insert(1), Query(), Delete(1), Query()]
+        )
+        results = replay(seq, FrequencyVector())
+        assert results == [4.0, 1.0]
+
+    def test_replay_against_sketch(self, small_stream):
+        from repro.core.tugofwar import TugOfWarSketch
+
+        seq = insertions_only(small_stream)
+        seq.append(Query())
+        exact = FrequencyVector.from_stream(small_stream).self_join_size()
+        results = replay(seq, TugOfWarSketch(s1=400, s2=5, seed=0))
+        assert len(results) == 1
+        assert results[0] == pytest.approx(exact, rel=0.3)
+
+    def test_replay_requires_estimator(self):
+        with pytest.raises(TypeError, match="estimate"):
+            replay([Query()], object())
+
+
+class TestGenerators:
+    def test_insertions_only(self):
+        seq = insertions_only([5, 6, 5])
+        assert seq.insert_count == 3
+        assert seq.delete_count == 0
+
+    def test_mixed_workload_valid(self, rng):
+        values = rng.integers(0, 20, size=500)
+        seq = mixed_workload(values, delete_fraction=0.2, rng=1)
+        # Construction above validates every delete; ending Query present.
+        assert isinstance(seq[-1], Query)
+        assert seq.insert_count == 500
+
+    def test_mixed_workload_fraction_respected(self, rng):
+        values = rng.integers(0, 20, size=2000)
+        seq = mixed_workload(values, delete_fraction=0.2, rng=2)
+        frac = seq.delete_count / (seq.insert_count + seq.delete_count)
+        assert 0.1 < frac < 0.3
+
+    def test_mixed_workload_zero_fraction(self, rng):
+        values = rng.integers(0, 5, size=50)
+        seq = mixed_workload(values, delete_fraction=0.0, rng=0)
+        assert seq.delete_count == 0
+
+    def test_mixed_workload_queries(self, rng):
+        values = rng.integers(0, 5, size=100)
+        seq = mixed_workload(values, delete_fraction=0.1, rng=0, query_every=25)
+        queries = sum(1 for op in seq if isinstance(op, Query))
+        assert queries >= 4
+
+    def test_mixed_workload_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            mixed_workload([1, 2], delete_fraction=0.7)
+
+    def test_remaining_matches_canonical(self, rng):
+        values = rng.integers(0, 15, size=800)
+        seq = mixed_workload(values, delete_fraction=0.25, rng=3)
+        from collections import Counter
+
+        canon = Counter(canonical_sequence(seq))
+        assert canon == seq.remaining_multiset()
+
+
+class TestCanonicalSequence:
+    def test_no_deletes_is_identity(self):
+        ops = [Insert(3), Insert(1), Insert(3)]
+        assert canonical_sequence(ops) == [3, 1, 3]
+
+    def test_delete_removes_most_recent(self):
+        ops = [Insert(1), Insert(2), Insert(1), Delete(1)]
+        # The *second* insert(1) is nil-ed, not the first.
+        assert canonical_sequence(ops) == [1, 2]
+
+    def test_interleaved(self):
+        ops = [
+            Insert(1),
+            Insert(1),
+            Delete(1),
+            Insert(2),
+            Delete(1),
+            Insert(1),
+        ]
+        assert canonical_sequence(ops) == [2, 1]
+
+    def test_queries_ignored(self):
+        ops = [Insert(1), Query(), Delete(1), Query()]
+        assert canonical_sequence(ops) == []
+
+    def test_unmatched_delete_raises(self):
+        with pytest.raises(ValueError, match="no matching insert"):
+            canonical_sequence([Delete(1)])
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(TypeError):
+            canonical_sequence([Insert(1), "delete"])
+
+    def test_remaining_multiset_helper(self):
+        ops = [Insert(1), Insert(1), Delete(1)]
+        assert remaining_multiset(ops) == {1: 1}
+
+    def test_remaining_multiset_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            remaining_multiset([Insert(1), Delete(1), Delete(1)])
+
+    def test_tugofwar_matches_canonical_run_exactly(self, rng):
+        """Linearity: a TW sketch fed Â equals one fed the canonical A."""
+        from repro.core.tugofwar import TugOfWarSketch
+
+        values = rng.integers(0, 12, size=400)
+        seq = mixed_workload(values, delete_fraction=0.25, rng=4)
+        tracked = TugOfWarSketch(s1=32, s2=2, seed=6)
+        for op in seq:
+            if isinstance(op, Insert):
+                tracked.insert(op.value)
+            elif isinstance(op, Delete):
+                tracked.delete(op.value)
+        canonical = TugOfWarSketch(s1=32, s2=2, seed=6)
+        for v in canonical_sequence(seq):
+            canonical.insert(v)
+        assert np.array_equal(tracked.counters, canonical.counters)
+        assert tracked.estimate() == canonical.estimate()

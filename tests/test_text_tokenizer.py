@@ -1,0 +1,67 @@
+"""Tests for the real-text tokenizer (data.text.tokenize_text)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.frequency import self_join_size
+from repro.data.text import tokenize_text
+
+SAMPLE = (
+    "the cat sat on the mat. The dog sat on the log. "
+    "the cat and the dog sat."
+)
+
+
+class TestTokenizeText:
+    def test_stream_length_is_word_count(self):
+        out = tokenize_text(SAMPLE)
+        assert out.size == 18
+
+    def test_rank_one_is_most_frequent(self):
+        out = tokenize_text(SAMPLE)
+        # 'the' occurs 6 times (case-folded) and must map to rank 1.
+        values, counts = np.unique(out, return_counts=True)
+        assert values[np.argmax(counts)] == 1
+        assert counts.max() == 6
+
+    def test_frequency_profile_preserved(self):
+        # SJ is invariant under the rank relabelling: compare against a
+        # hand-computed histogram. the=6, sat=3, cat/dog/on=2, rest 1.
+        out = tokenize_text(SAMPLE)
+        expected = 6**2 + 3**2 + 3 * 2**2 + 3 * 1**2
+        assert self_join_size(out) == expected
+
+    def test_ranks_dense(self):
+        out = tokenize_text(SAMPLE)
+        distinct = np.unique(out)
+        assert distinct.tolist() == list(range(1, distinct.size + 1))
+
+    def test_case_sensitivity_flag(self):
+        folded = tokenize_text("The the THE")
+        assert np.unique(folded).size == 1
+        kept = tokenize_text("The the THE", lowercase=False)
+        assert np.unique(kept).size == 3
+
+    def test_empty_text(self):
+        assert tokenize_text("").size == 0
+        assert tokenize_text("!!! ...").size == 0
+
+    def test_deterministic_tie_breaking(self):
+        a = tokenize_text("alpha beta alpha beta gamma")
+        b = tokenize_text("alpha beta alpha beta gamma")
+        assert np.array_equal(a, b)
+
+    def test_apostrophes_kept_in_words(self):
+        out = tokenize_text("don't don't do")
+        values, counts = np.unique(out, return_counts=True)
+        assert counts.max() == 2  # "don't" twice
+
+    def test_usable_in_sweep(self):
+        # A real-text stream drops straight into the harness.
+        from repro.experiments.harness import accuracy_sweep
+
+        stream = tokenize_text(SAMPLE * 50)
+        sweep = accuracy_sweep(stream, dataset="real-text", sample_sizes=[256], rng=0)
+        point = sweep.points[0]
+        assert 0.5 <= point.normalized <= 1.5
