@@ -1,0 +1,24 @@
+# Convenience targets; `make test` is the tier-1 verification command.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-engine install dev-install clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_engine.py --quick
+
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py
+
+install:
+	pip install .
+
+dev-install:
+	pip install -e ".[test]"
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache build dist *.egg-info src/*.egg-info

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Engine throughput benchmark: batched and sharded vs per-element.
+
+Measures, on one synthetic Zipf stream:
+
+1. **tug-of-war** — per-element ``insert`` loop vs the engine's
+   vectorised ``update_from_stream`` bulk load, plus a 4-way sharded
+   build (serial and threaded) that must merge to a **bit-identical**
+   sketch;
+2. **sample-count** — per-element loop vs the vectorised segment
+   walker (states must match bit for bit);
+3. **naive-sampling** — per-element reservoir offers vs skip-jump
+   bulk offers (reservoirs must match bit for bit).
+
+The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
+than the per-element loop on a million-element stream, and the sharded
+build bit-identical to the single-shot build.  The script exits
+non-zero if either fails.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.naivesampling import NaiveSamplingEstimator
+from repro.core.samplecount import SampleCountSketch
+from repro.core.tugofwar import TugOfWarSketch
+from repro.engine import sharded_build
+
+
+def timed(fn) -> tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def throughput(n: int, seconds: float) -> str:
+    """Human-readable elements/second."""
+    if seconds <= 0:
+        return "inf"
+    return f"{n / seconds / 1e6:8.2f} M elem/s"
+
+
+def main(argv=None) -> int:
+    """Run the benchmark; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="100k-element stream for CI smoke runs (default: 1M)",
+    )
+    parser.add_argument("--s1", type=int, default=256)
+    parser.add_argument("--s2", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    n = 100_000 if args.quick else 1_000_000
+    rng = np.random.default_rng(args.seed)
+    # Domain scales with n (as in the paper's data sets) so quick and
+    # full runs have comparable distinct/length ratios.
+    stream = (rng.zipf(1.2, size=n) % (n // 10)).astype(np.int64)
+    print(f"stream: n={n:,} (zipf), sketch s1={args.s1} s2={args.s2}\n")
+    failures = []
+
+    # ------------------------------------------------------------------
+    # 1. tug-of-war: per-element vs batched vs sharded
+    # ------------------------------------------------------------------
+    def tw() -> TugOfWarSketch:
+        return TugOfWarSketch(s1=args.s1, s2=args.s2, seed=args.seed)
+
+    loop_sketch = tw()
+
+    def tw_loop():
+        for v in stream.tolist():
+            loop_sketch.insert(v)
+
+    t_loop, _ = timed(tw_loop)
+
+    batch_sketch = tw()
+    t_batch, _ = timed(lambda: batch_sketch.update_from_stream(stream))
+
+    t_shard, sharded = timed(
+        lambda: sharded_build(tw, stream, num_shards=args.shards)
+    )
+    t_shard_mt, sharded_mt = timed(
+        lambda: sharded_build(
+            tw, stream, num_shards=args.shards, max_workers=args.shards
+        )
+    )
+
+    speedup = t_loop / t_batch if t_batch else float("inf")
+    print("tug-of-war")
+    print(f"  per-element loop   {t_loop:8.3f} s  {throughput(n, t_loop)}")
+    print(f"  batched ingest     {t_batch:8.3f} s  {throughput(n, t_batch)}"
+          f"   ({speedup:.1f}x)")
+    print(f"  sharded x{args.shards} serial  {t_shard:8.3f} s  "
+          f"{throughput(n, t_shard)}")
+    print(f"  sharded x{args.shards} thread  {t_shard_mt:8.3f} s  "
+          f"{throughput(n, t_shard_mt)}")
+
+    if not np.array_equal(loop_sketch.counters, batch_sketch.counters):
+        failures.append("tug-of-war: batched state != per-element state")
+    for label, built in (("serial", sharded), ("threaded", sharded_mt)):
+        if np.array_equal(built.counters, batch_sketch.counters):
+            print(f"  sharded {label} merge bit-identical to single-shot: True")
+        else:
+            failures.append(f"tug-of-war: {label} sharded merge not bit-identical")
+    if speedup < 10.0:
+        failures.append(
+            f"tug-of-war: batched speedup {speedup:.1f}x below the 10x bar"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. sample-count: per-element vs vectorised segment walker
+    # ------------------------------------------------------------------
+    sc_loop = SampleCountSketch(args.s1, args.s2, seed=args.seed, initial_range=n)
+
+    def sc_loop_run():
+        for v in stream.tolist():
+            sc_loop.insert(v)
+
+    t_sc_loop, _ = timed(sc_loop_run)
+    sc_batch = SampleCountSketch(args.s1, args.s2, seed=args.seed, initial_range=n)
+    t_sc_batch, _ = timed(lambda: sc_batch.update_from_stream(stream))
+    sc_speedup = t_sc_loop / t_sc_batch if t_sc_batch else float("inf")
+    print("\nsample-count")
+    print(f"  per-element loop   {t_sc_loop:8.3f} s  {throughput(n, t_sc_loop)}")
+    print(f"  batched ingest     {t_sc_batch:8.3f} s  {throughput(n, t_sc_batch)}"
+          f"   ({sc_speedup:.1f}x)")
+    if sc_loop.estimate() != sc_batch.estimate():
+        failures.append("sample-count: batched estimate != per-element estimate")
+
+    # ------------------------------------------------------------------
+    # 3. naive-sampling: per-element offers vs skip-jump bulk offers
+    # ------------------------------------------------------------------
+    ns_loop = NaiveSamplingEstimator(s=args.s1 * args.s2, seed=args.seed)
+
+    def ns_loop_run():
+        for v in stream.tolist():
+            ns_loop.insert(v)
+
+    t_ns_loop, _ = timed(ns_loop_run)
+    ns_batch = NaiveSamplingEstimator(s=args.s1 * args.s2, seed=args.seed)
+    t_ns_batch, _ = timed(lambda: ns_batch.update_from_stream(stream))
+    ns_speedup = t_ns_loop / t_ns_batch if t_ns_batch else float("inf")
+    print("\nnaive-sampling")
+    print(f"  per-element loop   {t_ns_loop:8.3f} s  {throughput(n, t_ns_loop)}")
+    print(f"  batched ingest     {t_ns_batch:8.3f} s  {throughput(n, t_ns_batch)}"
+          f"   ({ns_speedup:.1f}x)")
+    if ns_loop.estimate() != ns_batch.estimate():
+        failures.append("naive-sampling: batched estimate != per-element estimate")
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all engine benchmark checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 
 Builds a skewed stream, tracks its self-join size (second frequency
 moment) with all three Section 2 algorithms, updates through deletions,
-and compares against the exact answer — the 60-second tour of the
-library's public API.
+compares against the exact answer, and finishes with the engine layer:
+sharded parallel builds and sketch serialization — the 60-second tour
+of the library's public API.
 
 Run:  python examples/quickstart.py
 """
@@ -18,7 +19,10 @@ from repro import (
     NaiveSamplingEstimator,
     SampleCountSketch,
     TugOfWarSketch,
+    dumps_sketch,
+    loads_sketch,
     self_join_size,
+    sharded_build,
 )
 
 
@@ -68,6 +72,28 @@ def main() -> None:
     right.update_from_stream(stream[stream.size // 2 :])
     merged = left.merge(right)
     print(f"\nmerged halves estimate:   {merged.estimate():>14,.0f} (exact {exact:,})")
+
+    # --- engine: sharded build (partition -> build per shard -> merge)
+    # is bit-identical to the single-shot build, and parallelisable.
+    sharded = sharded_build(
+        lambda: TugOfWarSketch(s1=256, s2=5, seed=99),
+        stream,
+        num_shards=4,
+        max_workers=2,
+    )
+    single = TugOfWarSketch(s1=256, s2=5, seed=99)
+    single.update_from_stream(stream)
+    identical = bool(np.array_equal(sharded.counters, single.counters))
+    print(f"4-way sharded build bit-identical to single-shot: {identical}")
+
+    # --- engine: any sketch round-trips through the serialization
+    # registry (JSON in, the right class back out).
+    payload = dumps_sketch(sharded)
+    restored = loads_sketch(payload)
+    print(
+        f"serialised {len(payload):,} bytes -> {type(restored).__name__}, "
+        f"estimate {restored.estimate():>14,.0f}"
+    )
 
 
 if __name__ == "__main__":

@@ -7,6 +7,12 @@ naive-sampling baseline, k-TW and sampling join signatures, the
 analytic bounds, the 13 Table 1 data-set generators, and an experiment
 harness regenerating every figure and table of the paper's evaluation.
 
+On top of the algorithms sits the **engine** (:mod:`repro.engine`): a
+common :class:`Sketch` protocol, a kind-keyed serialization registry
+(:func:`dump_sketch` / :func:`load_sketch`), vectorised bulk ingestion
+(:func:`ingest_stream`, batched ``replay``), and a sharded
+build-and-merge path (:func:`sharded_build`) for parallel loading.
+
 Quick start::
 
     import numpy as np
@@ -48,6 +54,23 @@ from .core import (
     sample_join_estimate,
     self_join_size,
     split_parameters,
+)
+from .engine import (
+    MergeUnsupportedError,
+    Sketch,
+    SketchPayloadError,
+    UnknownSketchKindError,
+    coalesce_operations,
+    dump_sketch,
+    dumps_sketch,
+    ingest_operations,
+    ingest_stream,
+    load_sketch,
+    loads_sketch,
+    merge_sketches,
+    shard_stream,
+    sharded_build,
+    sketch_kinds,
 )
 from .relational import Relation, SampleCatalog, SignatureCatalog, choose_join_order
 from .streams import (
@@ -97,6 +120,22 @@ __all__ = [
     "split_parameters",
     # analytic bounds
     "bounds",
+    # engine: protocol, serialization registry, ingestion, sharding
+    "Sketch",
+    "MergeUnsupportedError",
+    "sketch_kinds",
+    "dump_sketch",
+    "load_sketch",
+    "dumps_sketch",
+    "loads_sketch",
+    "UnknownSketchKindError",
+    "SketchPayloadError",
+    "coalesce_operations",
+    "ingest_stream",
+    "ingest_operations",
+    "shard_stream",
+    "merge_sketches",
+    "sharded_build",
     # relational layer
     "Relation",
     "SignatureCatalog",

@@ -9,9 +9,18 @@ Usage (also via ``python -m repro``):
     python -m repro section44 [--paper-values]
     python -m repro sweep --dataset zipf1.0 [--scale 0.05]
 
-Every subcommand prints the same rows/series the corresponding paper
-artifact reports.  Heavy runs scale down with ``--scale`` (fraction of
-the paper's stream lengths).
+Sketch persistence and distributed builds (the engine layer)::
+
+    python -m repro sketch build --kind tugofwar --dataset zipf1.0 \
+        --shards 4 --out sk.json
+    python -m repro sketch info sk.json
+    python -m repro sketch merge left.json right.json --out union.json
+    python -m repro sketch estimate union.json
+    python -m repro sketch kinds
+
+Every reproduction subcommand prints the same rows/series the
+corresponding paper artifact reports.  Heavy runs scale down with
+``--scale`` (fraction of the paper's stream lengths).
 """
 
 from __future__ import annotations
@@ -66,12 +75,158 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-log2-s", type=int, default=12)
     p_sweep.add_argument("--repeats", type=int, default=1)
 
+    p_sketch = sub.add_parser(
+        "sketch", help="build, save, load, and merge sketches (engine layer)"
+    )
+    sketch_sub = p_sketch.add_subparsers(dest="sketch_command", required=True)
+
+    p_build = sketch_sub.add_parser(
+        "build", help="bulk-load a sketch from a stream and save it as JSON"
+    )
+    p_build.add_argument("--kind", default="tugofwar",
+                         help="registered sketch kind (see `sketch kinds`)")
+    source = p_build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="Table 1 data-set name")
+    source.add_argument("--values-file",
+                        help="text file of whitespace-separated integer values")
+    p_build.add_argument("--scale", type=float, default=0.1,
+                         help="fraction of the paper stream length (with --dataset)")
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--s1", type=int, default=256,
+                         help="accuracy parameter (ignored by frequency)")
+    p_build.add_argument("--s2", type=int, default=5,
+                         help="confidence parameter (ignored by frequency)")
+    p_build.add_argument("--shards", type=int, default=1,
+                         help="sharded build: partition, build per shard, merge "
+                         "(mergeable kinds only)")
+    p_build.add_argument("--workers", type=int, default=None,
+                         help="thread count for the sharded build (default serial)")
+    p_build.add_argument("--out", required=True, help="output JSON path")
+
+    p_info = sketch_sub.add_parser("info", help="inspect a saved sketch")
+    p_info.add_argument("path")
+
+    p_estimate = sketch_sub.add_parser(
+        "estimate", help="print a saved sketch's estimate"
+    )
+    p_estimate.add_argument("path")
+
+    p_merge = sketch_sub.add_parser(
+        "merge", help="merge two or more same-seed saved sketches"
+    )
+    p_merge.add_argument("paths", nargs="+", help="input sketch JSON files")
+    p_merge.add_argument("--out", required=True, help="output JSON path")
+
+    sketch_sub.add_parser("kinds", help="list registered sketch kinds")
+
     return parser
+
+
+def _describe_sketch(sketch, path: str) -> str:
+    """One-line human summary of a loaded sketch."""
+    n = getattr(sketch, "n", None)
+    size = "" if n is None else f", n={n:,}"
+    return (
+        f"{path}: kind={sketch.kind}, words={sketch.memory_words:,}{size}, "
+        f"estimate={sketch.estimate():,.1f}"
+    )
+
+
+def _sketch_main(args) -> int:
+    """The `sketch` subcommand group: build / info / estimate / merge."""
+    import json
+    from pathlib import Path
+
+    from .engine import dump_sketch, loads_sketch, sharded_build, sketch_kinds
+
+    def load_file(path: str):
+        return loads_sketch(Path(path).read_text())
+
+    def save_file(sketch, path: str) -> None:
+        Path(path).write_text(json.dumps(dump_sketch(sketch)))
+
+    if args.sketch_command == "kinds":
+        for kind in sketch_kinds():
+            print(kind)
+        return 0
+
+    if args.sketch_command in ("info", "estimate"):
+        sketch = load_file(args.path)
+        if args.sketch_command == "estimate":
+            print(f"{sketch.estimate():.6g}")
+        else:
+            print(_describe_sketch(sketch, args.path))
+        return 0
+
+    if args.sketch_command == "merge":
+        sketches = [load_file(p) for p in args.paths]
+        merged = sketches[0]
+        for other in sketches[1:]:
+            merged = merged.merge(other)
+        save_file(merged, args.out)
+        print(_describe_sketch(merged, args.out))
+        return 0
+
+    if args.sketch_command == "build":
+        import numpy as np
+
+        from .core.frequency import FrequencyVector
+        from .core.moments import FrequencyMomentTracker
+        from .core.naivesampling import NaiveSamplingEstimator
+        from .core.samplecount import SampleCountFastQuery, SampleCountSketch
+        from .core.tugofwar import TugOfWarSketch
+
+        if args.dataset is not None:
+            from .data.registry import load_dataset
+
+            values = load_dataset(args.dataset, rng=args.seed, scale=args.scale)
+        else:
+            values = np.loadtxt(args.values_file, dtype=np.int64).reshape(-1)
+        n = int(values.size)
+
+        factories = {
+            "tugofwar": lambda: TugOfWarSketch(args.s1, args.s2, seed=args.seed),
+            "samplecount": lambda: SampleCountSketch(
+                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
+            ),
+            "samplecount-fast": lambda: SampleCountFastQuery(
+                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
+            ),
+            "moments": lambda: FrequencyMomentTracker(
+                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
+            ),
+            "naivesampling": lambda: NaiveSamplingEstimator(
+                args.s1 * args.s2, seed=args.seed
+            ),
+            "frequency": FrequencyVector,
+        }
+        factory = factories.get(args.kind)
+        if factory is None:
+            raise KeyError(
+                f"unknown sketch kind {args.kind!r}; choose from {sorted(factories)}"
+            )
+        if args.shards > 1:
+            sketch = sharded_build(
+                factory, values, num_shards=args.shards, max_workers=args.workers
+            )
+        else:
+            sketch = factory()
+            sketch.update_from_stream(values)
+        save_file(sketch, args.out)
+        print(_describe_sketch(sketch, args.out))
+        return 0
+
+    raise AssertionError(
+        f"unhandled sketch command {args.sketch_command!r}"
+    )  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "sketch":
+        return _sketch_main(args)
 
     # Imports deferred so `--help` stays instant.
     from .experiments import figures, tables

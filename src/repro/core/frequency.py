@@ -16,6 +16,9 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from ..engine.protocol import Sketch, as_histogram
+from ..engine.registry import register_sketch
+
 __all__ = [
     "FrequencyVector",
     "self_join_size",
@@ -34,7 +37,8 @@ def _as_value_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
     return arr.astype(np.int64, copy=False)
 
 
-class FrequencyVector:
+@register_sketch
+class FrequencyVector(Sketch):
     """An exact histogram of a multiset of integer attribute values.
 
     This is the "full histogram" the paper's introduction describes as
@@ -44,6 +48,9 @@ class FrequencyVector:
     streams as the sketches, and it is the ground truth in every test
     and experiment.
     """
+
+    kind = "frequency"
+    is_linear = True  # counts add; any update order gives the same state
 
     __slots__ = ("_counts", "_n")
 
@@ -102,6 +109,47 @@ class FrequencyVector:
             self._counts[v] = current - 1
         self._n -= 1
 
+    def update(self, value: int, count: int) -> None:
+        """Fold ``count`` occurrences of ``value`` in at once (signed)."""
+        v, c = int(value), int(count)
+        if c == 0:
+            return
+        new = self._counts.get(v, 0) + c
+        if new < 0:
+            raise KeyError(
+                f"cannot delete {-c} occurrences of value {value}: "
+                f"only {self._counts.get(v, 0)} present"
+            )
+        if new == 0:
+            del self._counts[v]
+        else:
+            self._counts[v] = new
+        self._n += c
+
+    def update_from_frequencies(
+        self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
+    ) -> None:
+        """Fold a signed frequency histogram into the vector.
+
+        Equivalent to pairwise :meth:`update` calls in the given order;
+        a batch entry that would drive a count negative raises
+        ``KeyError`` exactly as :meth:`delete` does.
+        """
+        vals, cnts = as_histogram(values, counts)
+        for v, c in zip(vals.tolist(), cnts.tolist()):
+            if c:
+                self.update(v, c)
+
+    def update_from_stream(self, values: Iterable[int] | np.ndarray) -> None:
+        """Insert every element of a stream via one vectorised histogram."""
+        arr = _as_value_array(values)
+        if arr.size == 0:
+            return
+        uniq, counts = np.unique(arr, return_counts=True)
+        for v, c in zip(uniq.tolist(), counts.tolist()):
+            self._counts[int(v)] += int(c)
+        self._n += int(arr.size)
+
     # ------------------------------------------------------------------
     # Exact statistics
     # ------------------------------------------------------------------
@@ -146,6 +194,50 @@ class FrequencyVector:
     def max_frequency(self) -> int:
         """Largest single-value frequency (F_infinity)."""
         return max(self._counts.values(), default=0)
+
+    def estimate(self) -> float:
+        """The Sketch-protocol query: the (exact) self-join size.
+
+        The frequency vector is the zero-error member of the engine's
+        sketch family, so its "estimate" is simply SJ(R).
+        """
+        return float(self.self_join_size())
+
+    # ------------------------------------------------------------------
+    # Sketch protocol: algebra, accounting, persistence
+    # ------------------------------------------------------------------
+    def merge(self, other: "FrequencyVector") -> "FrequencyVector":
+        """Exact histogram of the union of the two underlying multisets."""
+        if not isinstance(other, FrequencyVector):
+            raise TypeError(f"expected FrequencyVector, got {type(other).__name__}")
+        merged = self.copy()
+        for v, c in other._counts.items():
+            merged._counts[v] += c
+        merged._n += other._n
+        return merged
+
+    @property
+    def memory_words(self) -> int:
+        """Storage in the paper's cost model: one word per distinct value.
+
+        This is the quantity the limited-storage sketches beat: it
+        grows with the domain, not with a chosen budget.
+        """
+        return len(self._counts)
+
+    def to_dict(self) -> dict:
+        """Serialise the histogram to plain Python types."""
+        return {
+            "kind": self.kind,
+            "counts": [[int(v), int(c)] for v, c in sorted(self._counts.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrequencyVector":
+        """Reconstruct a frequency vector from :meth:`to_dict` output."""
+        if payload.get("kind") != cls.kind:
+            raise ValueError(f"not a FrequencyVector payload: {payload.get('kind')!r}")
+        return cls({int(v): int(c) for v, c in payload["counts"]})
 
     # ------------------------------------------------------------------
     # Views / conversions

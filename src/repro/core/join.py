@@ -36,6 +36,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..engine.protocol import as_histogram
 from .estimators import median_of_means
 from .hashing import SignHashFamily
 
@@ -84,13 +85,8 @@ class TugOfWarJoinSignature:
         self, values: np.ndarray | Iterable[int], counts: np.ndarray | Iterable[int]
     ) -> None:
         """Bulk-load a frequency histogram (vectorised)."""
-        vals = np.asarray(values, dtype=np.int64)
-        cnts = np.asarray(counts, dtype=np.int64)
-        if vals.shape != cnts.shape or vals.ndim != 1:
-            raise ValueError(
-                f"values {vals.shape} and counts {cnts.shape} must be equal-length 1-D"
-            )
-        chunk = 4096
+        vals, cnts = as_histogram(values, counts)
+        chunk = 1024  # keep the (k, chunk) sign matrix cache-resident
         for start in range(0, vals.size, chunk):
             signs = self._family.signs_many(vals[start : start + chunk]).astype(np.int64)
             self._z += signs @ cnts[start : start + chunk]

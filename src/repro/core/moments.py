@@ -33,6 +33,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..engine.registry import register_sketch
 from .estimators import group_shape_for, median_of_means
 from .samplecount import SampleCountSketch
 
@@ -127,6 +128,7 @@ def fk_estimate_offline(
     return median_of_means(x.reshape(s2, s1))
 
 
+@register_sketch
 class FrequencyMomentTracker(SampleCountSketch):
     """The Figure 1 tracker queried for arbitrary moments F_k.
 
@@ -137,6 +139,8 @@ class FrequencyMomentTracker(SampleCountSketch):
     the tracker is a drop-in SampleCountSketch that can additionally
     answer, e.g., F3 (a skewness measure) or F4 from the same sample.
     """
+
+    kind = "moments"
 
     def moment_basic_estimators(self, k: int) -> np.ndarray:
         """Per-slot F_k basic estimators; NaN for slots not in the sample."""

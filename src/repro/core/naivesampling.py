@@ -34,6 +34,8 @@ from typing import Iterable
 
 import numpy as np
 
+from ..engine.protocol import Sketch, as_histogram
+from ..engine.registry import register_sketch
 from ..streams.reservoir import ReservoirSample
 
 __all__ = [
@@ -63,7 +65,8 @@ def scale_sample_self_join(sample_sj: float, sample_size: int, n: int) -> float:
     )
 
 
-class NaiveSamplingEstimator:
+@register_sketch
+class NaiveSamplingEstimator(Sketch):
     """Streaming naive-sampling tracker for insertion-only sequences.
 
     Maintains a uniform without-replacement sample of the stream seen
@@ -85,6 +88,8 @@ class NaiveSamplingEstimator:
     restricted to the two AMS algorithms.
     """
 
+    kind = "naivesampling"
+
     def __init__(self, s: int, seed: int | None = None):
         if s < 1:
             raise ValueError(f"sample size s must be >= 1, got {s}")
@@ -102,9 +107,35 @@ class NaiveSamplingEstimator:
         )
 
     def update_from_stream(self, values: Iterable[int] | np.ndarray) -> None:
-        """Offer every element of a stream."""
-        for v in np.asarray(values).tolist():
-            self.insert(int(v))
+        """Offer a whole stream via the reservoir's skip-jump bulk path.
+
+        Work happens only at accepted positions — O(s log(n/s)) of them
+        — and the result is bit-identical to per-element :meth:`insert`
+        calls (same random draws at the same positions).
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+        self._reservoir.offer_many(arr.tolist())
+
+    def update_from_frequencies(
+        self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
+    ) -> None:
+        """Fold an insertion-only histogram in (negative counts raise).
+
+        Offers each value's occurrences consecutively through the
+        reservoir's repeat path — no expansion of the histogram, so a
+        value with a billion occurrences costs O(s log) work, not
+        O(count) memory.  Deletion counts are rejected the same way
+        :meth:`delete` is.
+        """
+        vals, cnts = as_histogram(values, counts)
+        if (cnts < 0).any():
+            raise NotImplementedError(
+                "naive-sampling is defined for insertion-only sequences (Section 2.3)"
+            )
+        for v, c in zip(vals.tolist(), cnts.tolist()):
+            self._reservoir.offer_repeated(v, c)
 
     def estimate(self) -> float:
         """Histogram the sample, compute SJ(S), scale up (Section 2.3)."""
@@ -131,6 +162,25 @@ class NaiveSamplingEstimator:
     def memory_words(self) -> int:
         """Storage in the paper's cost model: the sample size s."""
         return self.s
+
+    def to_dict(self) -> dict:
+        """Serialise the estimator (reservoir contents + RNG state)."""
+        return {"kind": self.kind, "s": self.s, "reservoir": self._reservoir.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NaiveSamplingEstimator":
+        """Reconstruct an estimator from :meth:`to_dict` output."""
+        if payload.get("kind") != cls.kind:
+            raise ValueError(
+                f"not a NaiveSamplingEstimator payload: {payload.get('kind')!r}"
+            )
+        estimator = cls(int(payload["s"]))
+        estimator._reservoir = ReservoirSample.from_dict(payload["reservoir"])
+        if estimator._reservoir.k != estimator.s:
+            raise ValueError(
+                f"reservoir size {estimator._reservoir.k} != sample size {estimator.s}"
+            )
+        return estimator
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NaiveSamplingEstimator(s={self.s}, n={self.n})"

@@ -53,11 +53,14 @@ suite.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Iterable
 
 import numpy as np
 
+from ..engine.protocol import Sketch, as_histogram
+from ..engine.registry import register_sketch
 from .estimators import group_shape_for, median_of_means
 
 __all__ = [
@@ -74,7 +77,8 @@ def _default_initial_range(s: int) -> int:
     return s * max(1, math.ceil(math.log2(max(s, 2))))
 
 
-class SampleCountSketch:
+@register_sketch
+class SampleCountSketch(Sketch):
     """Tracks SJ(R) under inserts and deletes in O(s) memory words.
 
     Parameters
@@ -100,6 +104,8 @@ class SampleCountSketch:
     evicted by a deletion) simply do not contribute — exactly the
     "ignore i that are not in the sample" rule of steps 28–31.
     """
+
+    kind = "samplecount"
 
     def __init__(
         self,
@@ -147,6 +153,14 @@ class SampleCountSketch:
 
     def _hook_value_inserted(self, v: int) -> None:
         """Called after N_v is incremented by an insert of v."""
+
+    def _hook_value_inserted_bulk(self, v: int, count: int) -> None:
+        """Called after N_v is incremented by ``count`` inserts of v.
+
+        The bulk-ingestion path aggregates segment occurrences of a
+        tracked value; subclasses must make this equivalent to
+        ``count`` calls of :meth:`_hook_value_inserted`.
+        """
 
     def _hook_value_delete_pre(self, v: int) -> None:
         """Called on delete(v) for a tracked v, before N_v is decremented."""
@@ -267,10 +281,144 @@ class SampleCountSketch:
         if v not in self._head:
             del self._nv[v]
 
+    def _advance_tracked(self, segment: np.ndarray) -> None:
+        """Advance past a run of positions with no reservoir events.
+
+        Between two pending sample positions an insert only increments
+        ``N_v`` for values already in the sample, and those increments
+        commute — so a whole segment collapses to one vectorised
+        membership test plus one histogram of the tracked hits.
+        """
+        k = int(segment.size)
+        if k == 0:
+            return
+        self._n += k
+        if not self._nv:
+            return
+        if k <= 512:
+            # Short segment: fixed numpy call overhead beats the work;
+            # a dict-membership loop is faster and state-identical.
+            nv = self._nv
+            for v in segment.tolist():
+                if v in nv:
+                    nv[v] += 1
+                    self._hook_value_inserted(v)
+            return
+        tracked = np.fromiter(self._nv.keys(), dtype=np.int64, count=len(self._nv))
+        hits = segment[np.isin(segment, tracked)]
+        if hits.size == 0:
+            return
+        uniq, counts = np.unique(hits, return_counts=True)
+        for v, c in zip(uniq.tolist(), counts.tolist()):
+            self._nv[v] += c
+            self._hook_value_inserted_bulk(v, c)
+
     def update_from_stream(self, values: Iterable[int] | np.ndarray) -> None:
-        """Insert every element of a stream (convenience loop)."""
-        for v in np.asarray(values).tolist():
-            self.insert(int(v))
+        """Insert a whole stream with vectorised segment processing.
+
+        Walks the stream from one pending sample position to the next:
+        the elements in between touch no reservoir state and are folded
+        in by :meth:`_advance_tracked`; the element at each pending
+        position runs the full Figure 1 insert step.  Random draws
+        happen at exactly the same points, in the same order, as a
+        per-element :meth:`insert` loop, so the resulting sketch state
+        is **bit-identical** to the loop (the test suite asserts this).
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            return
+        n0 = self._n
+        end = n0 + int(arr.size)
+        # Min-heap of pending positions inside this batch; positions
+        # scheduled *during* the batch are pushed as they appear.
+        heap = [p for p in self._pending if p <= end]
+        heapq.heapify(heap)
+        pos = n0  # last absolute stream position fully processed
+        while heap:
+            p = heapq.heappop(heap)
+            entering = self._pending.pop(p, None)
+            if entering is None:
+                continue  # duplicate heap entry for an already-handled position
+            self._advance_tracked(arr[pos - n0 : p - 1 - n0])
+            v = int(arr[p - 1 - n0])
+            self._n += 1
+            for i in entering:
+                nxt = self._skip_from(max(p, self.initial_range))
+                self._pending.setdefault(nxt, []).append(i)
+                if nxt <= end:
+                    heapq.heappush(heap, nxt)
+                if self._in_sample[i]:
+                    self._discard(i)
+                self._add_sample_point(i, v)
+            if v in self._nv:
+                self._nv[v] += 1
+                self._hook_value_inserted(v)
+            pos = p
+        self._advance_tracked(arr[pos - n0 :])
+
+    def _insert_repeated(self, v: int, count: int) -> None:
+        """Insert ``count`` occurrences of one value without expansion.
+
+        Bit-identical to ``count`` :meth:`insert` calls: the gap
+        between two pending sample positions collapses to one ``N_v``
+        bump, and each pending position inside the run executes the
+        full Figure 1 insert step with the same random draws.
+        """
+        end = self._n + count
+        heap = [p for p in self._pending if p <= end]
+        heapq.heapify(heap)
+        while heap:
+            p = heapq.heappop(heap)
+            entering = self._pending.pop(p, None)
+            if entering is None:
+                continue  # duplicate heap entry for an already-handled position
+            self._count_tracked(v, p - 1 - self._n)
+            self._n += 1
+            for i in entering:
+                nxt = self._skip_from(max(p, self.initial_range))
+                self._pending.setdefault(nxt, []).append(i)
+                if nxt <= end:
+                    heapq.heappush(heap, nxt)
+                if self._in_sample[i]:
+                    self._discard(i)
+                self._add_sample_point(i, v)
+            if v in self._nv:
+                self._nv[v] += 1
+                self._hook_value_inserted(v)
+        self._count_tracked(v, end - self._n)
+
+    def _count_tracked(self, v: int, gap: int) -> None:
+        """Advance ``gap`` positions that all insert ``v``, no events."""
+        if gap <= 0:
+            return
+        self._n += gap
+        if v in self._nv:
+            self._nv[v] += gap
+            self._hook_value_inserted_bulk(v, gap)
+
+    def update_from_frequencies(
+        self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
+    ) -> None:
+        """Fold a signed histogram in as a concrete operation sequence.
+
+        The sample is position-dependent, so a histogram fixes a stream
+        order: each value's insertions appear consecutively, values in
+        the given order, followed by the deletions.  Insertion runs
+        fold in without expansion via :meth:`_insert_repeated` (a
+        billion-occurrence entry costs O(s log) work, not O(count)
+        memory); deletions are applied per occurrence (each is O(1)
+        amortised).
+        """
+        vals, cnts = as_histogram(values, counts)
+        for v, c in zip(vals.tolist(), cnts.tolist()):
+            if c > 0:
+                self._insert_repeated(v, c)
+        negative = cnts < 0
+        for v, c in zip(vals[negative].tolist(), (-cnts[negative]).tolist()):
+            for _ in range(c):
+                self.delete(v)
 
     # ------------------------------------------------------------------
     # Queries (steps 27–32): O(s)
@@ -384,6 +532,83 @@ class SampleCountSketch:
                 f"linked slots {sorted(linked)} != in-sample slots {sorted(in_sample)}"
             )
 
+    # ------------------------------------------------------------------
+    # Persistence (Sketch protocol)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialise the complete tracker state to plain Python types.
+
+        Includes the RNG state, so a reloaded tracker continues the
+        exact random sequence of the original — streaming can resume
+        from a checkpoint with bit-identical behaviour.
+        """
+        return {
+            "kind": self.kind,
+            "s1": self.s1,
+            "s2": self.s2,
+            "initial_range": self.initial_range,
+            "n": self._n,
+            "rng": self._rng.bit_generator.state,
+            "pending": [
+                [int(p), [int(i) for i in slots]]
+                for p, slots in sorted(self._pending.items())
+            ],
+            "in_sample": np.flatnonzero(self._in_sample).tolist(),
+            "val": self._val.tolist(),
+            "entry": self._entry.tolist(),
+            "next": self._next.tolist(),
+            "prev": self._prev.tolist(),
+            "head": [[int(v), int(i)] for v, i in sorted(self._head.items())],
+            "nv": [[int(v), int(c)] for v, c in sorted(self._nv.items())],
+        }
+
+    def _rebuild_derived(self) -> None:
+        """Recompute any state derived from the base slot structures.
+
+        No-op here; the fast-query subclass rebuilds its group sums.
+        """
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleCountSketch":
+        """Reconstruct a tracker from :meth:`to_dict` output."""
+        if payload.get("kind") != cls.kind:
+            raise ValueError(f"not a {cls.__name__} payload: {payload.get('kind')!r}")
+        sketch = cls(
+            int(payload["s1"]),
+            int(payload["s2"]),
+            initial_range=int(payload["initial_range"]),
+        )
+        s = sketch._s
+        rng = np.random.default_rng()
+        rng.bit_generator.state = payload["rng"]
+        sketch._rng = rng
+        sketch._n = int(payload["n"])
+        sketch._pending = {
+            int(p): [int(i) for i in slots] for p, slots in payload["pending"]
+        }
+        in_sample = np.zeros(s, dtype=bool)
+        members = np.asarray(payload["in_sample"], dtype=np.int64)
+        if members.size and (members.min() < 0 or members.max() >= s):
+            raise ValueError(f"in-sample slot index out of range for s={s}")
+        in_sample[members] = True
+        sketch._in_sample = in_sample
+        for key, attr in (
+            ("val", "_val"),
+            ("entry", "_entry"),
+            ("next", "_next"),
+            ("prev", "_prev"),
+        ):
+            array = np.asarray(payload[key], dtype=np.int64)
+            if array.shape != (s,):
+                raise ValueError(
+                    f"field {key!r} has shape {array.shape}, expected ({s},)"
+                )
+            setattr(sketch, attr, array)
+        sketch._head = {int(v): int(i) for v, i in payload["head"]}
+        sketch._nv = {int(v): int(c) for v, c in payload["nv"]}
+        sketch._rebuild_derived()
+        return sketch
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(s1={self.s1}, s2={self.s2}, n={self._n}, "
@@ -391,6 +616,7 @@ class SampleCountSketch:
         )
 
 
+@register_sketch
 class SampleCountFastQuery(SampleCountSketch):
     """The fast-query sample-count variant (end of Section 2.1).
 
@@ -404,6 +630,8 @@ class SampleCountFastQuery(SampleCountSketch):
     median Y* of the per-group mean counts — exactly the paper's
     formulation.
     """
+
+    kind = "samplecount-fast"
 
     def __init__(
         self,
@@ -436,6 +664,10 @@ class SampleCountFastQuery(SampleCountSketch):
         for j, count in self._k[v].items():
             self._ysum[j] += count
 
+    def _hook_value_inserted_bulk(self, v: int, count: int) -> None:
+        for j, slots in self._k[v].items():
+            self._ysum[j] += count * slots
+
     def _hook_value_delete_pre(self, v: int) -> None:
         for j, count in self._k[v].items():
             self._ysum[j] -= count
@@ -466,6 +698,26 @@ class SampleCountFastQuery(SampleCountSketch):
         mean_counts = self._ysum[valid].astype(np.float64) / self._num[valid]
         y_star = float(np.median(mean_counts))
         return float(self._n) * (2.0 * y_star - 1.0)
+
+    def _rebuild_derived(self) -> None:
+        """Recompute Ysum / Num / k_{v,j} from the restored slot state.
+
+        The group aggregates are pure functions of the base structures,
+        so deserialisation restores the base state and replays this —
+        the same computation :meth:`check_invariants` checks against.
+        """
+        self._ysum = np.zeros(self.s2, dtype=np.int64)
+        self._num = np.zeros(self.s2, dtype=np.int64)
+        self._k = {}
+        for v, count in self._nv.items():
+            i = self._head.get(v, _NO_SLOT)
+            while i != _NO_SLOT:
+                j = i // self.s1
+                self._num[j] += 1
+                self._ysum[j] += count - int(self._entry[i])
+                per_value = self._k.setdefault(v, {})
+                per_value[j] = per_value.get(j, 0) + 1
+                i = int(self._next[i])
 
     def check_invariants(self) -> None:
         """Base invariants plus consistency of Ysum/Num/k with slot state."""

@@ -1,0 +1,58 @@
+"""The unified sketch engine: protocol, registry, ingestion, sharding.
+
+This package is the system layer above the individual algorithms of
+:mod:`repro.core`:
+
+* :mod:`repro.engine.protocol` — the :class:`Sketch` contract every
+  tracker implements (updates, queries, bulk loads, merge, dict
+  round-trip);
+* :mod:`repro.engine.registry` — kind-keyed serialization, so any
+  sketch persists and reloads through one
+  :func:`load_sketch` / :func:`dump_sketch` entry point;
+* :mod:`repro.engine.ingest` — vectorised bulk ingestion: operation
+  coalescing into signed histograms and the batched ``replay`` used by
+  the streams, relational, and experiment layers;
+* :mod:`repro.engine.sharded` — partition / build-per-shard / merge
+  construction for mergeable sketches, serial or thread-parallel.
+"""
+
+from .ingest import (
+    coalesce_operations,
+    ingest_operations,
+    ingest_stream,
+    replay_batched,
+)
+from .protocol import MergeUnsupportedError, Sketch
+from .registry import (
+    SketchPayloadError,
+    UnknownSketchKindError,
+    dump_sketch,
+    dumps_sketch,
+    load_sketch,
+    loads_sketch,
+    register_sketch,
+    sketch_class,
+    sketch_kinds,
+)
+from .sharded import merge_sketches, shard_stream, sharded_build
+
+__all__ = [
+    "Sketch",
+    "MergeUnsupportedError",
+    "register_sketch",
+    "sketch_kinds",
+    "sketch_class",
+    "dump_sketch",
+    "load_sketch",
+    "dumps_sketch",
+    "loads_sketch",
+    "UnknownSketchKindError",
+    "SketchPayloadError",
+    "coalesce_operations",
+    "ingest_stream",
+    "ingest_operations",
+    "replay_batched",
+    "shard_stream",
+    "merge_sketches",
+    "sharded_build",
+]

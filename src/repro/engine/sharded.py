@@ -1,0 +1,100 @@
+"""Sharded sketch construction: partition, build per shard, merge.
+
+Mergeable sketches built from the *same seed* over disjoint sub-streams
+combine into the sketch of the whole stream (for the tug-of-war sketch
+the counters simply add — linearity again).  That makes the build
+embarrassingly parallel: split a stream into shards, bulk-load one
+sketch per shard, and :meth:`~repro.engine.protocol.Sketch.merge` the
+results.  The merged sketch is **bit-identical** to a single-shot
+build, which the test suite and ``benchmarks/bench_engine.py`` verify.
+
+Shard workers run either serially (each shard still takes the
+vectorised bulk path, so this is already far faster than per-element
+ingestion) or on a :class:`concurrent.futures.ThreadPoolExecutor` —
+the heavy lifting is numpy matrix products that release the GIL, so
+threads scale without the pickling constraints of process pools.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from functools import reduce
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+from .protocol import Sketch
+
+__all__ = ["shard_stream", "merge_sketches", "sharded_build"]
+
+S = TypeVar("S", bound=Sketch)
+
+
+def shard_stream(
+    values: np.ndarray | Iterable[int], num_shards: int
+) -> List[np.ndarray]:
+    """Split a stream into ``num_shards`` contiguous pieces.
+
+    Contiguous splitting preserves stream order within each shard
+    (irrelevant for linear sketches, but it keeps the partition
+    meaningful for order-aware consumers) and costs one pass.  Shard
+    sizes differ by at most one element; empty shards are possible when
+    the stream is shorter than the shard count.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    return [np.ascontiguousarray(piece) for piece in np.array_split(arr, num_shards)]
+
+
+def merge_sketches(sketches: Sequence[S]) -> S:
+    """Left-fold a non-empty sequence of same-seed sketches with ``merge``."""
+    if not sketches:
+        raise ValueError("cannot merge an empty sequence of sketches")
+    return reduce(lambda acc, sk: acc.merge(sk), sketches)
+
+
+def sharded_build(
+    factory: Callable[[], S],
+    values: np.ndarray | Iterable[int],
+    num_shards: int = 4,
+    max_workers: int | None = None,
+) -> S:
+    """Build a sketch of ``values`` by sharding, bulk-loading, merging.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh, empty sketch.  Every
+        call **must** produce sketches built from the same seed, or the
+        merge step will (correctly) refuse to combine them.
+    values:
+        The insertion-only stream to sketch.
+    num_shards:
+        Number of partitions (also the number of worker sketches).
+    max_workers:
+        ``None`` builds the shards serially (each still vectorised);
+        a positive integer uses that many threads.
+
+    Returns
+    -------
+    The merged sketch — bit-identical to ``factory()`` bulk-loaded with
+    the whole stream, for any linear sketch.
+    """
+    shards = shard_stream(values, num_shards)
+
+    def build_one(shard: np.ndarray) -> S:
+        sketch = factory()
+        sketch.update_from_stream(shard)
+        return sketch
+
+    if max_workers is None:
+        parts = [build_one(shard) for shard in shards]
+    else:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            parts = list(pool.map(build_one, shards))
+    return merge_sketches(parts)

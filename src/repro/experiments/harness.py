@@ -36,6 +36,7 @@ from ..core.frequency import self_join_size
 from ..core.naivesampling import naive_sampling_estimate_offline
 from ..core.samplecount import sample_count_estimate_offline
 from ..core.tugofwar import TugOfWarSketch
+from ..engine.ingest import ingest_stream
 
 __all__ = [
     "ALGORITHMS",
@@ -80,7 +81,7 @@ def _tug_of_war(values: np.ndarray, s: int, rng: np.random.Generator) -> float:
     s1, s2 = split_parameters(s)
     seed = int(rng.integers(0, 2**63 - 1))
     sketch = TugOfWarSketch(s1=s1, s2=s2, seed=seed)
-    sketch.update_from_stream(values)
+    ingest_stream(sketch, values)  # engine bulk path (histogram + matrix products)
     return sketch.estimate()
 
 

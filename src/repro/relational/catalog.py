@@ -66,6 +66,23 @@ class SignatureCatalog:
         """Route delete(v) on a relation to its signature."""
         self._sig(name).delete(value)
 
+    def insert_many(self, name: str, values: Iterable[int] | np.ndarray) -> None:
+        """Bulk-insert a batch of tuples through the vectorised path.
+
+        Equivalent to per-tuple :meth:`insert` calls but the signature
+        folds the whole batch in with chunked matrix products.
+        """
+        self._sig(name).update_from_stream(np.asarray(values, dtype=np.int64))
+
+    def update_from_frequencies(
+        self,
+        name: str,
+        values: Iterable[int] | np.ndarray,
+        counts: Iterable[int] | np.ndarray,
+    ) -> None:
+        """Apply a signed histogram of tuple changes to one relation."""
+        self._sig(name).update_from_frequencies(values, counts)
+
     # -- estimation ----------------------------------------------------------
     def join_estimate(self, left: str, right: str) -> float:
         """k-TW estimate of |left join right| from signatures alone."""
@@ -151,6 +168,10 @@ class SampleCatalog:
     def delete(self, name: str, value: int) -> None:
         """Route delete(v) on a relation to its signature."""
         self._sig(name).delete(value)
+
+    def insert_many(self, name: str, values: Iterable[int] | np.ndarray) -> None:
+        """Bulk-insert a batch of tuples via one vectorised Bernoulli draw."""
+        self._sig(name).update_from_stream(np.asarray(values, dtype=np.int64))
 
     def join_estimate(self, left: str, right: str) -> float:
         """t_cross estimate of |left join right|."""

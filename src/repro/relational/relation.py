@@ -44,6 +44,20 @@ class Relation:
         """Delete a tuple with joining-attribute value v."""
         self._freq.delete(value)
 
+    def insert_many(self, values: Iterable[int] | np.ndarray) -> None:
+        """Bulk-insert a batch of tuples via one vectorised histogram.
+
+        The engine-refactor fast path for loading relations: equivalent
+        to per-tuple :meth:`insert` calls, one numpy histogram instead.
+        """
+        self._freq.update_from_stream(values)
+
+    def update_from_frequencies(
+        self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
+    ) -> None:
+        """Apply a signed histogram of tuple changes (bulk insert/delete)."""
+        self._freq.update_from_frequencies(values, counts)
+
     # -- exact statistics --------------------------------------------------
     @property
     def size(self) -> int:

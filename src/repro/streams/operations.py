@@ -160,29 +160,22 @@ class OperationSequence:
 
 
 def replay(sequence: Iterable[Operation], tracker) -> List[float]:
-    """Drive a tracker with an operation sequence.
+    """Drive a tracker with an operation sequence, batched.
 
     Returns the list of estimates produced at the Query operations, in
     order.  The tracker must expose ``insert``/``delete`` and either
     ``estimate`` or ``self_join_size`` (so the exact FrequencyVector
     can be replayed for ground truth).
+
+    Since the engine refactor this routes through
+    :func:`repro.engine.ingest.replay_batched`: updates between queries
+    are coalesced into signed histograms (linear sketches) or
+    vectorised insert runs (order-sensitive samplers), producing the
+    same estimates as a per-element loop at a fraction of the cost.
     """
-    answer = getattr(tracker, "estimate", None) or getattr(
-        tracker, "self_join_size", None
-    )
-    if answer is None:
-        raise TypeError(f"{type(tracker).__name__} has no estimate/self_join_size")
-    results: List[float] = []
-    for op in sequence:
-        if isinstance(op, Insert):
-            tracker.insert(op.value)
-        elif isinstance(op, Delete):
-            tracker.delete(op.value)
-        elif isinstance(op, Query):
-            results.append(float(answer()))
-        else:
-            raise TypeError(f"not an operation: {op!r}")
-    return results
+    from ..engine.ingest import replay_batched  # local: engine imports this module
+
+    return replay_batched(sequence, tracker)
 
 
 def insertions_only(values: Iterable[int] | np.ndarray) -> OperationSequence:

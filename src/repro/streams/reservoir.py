@@ -126,20 +126,47 @@ class ReservoirSample:
 
         Uses the distribution of Vitter's Algorithm X: starting at
         stream position n (just accepted), the gap G satisfies
-        ``P(G > g) = prod_{j=1..g} (n + j - k) / (n + j)``.  Sequential
-        search against a single uniform; expected work O(n/k) draws per
-        acceptance, i.e. O(1) amortised per *accepted* element.
+        ``P(G > g) = prod_{j=1..g} (n + j - k) / (n + j)``, inverted
+        against a single uniform draw.
+
+        Two regimes, one uniform consumed either way: while the
+        expected gap ``n / k`` is modest, a sequential search on the
+        float product (O(n/k) work, exactly the seed implementation's
+        arithmetic); once the stream dwarfs the reservoir — reachable
+        through :meth:`offer_repeated` histogram entries with huge
+        counts — the same quantile is found by binary search on the
+        log-gamma closed form in O(log gap), since the sequential
+        product would iterate once per skipped position.
         """
         n = self._offered
         u = float(self._rng.random())
-        gap = 0
-        survive = 1.0
-        while True:
-            nxt = survive * (n + gap + 1 - self.k) / (n + gap + 1)
-            if nxt <= u:
-                return gap
-            survive = nxt
-            gap += 1
+        if n <= 65536 * self.k:
+            gap = 0
+            survive = 1.0
+            while True:
+                nxt = survive * (n + gap + 1 - self.k) / (n + gap + 1)
+                if nxt <= u:
+                    return gap
+                survive = nxt
+                gap += 1
+        # log P(G > g) = lgamma-form of the product above (monotone in g).
+        log_u = math.log(u) if u > 0.0 else -800.0
+        base = math.lgamma(n + 1) - math.lgamma(n + 1 - self.k)
+
+        def log_survive(g: int) -> float:
+            return math.lgamma(n + g + 1 - self.k) - math.lgamma(n + g + 1) + base
+
+        hi = 1
+        while log_survive(hi) > log_u:
+            hi *= 2
+        lo = hi // 2
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if log_survive(mid) <= log_u:
+                hi = mid
+            else:
+                lo = mid
+        return hi - 1  # smallest m with P(G > m) <= u, minus one
 
     def offer(self, item) -> bool:
         """Offer one stream element; returns True if it entered the sample."""
@@ -165,6 +192,42 @@ class ReservoirSample:
         for item in items:
             self.offer(item)
 
+    def offer_many(self, items: Iterable) -> None:
+        """Offer a whole batch, jumping between acceptances.
+
+        Instead of one :meth:`offer` call per element, the skip counter
+        is consumed in arithmetic jumps: work (and random draws) happen
+        only at the O(k log(n/k)) accepted positions, so a
+        million-element batch costs a handful of Python operations per
+        acceptance.  Random draws occur at exactly the positions the
+        per-element loop would make them, so the resulting reservoir is
+        bit-identical to calling :meth:`offer` in a loop.
+        """
+        seq = items if isinstance(items, list) else list(items)
+        i = 0
+        n = len(seq)
+        # Fill phase: the first k offers are always accepted.
+        while i < n and len(self._items) < self.k:
+            self._items.append(seq[i])
+            self._offered += 1
+            i += 1
+            if len(self._items) == self.k:
+                self._skip = self._draw_skip()
+        # Steady state: jump straight to the next accepting position.
+        while i < n:
+            remaining = n - i
+            if self._skip >= remaining:
+                self._skip -= remaining
+                self._offered += remaining
+                return
+            i += self._skip
+            self._offered += self._skip
+            self._offered += 1
+            slot = int(self._rng.integers(0, self.k))
+            self._items[slot] = seq[i]
+            self._skip = self._draw_skip()
+            i += 1
+
     @property
     def items(self) -> List:
         """The current sample contents (length min(k, offered))."""
@@ -174,6 +237,60 @@ class ReservoirSample:
     def offered(self) -> int:
         """Total number of elements offered so far."""
         return self._offered
+
+    def offer_repeated(self, item, count: int) -> None:
+        """Offer ``count`` copies of one item without materialising them.
+
+        Identical (draw for draw) to calling :meth:`offer` ``count``
+        times with the same item, but costs only the O(k log(n/k))
+        accepted positions — a billion-copy histogram entry folds in
+        without a billion-element expansion.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        while count and len(self._items) < self.k:
+            self._items.append(item)
+            self._offered += 1
+            count -= 1
+            if len(self._items) == self.k:
+                self._skip = self._draw_skip()
+        while count:
+            if self._skip >= count:
+                self._skip -= count
+                self._offered += count
+                return
+            count -= self._skip + 1
+            self._offered += self._skip + 1
+            slot = int(self._rng.integers(0, self.k))
+            self._items[slot] = item
+            self._skip = self._draw_skip()
+
+    def to_dict(self) -> dict:
+        """Serialise the reservoir (items, counters, RNG state)."""
+        return {
+            "k": self.k,
+            "items": list(self._items),
+            "offered": self._offered,
+            "skip": self._skip,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReservoirSample":
+        """Reconstruct a reservoir from :meth:`to_dict` output.
+
+        The RNG state is restored too, so continued streaming matches
+        the original bit for bit.
+        """
+        reservoir = cls(int(payload["k"]))
+        reservoir._items = list(payload["items"])
+        reservoir._offered = int(payload["offered"])
+        reservoir._skip = int(payload["skip"])
+        rng = np.random.default_rng()
+        rng.bit_generator.state = payload["rng"]
+        reservoir._rng = rng
+        return reservoir
 
     def __len__(self) -> int:
         return len(self._items)

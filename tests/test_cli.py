@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -67,3 +70,68 @@ class TestCommands:
     def test_sweep_unknown_dataset(self):
         with pytest.raises(KeyError):
             main(["sweep", "--dataset", "nope", "--scale", "0.05"])
+
+
+class TestSketchCommands:
+    @pytest.fixture()
+    def values_file(self, tmp_path):
+        rng = np.random.default_rng(3)
+        path = tmp_path / "values.txt"
+        path.write_text(
+            "\n".join(str(v) for v in rng.integers(0, 100, size=2000).tolist())
+        )
+        return str(path)
+
+    def test_kinds(self, capsys):
+        assert main(["sketch", "kinds"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "tugofwar" in out and "samplecount" in out and "frequency" in out
+
+    def test_build_info_estimate_round_trip(self, tmp_path, values_file, capsys):
+        out_path = str(tmp_path / "sk.json")
+        assert main(
+            ["sketch", "build", "--kind", "tugofwar", "--values-file", values_file,
+             "--s1", "64", "--s2", "5", "--seed", "9", "--out", out_path]
+        ) == 0
+        payload = json.loads((tmp_path / "sk.json").read_text())
+        assert payload["kind"] == "tugofwar"
+        assert main(["sketch", "info", out_path]) == 0
+        assert "kind=tugofwar" in capsys.readouterr().out
+        assert main(["sketch", "estimate", out_path]) == 0
+        float(capsys.readouterr().out.strip())  # parses as a number
+
+    def test_build_from_dataset(self, tmp_path, capsys):
+        out_path = str(tmp_path / "ds.json")
+        assert main(
+            ["sketch", "build", "--kind", "frequency", "--dataset", "zipf1.0",
+             "--scale", "0.01", "--out", out_path]
+        ) == 0
+        assert "kind=frequency" in capsys.readouterr().out
+
+    def test_sharded_build_merges_to_single_shot(self, tmp_path, values_file, capsys):
+        single = str(tmp_path / "single.json")
+        sharded = str(tmp_path / "sharded.json")
+        base = ["sketch", "build", "--kind", "tugofwar", "--values-file", values_file,
+                "--s1", "32", "--s2", "3", "--seed", "4"]
+        assert main(base + ["--out", single]) == 0
+        assert main(base + ["--shards", "4", "--out", sharded]) == 0
+        a = json.loads((tmp_path / "single.json").read_text())
+        b = json.loads((tmp_path / "sharded.json").read_text())
+        assert a["z"] == b["z"]  # bit-identical counters
+
+    def test_merge_command(self, tmp_path, values_file, capsys):
+        left = str(tmp_path / "left.json")
+        right = str(tmp_path / "right.json")
+        merged = str(tmp_path / "merged.json")
+        base = ["sketch", "build", "--kind", "tugofwar", "--s1", "32", "--s2", "3",
+                "--seed", "4", "--values-file", values_file]
+        assert main(base + ["--out", left]) == 0
+        assert main(base + ["--out", right]) == 0
+        assert main(["sketch", "merge", left, right, "--out", merged]) == 0
+        payload = json.loads((tmp_path / "merged.json").read_text())
+        assert payload["n"] == 4000  # both halves counted
+
+    def test_build_unknown_kind(self, tmp_path, values_file):
+        with pytest.raises(KeyError):
+            main(["sketch", "build", "--kind", "nope", "--values-file", values_file,
+                  "--out", str(tmp_path / "x.json")])

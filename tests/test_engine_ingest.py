@@ -1,0 +1,197 @@
+"""Batched ingestion equivalence: the pipeline must never change results.
+
+Satellite requirement of ISSUE 1: replaying a mixed insert/delete
+workload through the batched pipeline yields identical sketch state
+(linearity) for tug-of-war and consistent (here: bit-identical, since
+the vectorised paths draw the same random numbers at the same
+positions) estimates for the sampling sketches under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.core.naivesampling import NaiveSamplingEstimator
+from repro.core.samplecount import SampleCountFastQuery, SampleCountSketch
+from repro.core.tugofwar import TugOfWarSketch
+from repro.engine.ingest import (
+    coalesce_operations,
+    ingest_operations,
+    ingest_stream,
+    replay_batched,
+)
+from repro.streams.operations import (
+    Delete,
+    Insert,
+    Query,
+    insertions_only,
+    mixed_workload,
+    replay,
+)
+
+
+def _workload(n=4000, delete_fraction=0.2, query_every=500):
+    rng = np.random.default_rng(5)
+    values = (rng.zipf(1.5, size=n) % 300).astype(np.int64)
+    return mixed_workload(
+        values, delete_fraction=delete_fraction, rng=7, query_every=query_every
+    )
+
+
+def _replay_per_element(sequence, tracker):
+    """The seed's original per-element driver (reference semantics)."""
+    answer = getattr(tracker, "estimate", None) or tracker.self_join_size
+    results = []
+    for op in sequence:
+        if isinstance(op, Insert):
+            tracker.insert(op.value)
+        elif isinstance(op, Delete):
+            tracker.delete(op.value)
+        elif isinstance(op, Query):
+            results.append(float(answer()))
+    return results
+
+
+class TestCoalesce:
+    def test_signed_histogram(self):
+        ops = [Insert(3), Insert(3), Insert(5), Delete(3), Query(), Insert(7), Delete(7)]
+        values, counts = coalesce_operations(ops)
+        assert values.tolist() == [3, 5]
+        assert counts.tolist() == [1, 1]
+
+    def test_empty_and_cancelling(self):
+        values, counts = coalesce_operations([Insert(1), Delete(1)])
+        assert values.size == 0 and counts.size == 0
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(TypeError):
+            coalesce_operations([Insert(1), "insert(2)"])
+
+
+class TestReplayEquivalence:
+    def test_tugofwar_bit_identical_on_mixed_workload(self):
+        seq = _workload()
+        reference = TugOfWarSketch(64, 5, seed=11)
+        batched = TugOfWarSketch(64, 5, seed=11)
+        ref_answers = _replay_per_element(seq, reference)
+        new_answers = replay_batched(seq, batched)
+        assert new_answers == ref_answers
+        assert np.array_equal(reference.counters, batched.counters)
+        assert reference.n == batched.n
+
+    @pytest.mark.parametrize("cls", [SampleCountSketch, SampleCountFastQuery])
+    def test_samplecount_identical_estimates_on_mixed_workload(self, cls):
+        seq = _workload()
+        reference = cls(32, 5, seed=11)
+        batched = cls(32, 5, seed=11)
+        ref_answers = _replay_per_element(seq, reference)
+        new_answers = replay_batched(seq, batched)
+        assert new_answers == ref_answers
+        batched.check_invariants()
+        assert reference.sample_values() == batched.sample_values()
+
+    def test_naivesampling_identical_on_insert_only_workload(self):
+        values = (np.random.default_rng(3).integers(0, 200, size=5000)).astype(np.int64)
+        seq = insertions_only(values)
+        seq.append(Query())
+        reference = NaiveSamplingEstimator(s=160, seed=11)
+        batched = NaiveSamplingEstimator(s=160, seed=11)
+        assert replay_batched(seq, batched) == _replay_per_element(seq, reference)
+        assert reference._reservoir.items == batched._reservoir.items
+
+    def test_frequency_vector_exact_on_mixed_workload(self):
+        seq = _workload()
+        reference = FrequencyVector()
+        batched = FrequencyVector()
+        assert replay_batched(seq, batched) == _replay_per_element(seq, reference)
+        assert reference == batched
+
+    def test_public_replay_routes_through_batched_pipeline(self):
+        seq = _workload(n=1000)
+        a = TugOfWarSketch(32, 3, seed=2)
+        b = TugOfWarSketch(32, 3, seed=2)
+        assert replay(seq, a) == replay_batched(seq, b)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_replay_requires_estimator(self):
+        with pytest.raises(TypeError):
+            replay_batched([Query()], object())
+
+    def test_replay_rejects_non_operations(self):
+        tracker = FrequencyVector()
+        with pytest.raises(TypeError):
+            replay_batched([Insert(1), 42], tracker)
+
+    @pytest.mark.parametrize(
+        "tracker_factory", [FrequencyVector, lambda: TugOfWarSketch(16, 3, seed=0)]
+    )
+    def test_linear_path_still_rejects_invalid_deletes(self, tracker_factory):
+        """Coalescing must not mask a delete with no matching insert.
+
+        [Delete(5), Insert(5)] nets to an empty histogram, but the
+        per-element semantics (multiset initially empty) make the
+        delete a caller bug — the batched pipeline must still raise.
+        """
+        with pytest.raises(ValueError, match="no remaining occurrence"):
+            replay_batched([Delete(5), Insert(5), Query()], tracker_factory())
+
+    def test_linear_path_allows_deletes_across_flushes(self):
+        sketch = TugOfWarSketch(16, 3, seed=0)
+        answers = replay_batched(
+            [Insert(5), Query(), Delete(5), Query()], sketch
+        )
+        assert answers == [1.0, 0.0]
+
+    def test_histogram_ingestion_without_expansion(self):
+        """Huge per-value counts must not materialise count elements."""
+        from repro.core.naivesampling import NaiveSamplingEstimator
+
+        estimator = NaiveSamplingEstimator(s=32, seed=1)
+        estimator.update_from_frequencies([7, 9], [10**12, 10**12])
+        assert estimator.n == 2 * 10**12
+        tracker = SampleCountSketch(16, 2, seed=1)
+        tracker.update_from_frequencies([7, 9], [10**12, 10**12])
+        tracker.check_invariants()
+        assert tracker.n == 2 * 10**12
+
+
+class TestIngestHelpers:
+    def test_ingest_stream_matches_bulk_load(self):
+        values = (np.random.default_rng(8).integers(0, 99, size=3000)).astype(np.int64)
+        a = TugOfWarSketch(32, 3, seed=4)
+        b = TugOfWarSketch(32, 3, seed=4)
+        ingest_stream(a, values)
+        b.update_from_stream(values)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_ingest_stream_falls_back_to_insert_loop(self):
+        class Recorder:
+            """A foreign tracker with only per-element insert."""
+
+            def __init__(self):
+                self.seen = []
+
+            def insert(self, value):
+                self.seen.append(value)
+
+        recorder = Recorder()
+        ingest_stream(recorder, [1, 2, 2])
+        assert recorder.seen == [1, 2, 2]
+
+    def test_ingest_operations_ignores_queries(self):
+        tracker = FrequencyVector()
+        ingest_operations(tracker, [Insert(1), Query(), Insert(1), Delete(1)])
+        assert tracker.frequency(1) == 1
+
+    def test_update_via_frequencies_equals_element_wise(self):
+        """The linearity property the engine's coalescing relies on."""
+        values = np.array([4, 9, 4, 4, 9, 1], dtype=np.int64)
+        a = TugOfWarSketch(16, 3, seed=0)
+        for v in values.tolist():
+            a.insert(v)
+        a.delete(9)
+        b = TugOfWarSketch(16, 3, seed=0)
+        b.update_from_frequencies(np.array([1, 4, 9]), np.array([1, 3, 1]))
+        assert np.array_equal(a.counters, b.counters)

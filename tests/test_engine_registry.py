@@ -1,0 +1,138 @@
+"""Serialization registry: round-trips, dispatch, and error handling.
+
+Satellite requirement of ISSUE 1: every registered sketch kind must
+survive ``dump_sketch`` -> JSON -> ``load_sketch`` with bit-identical
+estimates, and unknown / corrupt payloads must raise clear errors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.core.moments import FrequencyMomentTracker
+from repro.core.naivesampling import NaiveSamplingEstimator
+from repro.core.samplecount import SampleCountFastQuery, SampleCountSketch
+from repro.core.tugofwar import TugOfWarSketch
+from repro.engine import (
+    Sketch,
+    SketchPayloadError,
+    UnknownSketchKindError,
+    dump_sketch,
+    dumps_sketch,
+    load_sketch,
+    loads_sketch,
+    sketch_class,
+    sketch_kinds,
+)
+
+
+def _stream(n: int = 5000) -> np.ndarray:
+    rng = np.random.default_rng(13)
+    return (rng.zipf(1.4, size=n) % 700).astype(np.int64)
+
+
+def build_all() -> dict[str, Sketch]:
+    """One loaded instance of every registered kind."""
+    stream = _stream()
+    sketches: dict[str, Sketch] = {
+        "tugofwar": TugOfWarSketch(64, 5, seed=3),
+        "samplecount": SampleCountSketch(64, 5, seed=3),
+        "samplecount-fast": SampleCountFastQuery(64, 5, seed=3),
+        "moments": FrequencyMomentTracker(64, 5, seed=3),
+        "naivesampling": NaiveSamplingEstimator(s=320, seed=3),
+        "frequency": FrequencyVector(),
+    }
+    for sketch in sketches.values():
+        sketch.update_from_stream(stream)
+    return sketches
+
+
+class TestRoundTrips:
+    def test_registry_covers_all_built_kinds(self):
+        assert set(build_all()) == set(sketch_kinds())
+
+    @pytest.mark.parametrize("kind", sorted(build_all()))
+    def test_json_round_trip_preserves_estimate(self, kind):
+        sketch = build_all()[kind]
+        restored = loads_sketch(dumps_sketch(sketch))
+        assert type(restored) is type(sketch)
+        assert restored.kind == kind
+        assert restored.estimate() == sketch.estimate()
+        assert restored.memory_words == sketch.memory_words
+
+    @pytest.mark.parametrize("kind", sorted(build_all()))
+    def test_restored_sketch_continues_identically(self, kind):
+        """RNG state round-trips: continued streaming matches bit for bit."""
+        sketch = build_all()[kind]
+        restored = load_sketch(json.loads(json.dumps(dump_sketch(sketch))))
+        more = (np.random.default_rng(99).integers(0, 700, size=2000)).astype(np.int64)
+        sketch.update_from_stream(more)
+        restored.update_from_stream(more)
+        assert restored.estimate() == sketch.estimate()
+
+    def test_tugofwar_round_trip_counters_identical(self):
+        sketch = build_all()["tugofwar"]
+        restored = loads_sketch(dumps_sketch(sketch))
+        assert np.array_equal(restored.counters, sketch.counters)
+
+    def test_samplecount_round_trip_passes_invariants(self):
+        for kind in ("samplecount", "samplecount-fast", "moments"):
+            restored = loads_sketch(dumps_sketch(build_all()[kind]))
+            restored.check_invariants()
+
+    def test_sketch_class_lookup(self):
+        assert sketch_class("tugofwar") is TugOfWarSketch
+        with pytest.raises(UnknownSketchKindError):
+            sketch_class("nope")
+
+
+class TestErrors:
+    def test_unknown_kind_raises_with_known_kinds_listed(self):
+        with pytest.raises(UnknownSketchKindError) as err:
+            load_sketch({"kind": "bloom-filter"})
+        message = str(err.value)
+        assert "bloom-filter" in message
+        assert "tugofwar" in message  # lists what *is* registered
+
+    def test_missing_kind_raises_payload_error(self):
+        with pytest.raises(SketchPayloadError, match="no 'kind'"):
+            load_sketch({"s1": 4})
+
+    def test_non_mapping_payload_raises(self):
+        with pytest.raises(SketchPayloadError, match="mapping"):
+            load_sketch([1, 2, 3])
+
+    def test_invalid_json_string_raises(self):
+        with pytest.raises(SketchPayloadError, match="JSON"):
+            loads_sketch("{not json")
+
+    @pytest.mark.parametrize("kind", sorted(build_all()))
+    def test_corrupt_body_raises_payload_error(self, kind):
+        payload = dump_sketch(build_all()[kind])
+        for key in list(payload):
+            if key == "kind":
+                continue
+            broken = dict(payload)
+            del broken[key]
+            with pytest.raises(SketchPayloadError, match=kind):
+                load_sketch(broken)
+            break  # one missing field per kind is enough
+
+    def test_truncated_counter_vector_raises(self):
+        payload = dump_sketch(build_all()["tugofwar"])
+        payload["z"] = payload["z"][:-3]
+        with pytest.raises(SketchPayloadError):
+            load_sketch(payload)
+
+    def test_dumping_unregistered_sketch_raises(self):
+        class Rogue(FrequencyVector):
+            """A subclass that lies about its kind."""
+
+            kind = "rogue"
+
+        with pytest.raises(UnknownSketchKindError):
+            dump_sketch(Rogue())

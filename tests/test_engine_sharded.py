@@ -1,0 +1,78 @@
+"""Sharded build path: partition, build per shard, merge — exactly.
+
+Acceptance criterion of ISSUE 1: a sharded 4-way build merges to a
+bit-identical tug-of-war sketch versus the single-shot build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.core.samplecount import SampleCountSketch
+from repro.core.tugofwar import TugOfWarSketch
+from repro.engine import (
+    MergeUnsupportedError,
+    merge_sketches,
+    shard_stream,
+    sharded_build,
+)
+
+
+def _stream(n=20_000):
+    rng = np.random.default_rng(21)
+    return (rng.zipf(1.3, size=n) % 2_000).astype(np.int64)
+
+
+class TestShardStream:
+    def test_partition_preserves_order_and_content(self):
+        values = _stream()
+        shards = shard_stream(values, 4)
+        assert len(shards) == 4
+        assert np.array_equal(np.concatenate(shards), values)
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_more_shards_than_elements(self):
+        shards = shard_stream(np.array([1, 2], dtype=np.int64), 5)
+        assert len(shards) == 5
+        assert sum(s.size for s in shards) == 2
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_stream(_stream(100), 0)
+
+
+class TestShardedBuild:
+    @pytest.mark.parametrize("max_workers", [None, 4])
+    def test_tugofwar_bit_identical_to_single_shot(self, max_workers):
+        values = _stream()
+        factory = lambda: TugOfWarSketch(s1=64, s2=5, seed=17)  # noqa: E731
+        single = factory()
+        single.update_from_stream(values)
+        sharded = sharded_build(
+            factory, values, num_shards=4, max_workers=max_workers
+        )
+        assert np.array_equal(sharded.counters, single.counters)
+        assert sharded.n == single.n
+        assert sharded.estimate() == single.estimate()
+
+    def test_frequency_vector_sharded_build_exact(self):
+        values = _stream()
+        sharded = sharded_build(FrequencyVector, values, num_shards=3)
+        assert sharded == FrequencyVector.from_stream(values)
+
+    def test_mismatched_seeds_refuse_to_merge(self):
+        seeds = iter([1, 2, 3, 4])
+        factory = lambda: TugOfWarSketch(16, 3, seed=next(seeds))  # noqa: E731
+        with pytest.raises(ValueError, match="seed"):
+            sharded_build(factory, _stream(1000), num_shards=4)
+
+    def test_unmergeable_sketch_raises(self):
+        factory = lambda: SampleCountSketch(16, 3, seed=1)  # noqa: E731
+        with pytest.raises(MergeUnsupportedError):
+            sharded_build(factory, _stream(1000), num_shards=2)
+
+    def test_merge_sketches_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            merge_sketches([])
