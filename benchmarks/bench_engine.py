@@ -10,12 +10,18 @@ Measures, on one synthetic Zipf stream:
 2. **sample-count** — per-element loop vs the vectorised segment
    walker (states must match bit for bit);
 3. **naive-sampling** — per-element reservoir offers vs skip-jump
-   bulk offers (reservoirs must match bit for bit).
+   bulk offers (reservoirs must match bit for bit);
+4. **windowed store** — timestamped ingestion throughput (serial and
+   threaded) into a time-bucketed store plus merge-on-query latency
+   over growing windows, with every windowed estimate checked
+   **bit-identical** against a monolithic sketch of the same window.
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
-build bit-identical to the single-shot build.  The script exits
-non-zero if either fails.
+build bit-identical to the single-shot build.  ISSUE 2 adds the
+windowed bar: merge-on-query over any bucket range must equal the
+monolithic build bit for bit.  The script exits non-zero if any check
+fails.
 
 Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
 """
@@ -32,6 +38,7 @@ from repro.core.naivesampling import NaiveSamplingEstimator
 from repro.core.samplecount import SampleCountSketch
 from repro.core.tugofwar import TugOfWarSketch
 from repro.engine import sharded_build
+from repro.store import SketchSpec, WindowedSketchStore
 
 
 def timed(fn) -> tuple[float, object]:
@@ -157,6 +164,55 @@ def main(argv=None) -> int:
           f"   ({ns_speedup:.1f}x)")
     if ns_loop.estimate() != ns_batch.estimate():
         failures.append("naive-sampling: batched estimate != per-element estimate")
+
+    # ------------------------------------------------------------------
+    # 4. windowed store: bucketed ingest + merge-on-query vs monolithic
+    # ------------------------------------------------------------------
+    num_buckets = 64
+    # Timestamps walk the bucket axis in arrival order, with 5% of the
+    # batch scattered out of order (late arrivals).
+    timestamps = (np.arange(n, dtype=np.int64) * num_buckets) // n
+    late = rng.random(n) < 0.05
+    timestamps = np.where(
+        late, rng.integers(0, num_buckets, size=n), timestamps
+    ).astype(np.int64)
+    spec = SketchSpec(
+        "tugofwar", {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    )
+
+    def build_store(max_workers=None) -> WindowedSketchStore:
+        st = WindowedSketchStore(spec, bucket_width=1)
+        st.ingest(timestamps, stream, max_workers=max_workers)
+        return st
+
+    t_store, store = timed(build_store)
+    t_store_mt, store_mt = timed(lambda: build_store(max_workers=args.shards))
+
+    print("\nwindowed store (64 buckets)")
+    print(f"  bucketed ingest    {t_store:8.3f} s  {throughput(n, t_store)}")
+    print(f"  bucketed ingest x{args.shards} {t_store_mt:7.3f} s  "
+          f"{throughput(n, t_store_mt)}")
+
+    for b0, b1 in ((0, 1), (16, 48), (0, num_buckets)):
+        repeats = 5
+        start = time.perf_counter()
+        for _ in range(repeats):
+            window = store.query(b0, b1)
+        latency_ms = (time.perf_counter() - start) / repeats * 1e3
+        mono = tw()
+        mono.update_from_stream(stream[(timestamps >= b0) & (timestamps < b1)])
+        identical = np.array_equal(window.counters, mono.counters)
+        print(f"  query [{b0:2d}, {b1:2d})     {latency_ms:8.3f} ms"
+              f"   bit-identical to monolithic: {identical}")
+        if not identical:
+            failures.append(
+                f"windowed store: query [{b0}, {b1}) != monolithic sketch"
+            )
+    if not np.array_equal(
+        store_mt.query(0, num_buckets).counters,
+        store.query(0, num_buckets).counters,
+    ):
+        failures.append("windowed store: threaded ingest != serial ingest")
 
     print()
     if failures:

@@ -12,6 +12,11 @@ common :class:`Sketch` protocol, a kind-keyed serialization registry
 (:func:`dump_sketch` / :func:`load_sketch`), vectorised bulk ingestion
 (:func:`ingest_stream`, batched ``replay``), and a sharded
 build-and-merge path (:func:`sharded_build`) for parallel loading.
+The **store** layer (:mod:`repro.store`) adds continuous maintenance:
+:class:`WindowedSketchStore` buckets timestamped updates and answers
+estimates over arbitrary time windows by merging bucket sketches on
+the fly, and :class:`WindowedSignatureCatalog` lifts that to windowed
+join-size estimates between relations.
 
 Quick start::
 
@@ -72,7 +77,15 @@ from .engine import (
     sharded_build,
     sketch_kinds,
 )
-from .relational import Relation, SampleCatalog, SignatureCatalog, choose_join_order
+from .relational import (
+    Relation,
+    SampleCatalog,
+    SignatureCatalog,
+    UnknownRelationError,
+    WindowedSignatureCatalog,
+    choose_join_order,
+)
+from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
 from .streams import (
     Delete,
     Insert,
@@ -140,7 +153,13 @@ __all__ = [
     "Relation",
     "SignatureCatalog",
     "SampleCatalog",
+    "WindowedSignatureCatalog",
+    "UnknownRelationError",
     "choose_join_order",
+    # windowed store
+    "SketchSpec",
+    "WindowedSketchStore",
+    "WindowAlignmentError",
     # streams
     "Insert",
     "Delete",

@@ -18,17 +18,34 @@ Sketch persistence and distributed builds (the engine layer)::
     python -m repro sketch estimate union.json
     python -m repro sketch kinds
 
+The windowed store (continuous maintenance over time buckets)::
+
+    python -m repro store init --kind tugofwar --bucket-width 100 \
+        --out st.json
+    python -m repro store ingest st.json --events-file events.txt
+    python -m repro store query st.json --from 0 --until 1000
+    python -m repro store compact st.json --before 500
+    python -m repro store snapshot st.json --out checkpoint.json
+    python -m repro store info st.json
+
 Every reproduction subcommand prints the same rows/series the
 corresponding paper artifact reports.  Heavy runs scale down with
-``--scale`` (fraction of the paper's stream lengths).
+``--scale`` (fraction of the paper's stream lengths).  User-level
+failures (missing files, corrupt payloads, unknown kinds, misaligned
+windows) exit with code 2 and a one-line message on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+class CliError(Exception):
+    """A user-correctable failure: printed as one line, exit code 2."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,6 +136,71 @@ def build_parser() -> argparse.ArgumentParser:
 
     sketch_sub.add_parser("kinds", help="list registered sketch kinds")
 
+    p_store = sub.add_parser(
+        "store", help="windowed sketch store: continuous maintenance over time"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_st_init = store_sub.add_parser(
+        "init", help="create an empty windowed store file"
+    )
+    p_st_init.add_argument("--kind", default="tugofwar",
+                           help="registered sketch kind for every bucket")
+    p_st_init.add_argument("--bucket-width", type=int, required=True,
+                           help="time units per bucket")
+    p_st_init.add_argument("--origin", type=int, default=0,
+                           help="timestamp where bucket 0 begins")
+    p_st_init.add_argument("--s1", type=int, default=256)
+    p_st_init.add_argument("--s2", type=int, default=5)
+    p_st_init.add_argument("--seed", type=int, default=0)
+    p_st_init.add_argument("--retention", type=int, default=None,
+                           help="buckets of history to keep hot; older spans "
+                           "are compacted or evicted after each ingest")
+    p_st_init.add_argument("--retention-policy", choices=("compact", "evict"),
+                           default="compact")
+    p_st_init.add_argument("--out", required=True, help="output JSON path")
+
+    p_st_ingest = store_sub.add_parser(
+        "ingest", help="route a timestamped batch into the store's buckets"
+    )
+    p_st_ingest.add_argument("path", help="store JSON file (updated in place)")
+    p_st_ingest.add_argument("--events-file", required=True,
+                             help="whitespace-separated columns: timestamp "
+                             "value [signed count]")
+    p_st_ingest.add_argument("--workers", type=int, default=None,
+                             help="thread count for per-bucket loading")
+
+    p_st_query = store_sub.add_parser(
+        "query", help="merge-on-query estimate over a time window"
+    )
+    p_st_query.add_argument("path")
+    p_st_query.add_argument("--from", dest="t0", type=int, required=True,
+                            help="window start (inclusive)")
+    p_st_query.add_argument("--until", dest="t1", type=int, required=True,
+                            help="window end (exclusive)")
+    p_st_query.add_argument("--align", choices=("strict", "outer"),
+                            default="strict",
+                            help="strict: window must hit bucket/span "
+                            "boundaries; outer: expand to the covering spans")
+
+    p_st_compact = store_sub.add_parser(
+        "compact", help="fold old bucket spans into one merged span"
+    )
+    p_st_compact.add_argument("path")
+    p_st_compact.add_argument("--before", type=int, default=None,
+                              help="bucket boundary; spans entirely before it "
+                              "are merged (default: all spans)")
+
+    p_st_snapshot = store_sub.add_parser(
+        "snapshot", help="checkpoint the store to another file"
+    )
+    p_st_snapshot.add_argument("path")
+    p_st_snapshot.add_argument("--out", required=True,
+                               help="checkpoint JSON path")
+
+    p_st_info = store_sub.add_parser("info", help="inspect a store file")
+    p_st_info.add_argument("path")
+
     return parser
 
 
@@ -132,15 +214,80 @@ def _describe_sketch(sketch, path: str) -> str:
     )
 
 
+def _read_text(path: str) -> str:
+    """Read a file, turning OS failures into one-line CLI errors."""
+    from pathlib import Path
+
+    try:
+        return Path(path).read_text()
+    except FileNotFoundError:
+        raise CliError(f"no such file: {path}") from None
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc}") from exc
+
+
+def _default_sketch_params(
+    kind: str, s1: int, s2: int, seed: int, initial_range: int | None = None
+) -> dict:
+    """Constructor params for a registered kind from the CLI knobs.
+
+    The one shared mapping behind ``sketch build`` and ``store init``,
+    so a kind's parameter convention lives in a single place.  Kinds
+    not special-cased here are assumed to take ``(s1, s2, seed)``; a
+    kind that does not is reported as a :class:`CliError` by the
+    callers' probe build.
+    """
+    if kind == "naivesampling":
+        return {"s": s1 * s2, "seed": seed}
+    if kind == "frequency":
+        return {}
+    params: dict = {"s1": s1, "s2": s2, "seed": seed}
+    if initial_range is not None and kind in (
+        "samplecount", "samplecount-fast", "moments"
+    ):
+        params["initial_range"] = initial_range
+    return params
+
+
+def _load_int_table(path: str, what: str):
+    """Load a whitespace-separated integer table as a 2-D int64 array.
+
+    The one loader behind ``sketch build --values-file`` and
+    ``store ingest --events-file``; OS and parse failures become
+    one-line :class:`CliError` messages describing ``what`` was
+    expected.
+    """
+    import numpy as np
+
+    try:
+        return np.loadtxt(path, dtype=np.int64, ndmin=2)
+    except FileNotFoundError:
+        raise CliError(f"no such file: {path}") from None
+    except ValueError as exc:
+        raise CliError(f"{path}: expected {what}: {exc}") from exc
+
+
 def _sketch_main(args) -> int:
     """The `sketch` subcommand group: build / info / estimate / merge."""
     import json
     from pathlib import Path
 
-    from .engine import dump_sketch, loads_sketch, sharded_build, sketch_kinds
+    from .engine import (
+        MergeUnsupportedError,
+        SketchPayloadError,
+        UnknownSketchKindError,
+        dump_sketch,
+        loads_sketch,
+        sharded_build,
+        sketch_kinds,
+    )
+    from .store import SketchSpec
 
     def load_file(path: str):
-        return loads_sketch(Path(path).read_text())
+        try:
+            return loads_sketch(_read_text(path))
+        except (SketchPayloadError, UnknownSketchKindError) as exc:
+            raise CliError(f"{path}: {exc}") from exc
 
     def save_file(sketch, path: str) -> None:
         Path(path).write_text(json.dumps(dump_sketch(sketch)))
@@ -161,56 +308,54 @@ def _sketch_main(args) -> int:
     if args.sketch_command == "merge":
         sketches = [load_file(p) for p in args.paths]
         merged = sketches[0]
-        for other in sketches[1:]:
-            merged = merged.merge(other)
+        try:
+            for other in sketches[1:]:
+                merged = merged.merge(other)
+        except (MergeUnsupportedError, ValueError, TypeError) as exc:
+            raise CliError(f"cannot merge: {exc}") from exc
         save_file(merged, args.out)
         print(_describe_sketch(merged, args.out))
         return 0
 
     if args.sketch_command == "build":
-        import numpy as np
-
-        from .core.frequency import FrequencyVector
-        from .core.moments import FrequencyMomentTracker
-        from .core.naivesampling import NaiveSamplingEstimator
-        from .core.samplecount import SampleCountFastQuery, SampleCountSketch
-        from .core.tugofwar import TugOfWarSketch
-
         if args.dataset is not None:
             from .data.registry import load_dataset
 
-            values = load_dataset(args.dataset, rng=args.seed, scale=args.scale)
+            try:
+                values = load_dataset(args.dataset, rng=args.seed, scale=args.scale)
+            except KeyError as exc:
+                raise CliError(f"unknown data set: {exc.args[0]}") from exc
         else:
-            values = np.loadtxt(args.values_file, dtype=np.int64).reshape(-1)
+            values = _load_int_table(
+                args.values_file, "whitespace-separated integers"
+            ).reshape(-1)
         n = int(values.size)
 
-        factories = {
-            "tugofwar": lambda: TugOfWarSketch(args.s1, args.s2, seed=args.seed),
-            "samplecount": lambda: SampleCountSketch(
-                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
-            ),
-            "samplecount-fast": lambda: SampleCountFastQuery(
-                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
-            ),
-            "moments": lambda: FrequencyMomentTracker(
-                args.s1, args.s2, seed=args.seed, initial_range=max(n, 1)
-            ),
-            "naivesampling": lambda: NaiveSamplingEstimator(
-                args.s1 * args.s2, seed=args.seed
-            ),
-            "frequency": FrequencyVector,
-        }
-        factory = factories.get(args.kind)
-        if factory is None:
-            raise KeyError(
-                f"unknown sketch kind {args.kind!r}; choose from {sorted(factories)}"
+        try:
+            spec = SketchSpec(
+                args.kind,
+                _default_sketch_params(
+                    args.kind, args.s1, args.s2, args.seed,
+                    initial_range=max(n, 1),
+                ),
             )
+            sketch = spec.build()  # probe: the params must fit the kind
+        except UnknownSketchKindError as exc:
+            raise CliError(str(exc)) from exc
+        except TypeError as exc:
+            raise CliError(
+                f"sketch kind {args.kind!r} does not accept the default "
+                f"CLI parameters: {exc}"
+            ) from exc
         if args.shards > 1:
-            sketch = sharded_build(
-                factory, values, num_shards=args.shards, max_workers=args.workers
-            )
+            try:
+                sketch = sharded_build(
+                    spec.build, values,
+                    num_shards=args.shards, max_workers=args.workers,
+                )
+            except MergeUnsupportedError as exc:
+                raise CliError(f"cannot build sharded: {exc}") from exc
         else:
-            sketch = factory()
             sketch.update_from_stream(values)
         save_file(sketch, args.out)
         print(_describe_sketch(sketch, args.out))
@@ -221,12 +366,152 @@ def _sketch_main(args) -> int:
     )  # pragma: no cover
 
 
+def _store_main(args) -> int:
+    """The `store` subcommand group: init/ingest/query/compact/snapshot/info."""
+    import json
+    from pathlib import Path
+
+    from .engine import (
+        MergeUnsupportedError,
+        SketchPayloadError,
+        UnknownSketchKindError,
+    )
+    from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
+
+    def load_store(path: str) -> WindowedSketchStore:
+        try:
+            payload = json.loads(_read_text(path))
+        except json.JSONDecodeError as exc:
+            raise CliError(f"{path}: not valid JSON: {exc}") from exc
+        try:
+            return WindowedSketchStore.from_dict(payload)
+        except (SketchPayloadError, UnknownSketchKindError) as exc:
+            raise CliError(f"{path}: {exc}") from exc
+
+    def save_store(store: WindowedSketchStore, path: str) -> None:
+        # Atomic replace: ingest/compact rewrite the only copy of the
+        # store, and a mid-write interruption must not truncate it.
+        import os
+
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(store.to_dict()))
+        os.replace(tmp, target)
+
+    def describe(store: WindowedSketchStore, path: str) -> str:
+        coverage = store.coverage
+        window = "empty" if coverage is None else f"[{coverage[0]}, {coverage[1]})"
+        return (
+            f"{path}: kind={store.spec.kind}, width={store.bucket_width}, "
+            f"spans={store.span_count}, coverage={window}, "
+            f"words={store.memory_words:,}"
+        )
+
+    if args.store_command == "init":
+        try:
+            spec = SketchSpec(
+                args.kind,
+                _default_sketch_params(args.kind, args.s1, args.s2, args.seed),
+            )
+            spec.build()  # probe: the params must fit the kind
+            store = WindowedSketchStore(
+                spec,
+                bucket_width=args.bucket_width,
+                origin=args.origin,
+                retention_buckets=args.retention,
+                retention_policy=args.retention_policy,
+            )
+        except (UnknownSketchKindError, ValueError) as exc:
+            raise CliError(str(exc)) from exc
+        except TypeError as exc:
+            raise CliError(
+                f"sketch kind {args.kind!r} does not accept the default "
+                f"CLI parameters: {exc}"
+            ) from exc
+        save_store(store, args.out)
+        print(describe(store, args.out))
+        return 0
+
+    store = load_store(args.path)
+
+    if args.store_command == "ingest":
+        events = _load_int_table(
+            args.events_file, "integer columns 'timestamp value [count]'"
+        )
+        if events.size == 0:
+            raise CliError(f"{args.events_file}: no events")
+        if events.shape[1] not in (2, 3):
+            raise CliError(
+                f"{args.events_file}: expected 2 or 3 columns "
+                f"(timestamp value [count]), got {events.shape[1]}"
+            )
+        counts = events[:, 2] if events.shape[1] == 3 else None
+        try:
+            store.ingest(
+                events[:, 0], events[:, 1], counts=counts,
+                max_workers=args.workers,
+            )
+        except (ValueError, NotImplementedError) as exc:
+            # NotImplementedError: e.g. deletion counts routed to a
+            # naive-sampling bucket (insertion-only by design).
+            raise CliError(f"{args.events_file}: {exc}") from exc
+        save_store(store, args.path)
+        print(f"ingested {events.shape[0]:,} events")
+        print(describe(store, args.path))
+        return 0
+
+    if args.store_command == "query":
+        try:
+            t0, t1 = store.window_bounds(args.t0, args.t1, align=args.align)
+            estimate = store.estimate(args.t0, args.t1, align=args.align)
+        except (ValueError, MergeUnsupportedError) as exc:
+            # WindowAlignmentError and empty/inverted windows are both
+            # ValueErrors; either way a user-correctable window problem.
+            raise CliError(str(exc)) from exc
+        print(f"window [{t0}, {t1}): estimate={estimate:.6g}")
+        return 0
+
+    if args.store_command == "compact":
+        try:
+            folded = store.compact(before=args.before)
+        except (WindowAlignmentError, TypeError) as exc:
+            raise CliError(str(exc)) from exc
+        save_store(store, args.path)
+        print(f"compacted {folded} spans")
+        print(describe(store, args.path))
+        return 0
+
+    if args.store_command == "snapshot":
+        # Round-trip through from_dict so a checkpoint that cannot be
+        # restored is never written.
+        restored = WindowedSketchStore.from_dict(store.to_dict())
+        save_store(restored, args.out)
+        print(describe(restored, args.out))
+        return 0
+
+    if args.store_command == "info":
+        print(describe(store, args.path))
+        for t0, t1 in store.spans:
+            print(f"  span [{t0}, {t1})")
+        return 0
+
+    raise AssertionError(
+        f"unhandled store command {args.store_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
-    if args.command == "sketch":
-        return _sketch_main(args)
+    try:
+        if args.command == "sketch":
+            return _sketch_main(args)
+        if args.command == "store":
+            return _store_main(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     # Imports deferred so `--help` stays instant.
     from .experiments import figures, tables

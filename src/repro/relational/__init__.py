@@ -12,20 +12,27 @@ way a database would:
   (maintained incrementally under inserts/deletes) and answers
   pairwise join-size estimates from signatures alone, avoiding the
   quadratic blow-up of per-pair state;
+* :class:`~repro.relational.windowed.WindowedSignatureCatalog` — the
+  same signature scheme with a time axis: per-relation windowed sketch
+  stores (see :mod:`repro.store`) answering join estimates restricted
+  to any bucket-aligned time window;
 * :class:`~repro.relational.optimizer.choose_join_order` — a toy
   greedy left-deep join-order chooser driven by any size-estimating
   catalog, used to demonstrate end-to-end that better estimates pick
   better plans.
 """
 
-from .catalog import SampleCatalog, SignatureCatalog
+from .catalog import SampleCatalog, SignatureCatalog, UnknownRelationError
 from .optimizer import JoinPlan, choose_join_order, plan_cost
 from .relation import Relation
+from .windowed import WindowedSignatureCatalog
 
 __all__ = [
     "Relation",
     "SignatureCatalog",
     "SampleCatalog",
+    "WindowedSignatureCatalog",
+    "UnknownRelationError",
     "JoinPlan",
     "choose_join_order",
     "plan_cost",

@@ -20,7 +20,28 @@ import numpy as np
 
 from ..core.join import JoinSignatureFamily, SampleJoinSignature
 
-__all__ = ["SignatureCatalog", "SampleCatalog"]
+__all__ = ["SignatureCatalog", "SampleCatalog", "UnknownRelationError"]
+
+
+class UnknownRelationError(LookupError):
+    """An estimate was requested for a relation the catalog never saw.
+
+    Deliberately *not* a ``KeyError``: the raw mapping miss this used
+    to surface as looks like an internal bug, whereas an unregistered
+    relation is a caller-level condition with an obvious fix — so the
+    message names the relation, lists what *is* registered, and says
+    how to register.
+    """
+
+    def __init__(self, name: str, registered: Iterable[str]):
+        self.name = name
+        self.registered = sorted(registered)
+        known = ", ".join(self.registered) or "<none>"
+        super().__init__(
+            f"relation {name!r} is not registered in this catalog "
+            f"(registered relations: {known}); call register({name!r}) "
+            "before routing updates or estimates to it"
+        )
 
 
 class SignatureCatalog:
@@ -54,7 +75,7 @@ class SignatureCatalog:
     def drop(self, name: str) -> None:
         """Stop tracking a relation."""
         if name not in self._signatures:
-            raise KeyError(f"relation {name!r} not registered")
+            raise UnknownRelationError(name, self._signatures)
         del self._signatures[name]
 
     # -- incremental maintenance --------------------------------------------
@@ -121,7 +142,7 @@ class SignatureCatalog:
     def _sig(self, name: str):
         sig = self._signatures.get(name)
         if sig is None:
-            raise KeyError(f"relation {name!r} not registered")
+            raise UnknownRelationError(name, self._signatures)
         return sig
 
     def __contains__(self, name: str) -> bool:
@@ -158,7 +179,7 @@ class SampleCatalog:
     def drop(self, name: str) -> None:
         """Stop tracking a relation."""
         if name not in self._signatures:
-            raise KeyError(f"relation {name!r} not registered")
+            raise UnknownRelationError(name, self._signatures)
         del self._signatures[name]
 
     def insert(self, name: str, value: int) -> None:
@@ -194,7 +215,7 @@ class SampleCatalog:
     def _sig(self, name: str) -> SampleJoinSignature:
         sig = self._signatures.get(name)
         if sig is None:
-            raise KeyError(f"relation {name!r} not registered")
+            raise UnknownRelationError(name, self._signatures)
         return sig
 
     def __contains__(self, name: str) -> bool:

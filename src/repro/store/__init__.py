@@ -1,0 +1,26 @@
+"""The windowed sketch store: continuous maintenance over time buckets.
+
+This package is the maintenance layer the paper's title promises:
+estimates that stay available as the data evolves.  It builds on the
+engine (:mod:`repro.engine`) — every bucket is a registry-known sketch
+fed through the vectorised ingestion paths — and adds the time axis:
+
+* :mod:`repro.store.spec` — :class:`SketchSpec`, the serialisable
+  recipe from which every bucket sketch of one store is built (same
+  kind, same parameters, same seed — the precondition for merging);
+* :mod:`repro.store.windowed` — :class:`WindowedSketchStore`, the
+  partitioned time-bucketed store: timestamp-routed insert/delete
+  batches (out-of-order tolerated), merge-on-query estimates over
+  bucket-aligned ``[t0, t1)`` windows, compaction/eviction retention,
+  and whole-store snapshot/restore through the serialization registry.
+"""
+
+from .spec import SketchSpec
+from .windowed import BucketSpan, WindowAlignmentError, WindowedSketchStore
+
+__all__ = [
+    "SketchSpec",
+    "WindowedSketchStore",
+    "WindowAlignmentError",
+    "BucketSpan",
+]

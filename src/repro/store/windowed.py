@@ -1,0 +1,586 @@
+"""The windowed sketch store: time-bucketed continuous maintenance.
+
+The paper's setting is *maintenance*: estimates must stay available as
+the data evolves, not just after a one-shot build.  This module adds
+the time dimension.  A :class:`WindowedSketchStore` partitions the
+timestamp axis into fixed-width buckets, keeps one sketch (of any
+registry-known kind, see :class:`~repro.store.spec.SketchSpec`) per
+non-empty bucket, and answers estimates over arbitrary bucket-aligned
+windows ``[t0, t1)`` by merging the covered bucket sketches on the
+fly.  Because mergeable sketches combine exactly (tug-of-war counters
+add — linearity), the merged window sketch is **bit-identical** to a
+monolithic sketch built over the same window, which the test suite and
+``benchmarks/bench_engine.py`` assert.
+
+Design points:
+
+* **Routing.**  Ingestion takes parallel ``(timestamps, values)``
+  arrays (plus optional signed ``counts`` for insert/delete batches),
+  groups them by bucket with one stable argsort — so out-of-order
+  arrivals land in the right bucket and within-bucket arrival order is
+  preserved for order-sensitive samplers — and feeds each bucket
+  through the vectorised :mod:`repro.engine.ingest` paths.
+* **Spans.**  Buckets are stored as half-open *spans* of bucket
+  indices.  A fresh bucket is a width-one span; compaction merges old
+  spans into one wide span.  Queries must cover whole spans (a sketch
+  cannot be split), which is exactly the bucket-alignment rule.
+* **Merge-on-query.**  ``query(t0, t1)`` merges the covered span
+  sketches with :func:`repro.engine.sharded.merge_sketches` and never
+  mutates the store; single-span queries of non-mergeable kinds are
+  answered from a serialisation round-trip copy.
+* **Retention.**  ``compact`` folds history older than a horizon into
+  one span (still queryable as part of any window containing it);
+  ``evict`` forgets it.  Both can run automatically after ingestion
+  via the ``retention_buckets`` / ``retention_policy`` settings.
+* **Snapshot/restore.**  The whole store round-trips through
+  ``to_dict`` / ``from_dict`` using the engine serialization registry,
+  RNG state included, so a restored store continues bit-identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping
+
+import numpy as np
+
+from ..engine.ingest import ingest_stream
+from ..engine.protocol import Sketch
+from ..engine.registry import (
+    SketchPayloadError,
+    UnknownSketchKindError,
+    dump_sketch,
+    load_sketch,
+)
+from ..engine.sharded import merge_sketches
+from .spec import SketchSpec
+
+__all__ = ["WindowedSketchStore", "WindowAlignmentError", "BucketSpan"]
+
+
+class WindowAlignmentError(ValueError):
+    """Raised when a window boundary falls inside a bucket span.
+
+    A span's sketch summarises every event in the span; it cannot be
+    split at query time.  Pass ``align="outer"`` to expand the window
+    to the smallest span-aligned superset instead.
+    """
+
+
+@dataclass(eq=False)
+class BucketSpan:
+    """A half-open range of bucket indices summarised by one sketch."""
+
+    start: int  # first bucket index covered (inclusive)
+    end: int  # one past the last bucket index covered
+    sketch: Sketch
+
+    def covers(self, bucket: int) -> bool:
+        """Whether ``bucket`` falls inside this span."""
+        return self.start <= bucket < self.end
+
+
+class WindowedSketchStore:
+    """Time-bucketed sketches with vectorised ingestion and merge-on-query.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.store.spec.SketchSpec` every bucket sketch
+        is built from.  Mergeable kinds must carry an explicit seed in
+        their params so bucket sketches are combinable.
+    bucket_width:
+        Width of one time bucket (integer time units, >= 1).
+    origin:
+        Timestamp where bucket 0 begins; bucket boundaries are
+        ``origin + k * bucket_width``.
+    retention_buckets:
+        If set, history older than this many buckets behind the newest
+        ingested bucket is compacted or evicted after every ingest.
+    retention_policy:
+        ``"compact"`` folds expired spans into one span (history stays
+        queryable in windows that contain it); ``"evict"`` drops them.
+
+    Examples
+    --------
+    >>> store = WindowedSketchStore(
+    ...     SketchSpec("tugofwar", {"s1": 16, "s2": 3, "seed": 1}),
+    ...     bucket_width=10,
+    ... )
+    >>> store.ingest([3, 27, 14], [5, 5, 9])   # out of order is fine
+    >>> round(store.estimate(0, 30), 1) >= 0
+    True
+    """
+
+    def __init__(
+        self,
+        spec: SketchSpec,
+        bucket_width: int,
+        origin: int = 0,
+        retention_buckets: int | None = None,
+        retention_policy: str = "compact",
+    ):
+        if not isinstance(spec, SketchSpec):
+            raise TypeError(f"spec must be a SketchSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.bucket_width = int(bucket_width)
+        if self.bucket_width < 1:
+            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
+        self.origin = int(origin)
+        if retention_buckets is not None and int(retention_buckets) < 1:
+            raise ValueError(
+                f"retention_buckets must be >= 1, got {retention_buckets}"
+            )
+        self.retention_buckets = (
+            None if retention_buckets is None else int(retention_buckets)
+        )
+        if retention_policy not in ("compact", "evict"):
+            raise ValueError(
+                f"retention_policy must be 'compact' or 'evict', got "
+                f"{retention_policy!r}"
+            )
+        if (
+            self.retention_buckets is not None
+            and retention_policy == "compact"
+            and not spec.is_mergeable
+        ):
+            # Caught here, not mid-ingest: retention runs after every
+            # batch, so a non-mergeable kind would otherwise blow up
+            # only once enough buckets exist — with the batch already
+            # half-applied.
+            raise ValueError(
+                f"retention_policy='compact' cannot be used with the "
+                f"non-mergeable sketch kind {spec.kind!r}; use "
+                "retention_policy='evict'"
+            )
+        self.retention_policy = retention_policy
+        self._spans: List[BucketSpan] = []  # sorted by start, non-overlapping
+
+    # ------------------------------------------------------------------
+    # Bucket arithmetic
+    # ------------------------------------------------------------------
+    def bucket_of(self, timestamp: int) -> int:
+        """The bucket index containing ``timestamp`` (floor semantics)."""
+        return (int(timestamp) - self.origin) // self.bucket_width
+
+    def bucket_bounds(self, bucket: int) -> tuple[int, int]:
+        """The half-open timestamp range ``[t0, t1)`` of one bucket."""
+        t0 = self.origin + int(bucket) * self.bucket_width
+        return t0, t0 + self.bucket_width
+
+    def _boundary_bucket(self, t: int) -> int:
+        """The bucket starting at ``t``; raises unless ``t`` is a boundary."""
+        offset = int(t) - self.origin
+        if offset % self.bucket_width:
+            raise WindowAlignmentError(
+                f"timestamp {t} is not a bucket boundary (width "
+                f"{self.bucket_width}, origin {self.origin})"
+            )
+        return offset // self.bucket_width
+
+    def _window_buckets(self, t0: int, t1: int, align: str) -> tuple[int, int]:
+        """Convert a timestamp window to a half-open bucket range."""
+        t0, t1 = int(t0), int(t1)
+        if t1 <= t0:
+            raise ValueError(f"empty window: [{t0}, {t1})")
+        if align not in ("strict", "outer"):
+            raise ValueError(f"align must be 'strict' or 'outer', got {align!r}")
+        b0 = (t0 - self.origin) // self.bucket_width
+        b1 = -((-(t1 - self.origin)) // self.bucket_width)  # ceil division
+        if align == "strict":
+            lo, _ = self.bucket_bounds(b0)
+            _, hi = self.bucket_bounds(b1 - 1)
+            if lo != t0 or hi != t1:
+                raise WindowAlignmentError(
+                    f"window [{t0}, {t1}) is not aligned to bucket boundaries "
+                    f"(width {self.bucket_width}, origin {self.origin}); the "
+                    f"covering aligned window is [{lo}, {hi}) — pass "
+                    f'align="outer" to use it'
+                )
+        return b0, b1
+
+    def _spans_in(self, b0: int, b1: int) -> List[BucketSpan]:
+        return [s for s in self._spans if s.start < b1 and s.end > b0]
+
+    def _span_for_bucket(self, bucket: int) -> BucketSpan:
+        """The span holding ``bucket``, creating a width-one span if new.
+
+        Late arrivals older than a compacted span fold directly into
+        that span's sketch, so spans never overlap.  The span list is
+        kept sorted by start, so lookup and insertion are O(log S) —
+        long-lived stores accumulate thousands of spans and a linear
+        scan here would make continuous ingestion quadratic.
+        """
+        i = bisect.bisect_right(self._spans, bucket, key=lambda s: s.start) - 1
+        if i >= 0 and self._spans[i].covers(bucket):
+            return self._spans[i]
+        span = BucketSpan(bucket, bucket + 1, self.spec.build())
+        self._spans.insert(i + 1, span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        timestamps: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[int],
+        counts: np.ndarray | Iterable[int] | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        """Route a timestamped batch to its buckets and bulk-load each.
+
+        Parameters
+        ----------
+        timestamps, values:
+            Parallel 1-D integer arrays; any timestamp order (late and
+            out-of-order arrivals are routed by value, not position).
+        counts:
+            Optional signed multiplicities: entry i applies ``counts[i]``
+            occurrences of ``values[i]`` (negative = deletions, applied
+            through each sketch's own delete semantics).  Omitted means
+            one insertion per entry.  Deletions are *retractions*: they
+            must carry the timestamp of the insert they reverse, so
+            they route to the bucket that holds it — a bucket sketch
+            summarises only its own events.  As in the paper's tracking
+            model, validity of the delete stream is the caller's
+            responsibility; detection of a mis-routed delete is
+            best-effort (guaranteed for the exact ``frequency`` kind,
+            but a linear sketch only notices when a bucket's total
+            count would go negative).  A detected violation (or any
+            sketch-level precondition failure) raises ``ValueError``
+            with the offending bucket named; updates to other buckets
+            of the batch may already be applied, so treat a failed
+            batch as a reason to restore from the last snapshot.
+        max_workers:
+            If set, distinct buckets are loaded concurrently on that
+            many threads.  Mergeable kinds build a per-bucket *delta*
+            sketch and combine it with
+            :func:`~repro.engine.sharded.merge_sketches`, so the result
+            is bit-identical to the serial path; non-mergeable kinds
+            are updated in place (each bucket is touched by exactly one
+            worker, so this too matches the serial result bit for bit).
+        """
+        ts = np.asarray(timestamps, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if ts.ndim != 1 or vals.ndim != 1 or ts.shape != vals.shape:
+            raise ValueError(
+                f"timestamps {ts.shape} and values {vals.shape} must be "
+                "equal-length 1-D arrays"
+            )
+        cnts = None
+        if counts is not None:
+            cnts = np.asarray(counts, dtype=np.int64)
+            if cnts.shape != vals.shape:
+                raise ValueError(
+                    f"counts {cnts.shape} must match values {vals.shape}"
+                )
+        if ts.size == 0:
+            return
+
+        buckets = (ts - self.origin) // self.bucket_width
+        # Stable sort: groups by bucket while preserving arrival order
+        # within each bucket (order matters for the samplers).
+        order = np.argsort(buckets, kind="stable")
+        buckets = buckets[order]
+        vals = vals[order]
+        if cnts is not None:
+            cnts = cnts[order]
+        cuts = np.flatnonzero(np.diff(buckets)) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [buckets.size]))
+
+        # One job per *span*, not per bucket: several bucket groups can
+        # resolve to the same compacted span, and a span must only ever
+        # be touched by one worker (concurrent read-merge-write on the
+        # same span would drop updates).  Segments stay in bucket order
+        # within each job, matching the serial processing order.
+        jobs: dict[int, tuple[BucketSpan, list]] = {}
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            span = self._span_for_bucket(int(buckets[lo]))  # serial phase
+            segments = jobs.setdefault(id(span), (span, []))[1]
+            segments.append((vals[lo:hi], None if cnts is None else cnts[lo:hi]))
+
+        if max_workers is None:
+            for span, segments in jobs.values():
+                self._load_span(span, segments)
+        else:
+            if max_workers < 1:
+                raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+            mergeable = self.spec.is_mergeable
+
+            def run(job) -> None:
+                span, segments = job
+                # Delta-build only works when the job is insert-only: a
+                # net-negative histogram cannot be applied to an empty
+                # delta (the sketch rightly rejects going below zero),
+                # while the span's own sketch holds the occurrences
+                # being deleted.  Each span is owned by exactly one
+                # worker, so in-place updates are just as safe.
+                insert_only = all(
+                    c is None or int(c.min(initial=0)) >= 0 for _, c in segments
+                )
+                if mergeable and insert_only:
+                    delta = self.spec.build()
+                    for v, c in segments:
+                        self._load_into(delta, v, c)
+                    span.sketch = merge_sketches([span.sketch, delta])
+                else:
+                    self._load_span(span, segments)
+
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                list(pool.map(run, jobs.values()))
+        self._apply_retention()
+
+    @staticmethod
+    def _load_into(sketch: Sketch, values: np.ndarray, counts) -> None:
+        if counts is None:
+            ingest_stream(sketch, values)
+        else:
+            sketch.update_from_frequencies(values, counts)
+
+    def _load_span(self, span: BucketSpan, segments: list) -> None:
+        """Apply a job's segments to one span, naming it on failure.
+
+        A sketch-level rejection (most commonly a delete routed to a
+        bucket that never saw the insert) is re-raised as ``ValueError``
+        with the span's timestamp range so the caller can locate the
+        offending events.  ``KeyError`` is included because the exact
+        ``frequency`` kind signals unmatched deletes that way, and
+        ``NotImplementedError`` because insertion-only kinds reject
+        deletion counts with it.
+        """
+        for v, c in segments:
+            try:
+                self._load_into(span.sketch, v, c)
+            except (ValueError, KeyError, NotImplementedError) as exc:
+                lo, _ = self.bucket_bounds(span.start)
+                _, hi = self.bucket_bounds(span.end - 1)
+                reason = exc.args[0] if exc.args else exc
+                raise ValueError(
+                    f"bucket span [{lo}, {hi}): {reason} (deletions must "
+                    "carry the timestamp of the insert they reverse)"
+                ) from exc
+
+    def _apply_retention(self) -> None:
+        if self.retention_buckets is None or not self._spans:
+            return
+        horizon = max(s.end for s in self._spans) - self.retention_buckets
+        if self.retention_policy == "evict":
+            self._evict_spans(horizon)
+        else:
+            self._compact_spans(horizon)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def window_bounds(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> tuple[int, int]:
+        """The timestamp window a query would actually cover.
+
+        Expands ``[t0, t1)`` to bucket boundaries (under ``align``
+        rules) and then to whole spans, so the caller knows the exact
+        range the returned estimate summarises.
+        """
+        b0, b1 = self._window_buckets(t0, t1, align)
+        spans = self._spans_in(b0, b1)
+        for span in spans:
+            if span.start < b0 or span.end > b1:
+                if align == "strict":
+                    s0, _ = self.bucket_bounds(span.start)
+                    _, s1 = self.bucket_bounds(span.end - 1)
+                    raise WindowAlignmentError(
+                        f"window [{t0}, {t1}) splits the compacted span "
+                        f"[{s0}, {s1}); cover the whole span or pass "
+                        f'align="outer"'
+                    )
+                b0 = min(b0, span.start)
+                b1 = max(b1, span.end)
+        lo, _ = self.bucket_bounds(b0)
+        _, hi = self.bucket_bounds(b1 - 1)
+        return lo, hi
+
+    def query(self, t0: int, t1: int, align: str = "strict") -> Sketch:
+        """The sketch of every event in the window ``[t0, t1)``.
+
+        Merges the covered span sketches on the fly; the store is
+        never mutated and the result is an independent sketch.  For
+        mergeable kinds it is bit-identical to a monolithic sketch of
+        the window's events.  A window covering several spans of a
+        non-mergeable kind raises
+        :class:`~repro.engine.protocol.MergeUnsupportedError`.
+        """
+        lo, hi = self.window_bounds(t0, t1, align)
+        b0 = (lo - self.origin) // self.bucket_width
+        b1 = (hi - self.origin) // self.bucket_width
+        spans = self._spans_in(b0, b1)
+        if not spans:
+            return self.spec.build()
+        if len(spans) == 1 and not self.spec.is_mergeable:
+            # Detached copy through the serialization registry, so the
+            # caller cannot mutate the stored bucket.
+            return load_sketch(dump_sketch(spans[0].sketch))
+        if len(spans) == 1:
+            return merge_sketches([self.spec.build(), spans[0].sketch])
+        return merge_sketches([s.sketch for s in spans])
+
+    def estimate(self, t0: int, t1: int, align: str = "strict") -> float:
+        """Self-join estimate over the window (merge-on-query)."""
+        return float(self.query(t0, t1, align=align).estimate())
+
+    # ------------------------------------------------------------------
+    # Retention: compaction and eviction
+    # ------------------------------------------------------------------
+    def compact(self, before: int | None = None) -> int:
+        """Merge spans strictly older than ``before`` into one span.
+
+        ``before`` must lie on a bucket boundary (``None`` compacts all
+        spans).  Only spans *entirely* before the horizon are touched.
+        Returns the number of spans that were folded together (0 if
+        fewer than two qualified).
+        """
+        horizon = None if before is None else self._boundary_bucket(before)
+        return self._compact_spans(horizon)
+
+    def _compact_spans(self, horizon: int | None) -> int:
+        old = [
+            s for s in self._spans if horizon is None or s.end <= horizon
+        ]
+        if len(old) < 2:
+            return 0
+        if not self.spec.is_mergeable:
+            raise TypeError(
+                f"cannot compact {self.spec.kind!r} buckets: the kind does "
+                "not support merging (use retention_policy='evict')"
+            )
+        merged = BucketSpan(
+            min(s.start for s in old),
+            max(s.end for s in old),
+            merge_sketches([s.sketch for s in old]),
+        )
+        old_ids = {id(s) for s in old}
+        kept = [s for s in self._spans if id(s) not in old_ids]
+        self._spans = sorted(kept + [merged], key=lambda s: s.start)
+        return len(old)
+
+    def evict(self, before: int) -> int:
+        """Drop spans entirely older than ``before`` (a bucket boundary).
+
+        Evicted history is forgotten: subsequent windows that would
+        have covered it simply see no events there.  Returns the
+        number of spans dropped.
+        """
+        return self._evict_spans(self._boundary_bucket(before))
+
+    def _evict_spans(self, horizon: int) -> int:
+        old = [s for s in self._spans if s.end <= horizon]
+        self._spans = [s for s in self._spans if s.end > horizon]
+        return len(old)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """Timestamp ranges ``[t0, t1)`` of the stored spans, in order."""
+        return [
+            (self.bucket_bounds(s.start)[0], self.bucket_bounds(s.end - 1)[1])
+            for s in self._spans
+        ]
+
+    @property
+    def span_count(self) -> int:
+        """Number of stored bucket spans."""
+        return len(self._spans)
+
+    @property
+    def coverage(self) -> tuple[int, int] | None:
+        """Timestamp range from oldest to newest span, or None if empty."""
+        if not self._spans:
+            return None
+        lo, _ = self.bucket_bounds(self._spans[0].start)
+        _, hi = self.bucket_bounds(self._spans[-1].end - 1)
+        return lo, hi
+
+    @property
+    def memory_words(self) -> int:
+        """Total storage across bucket sketches (paper cost model)."""
+        return sum(s.sketch.memory_words for s in self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowedSketchStore(kind={self.spec.kind!r}, "
+            f"width={self.bucket_width}, spans={len(self._spans)}, "
+            f"coverage={self.coverage})"
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialise the whole store (config + every bucket sketch)."""
+        return {
+            "kind": "windowed-store",
+            "spec": self.spec.to_dict(),
+            "bucket_width": self.bucket_width,
+            "origin": self.origin,
+            "retention_buckets": self.retention_buckets,
+            "retention_policy": self.retention_policy,
+            "spans": [
+                [s.start, s.end, dump_sketch(s.sketch)] for s in self._spans
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "WindowedSketchStore":
+        """Reconstruct a store from :meth:`to_dict` output.
+
+        Bucket sketches are restored through the serialization
+        registry, RNG state included, so continued ingestion is
+        bit-identical to a store that was never snapshotted.
+        """
+        if not isinstance(payload, Mapping):
+            raise SketchPayloadError(
+                f"store payload must be a mapping, got {type(payload).__name__}"
+            )
+        if payload.get("kind") != "windowed-store":
+            raise SketchPayloadError(
+                f"not a windowed-store payload: kind={payload.get('kind')!r}"
+            )
+        try:
+            store = cls(
+                SketchSpec.from_dict(payload["spec"]),
+                bucket_width=int(payload["bucket_width"]),
+                origin=int(payload.get("origin", 0)),
+                retention_buckets=payload.get("retention_buckets"),
+                retention_policy=payload.get("retention_policy", "compact"),
+            )
+            spans = [
+                BucketSpan(int(b0), int(b1), load_sketch(sketch))
+                for b0, b1, sketch in payload["spans"]
+            ]
+        except (SketchPayloadError, UnknownSketchKindError):
+            raise  # already actionable; don't bury under a generic wrapper
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SketchPayloadError(f"corrupt windowed-store payload: {exc}") from exc
+        spans.sort(key=lambda s: s.start)
+        for span in spans:
+            if span.end <= span.start:
+                raise SketchPayloadError(
+                    f"corrupt windowed-store payload: empty span "
+                    f"[{span.start}, {span.end})"
+                )
+        for a, b in zip(spans, spans[1:]):
+            if b.start < a.end:
+                raise SketchPayloadError(
+                    f"corrupt windowed-store payload: spans "
+                    f"[{a.start}, {a.end}) and [{b.start}, {b.end}) overlap"
+                )
+        store._spans = spans
+        return store

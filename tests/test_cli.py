@@ -131,7 +131,271 @@ class TestSketchCommands:
         payload = json.loads((tmp_path / "merged.json").read_text())
         assert payload["n"] == 4000  # both halves counted
 
-    def test_build_unknown_kind(self, tmp_path, values_file):
-        with pytest.raises(KeyError):
-            main(["sketch", "build", "--kind", "nope", "--values-file", values_file,
-                  "--out", str(tmp_path / "x.json")])
+    def test_build_unknown_kind_clear_error(self, tmp_path, values_file, capsys):
+        assert main(
+            ["sketch", "build", "--kind", "nope", "--values-file", values_file,
+             "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "unknown sketch kind" in capsys.readouterr().err
+
+    def test_build_missing_values_file_clear_error(self, tmp_path, capsys):
+        assert main(
+            ["sketch", "build", "--values-file", str(tmp_path / "nope.txt"),
+             "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_build_unknown_dataset_clear_error(self, tmp_path, capsys):
+        assert main(
+            ["sketch", "build", "--dataset", "nope",
+             "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "unknown data set" in capsys.readouterr().err
+
+    def test_sharded_build_unmergeable_kind_clear_error(
+        self, tmp_path, values_file, capsys
+    ):
+        assert main(
+            ["sketch", "build", "--kind", "samplecount", "--values-file",
+             values_file, "--shards", "2", "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "does not support merging" in capsys.readouterr().err
+
+    def test_merge_mismatched_seeds_clear_error(
+        self, tmp_path, values_file, capsys
+    ):
+        left, right = str(tmp_path / "l.json"), str(tmp_path / "r.json")
+        base = ["sketch", "build", "--kind", "tugofwar", "--s1", "16",
+                "--s2", "2", "--values-file", values_file]
+        assert main(base + ["--seed", "1", "--out", left]) == 0
+        assert main(base + ["--seed", "2", "--out", right]) == 0
+        capsys.readouterr()
+        assert main(
+            ["sketch", "merge", left, right, "--out", str(tmp_path / "m.json")]
+        ) == 2
+        assert "different hash families" in capsys.readouterr().err
+
+    def test_estimate_missing_file_clear_error(self, tmp_path, capsys):
+        # ISSUE 2 satellite: user-level failures surface as one clear
+        # line and exit code 2, not a traceback.
+        assert main(["sketch", "estimate", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no such file" in err
+
+    def test_estimate_unregistered_kind_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps({"kind": "alien", "z": []}))
+        assert main(["sketch", "estimate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sketch kind" in err and "registered kinds" in err
+
+    def test_estimate_corrupt_payload_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert main(["sketch", "estimate", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def events_file(self, tmp_path):
+        rng = np.random.default_rng(8)
+        ts = rng.integers(0, 100, size=3000)
+        values = rng.integers(0, 50, size=3000)
+        path = tmp_path / "events.txt"
+        path.write_text(
+            "\n".join(f"{t} {v}" for t, v in zip(ts.tolist(), values.tolist()))
+        )
+        return str(path)
+
+    @pytest.fixture()
+    def store_file(self, tmp_path, events_file):
+        path = str(tmp_path / "store.json")
+        assert main(
+            ["store", "init", "--kind", "tugofwar", "--bucket-width", "10",
+             "--s1", "32", "--s2", "3", "--seed", "5", "--out", path]
+        ) == 0
+        assert main(["store", "ingest", path, "--events-file", events_file]) == 0
+        return path
+
+    def test_init_writes_config(self, tmp_path, capsys):
+        path = tmp_path / "st.json"
+        assert main(
+            ["store", "init", "--kind", "frequency", "--bucket-width", "7",
+             "--out", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "windowed-store"
+        assert payload["bucket_width"] == 7
+        assert payload["spec"]["kind"] == "frequency"
+
+    def test_ingest_and_query(self, store_file, capsys):
+        assert main(
+            ["store", "query", store_file, "--from", "0", "--until", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "window [0, 100)" in out and "estimate=" in out
+
+    def test_query_matches_monolithic_sketch(
+        self, tmp_path, store_file, events_file, capsys
+    ):
+        # The acceptance property, end to end through the CLI: the
+        # windowed estimate equals a monolithic build over the window.
+        events = np.loadtxt(events_file, dtype=np.int64)
+        window = events[(events[:, 0] >= 20) & (events[:, 0] < 60)][:, 1]
+        values_file = tmp_path / "window_values.txt"
+        values_file.write_text("\n".join(str(v) for v in window.tolist()))
+        mono = tmp_path / "mono.json"
+        assert main(
+            ["sketch", "build", "--kind", "tugofwar", "--values-file",
+             str(values_file), "--s1", "32", "--s2", "3", "--seed", "5",
+             "--out", str(mono)]
+        ) == 0
+        capsys.readouterr()  # drain the build summary
+        assert main(["sketch", "estimate", str(mono)]) == 0
+        mono_est = capsys.readouterr().out.strip()
+        assert main(
+            ["store", "query", store_file, "--from", "20", "--until", "60"]
+        ) == 0
+        assert f"estimate={float(mono_est):.6g}" in capsys.readouterr().out
+
+    def test_query_inverted_window_clear_error(self, store_file, capsys):
+        assert main(
+            ["store", "query", store_file, "--from", "10", "--until", "5"]
+        ) == 2
+        assert "empty window" in capsys.readouterr().err
+
+    def test_init_compact_retention_with_sampler_clear_error(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["store", "init", "--kind", "naivesampling", "--bucket-width",
+             "10", "--retention", "2", "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "evict" in capsys.readouterr().err
+
+    def test_query_misaligned_clear_error(self, store_file, capsys):
+        assert main(
+            ["store", "query", store_file, "--from", "5", "--until", "60"]
+        ) == 2
+        assert "not aligned" in capsys.readouterr().err
+        assert main(
+            ["store", "query", store_file, "--from", "5", "--until", "60",
+             "--align", "outer"]
+        ) == 0
+        assert "window [0, 60)" in capsys.readouterr().out
+
+    def test_compact_then_query_unchanged(self, store_file, capsys):
+        assert main(
+            ["store", "query", store_file, "--from", "0", "--until", "100"]
+        ) == 0
+        before = capsys.readouterr().out
+        assert main(["store", "compact", store_file, "--before", "50"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", store_file, "--from", "0", "--until", "100"]
+        ) == 0
+        assert capsys.readouterr().out == before
+
+    def test_snapshot_round_trips(self, tmp_path, store_file, capsys):
+        snap = str(tmp_path / "snap.json")
+        assert main(["store", "snapshot", store_file, "--out", snap]) == 0
+        assert json.loads((tmp_path / "snap.json").read_text()) == json.loads(
+            (tmp_path / "store.json").read_text()
+        )
+
+    def test_info_lists_spans(self, store_file, capsys):
+        assert main(["store", "info", store_file]) == 0
+        out = capsys.readouterr().out
+        assert "spans=10" in out and "span [0, 10)" in out
+
+    def test_ingest_with_counts_column(self, tmp_path, capsys):
+        path = str(tmp_path / "st.json")
+        assert main(
+            ["store", "init", "--kind", "tugofwar", "--bucket-width", "10",
+             "--s1", "16", "--s2", "3", "--out", path]
+        ) == 0
+        events = tmp_path / "signed.txt"
+        events.write_text("1 7 3\n2 7 -1\n15 9 2\n")
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["store", "query", path, "--from", "0", "--until", "20"]) == 0
+        assert "estimate=" in capsys.readouterr().out
+
+    def test_corrupt_store_payload_clear_error(self, tmp_path, store_file, capsys):
+        # Validation failures inside the payload (not just bad JSON)
+        # must surface as one-line errors too.
+        payload = json.loads((tmp_path / "store.json").read_text())
+        payload["bucket_width"] = 0
+        bad = tmp_path / "bad_store.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["store", "info", str(bad)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+        payload["bucket_width"] = 10
+        payload["spans"] = [[0, 1]]  # span entry missing its sketch
+        bad.write_text(json.dumps(payload))
+        assert main(["store", "info", str(bad)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_store_missing_file_clear_error(self, tmp_path, capsys):
+        assert main(
+            ["store", "query", str(tmp_path / "nope.json"),
+             "--from", "0", "--until", "10"]
+        ) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_ingest_deletes_into_sampler_clear_error(self, tmp_path, capsys):
+        path = str(tmp_path / "ns.json")
+        assert main(
+            ["store", "init", "--kind", "naivesampling", "--bucket-width",
+             "10", "--s1", "4", "--s2", "2", "--out", path]
+        ) == 0
+        events = tmp_path / "neg.txt"
+        events.write_text("2 7 -1\n")
+        capsys.readouterr()
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 2
+        assert "insertion-only" in capsys.readouterr().err
+
+    def test_ingest_unmatched_delete_frequency_clear_error(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "fv.json")
+        assert main(
+            ["store", "init", "--kind", "frequency", "--bucket-width", "10",
+             "--out", path]
+        ) == 0
+        events = tmp_path / "orphan_delete.txt"
+        events.write_text("5 7 -1\n")
+        capsys.readouterr()
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 2
+        assert "bucket span" in capsys.readouterr().err
+
+    def test_ingest_bad_events_clear_error(self, tmp_path, store_file, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3 4\n")
+        assert main(
+            ["store", "ingest", store_file, "--events-file", str(bad)]
+        ) == 2
+        assert "columns" in capsys.readouterr().err
+
+    def test_query_unmergeable_multi_span_clear_error(self, tmp_path, capsys):
+        path = str(tmp_path / "ns.json")
+        assert main(
+            ["store", "init", "--kind", "naivesampling", "--bucket-width", "10",
+             "--s1", "4", "--s2", "2", "--out", path]
+        ) == 0
+        events = tmp_path / "two_buckets.txt"
+        events.write_text("1 7\n15 9\n")
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["store", "query", path, "--from", "0", "--until", "10"]) == 0
+        assert "estimate=" in capsys.readouterr().out
+        assert main(["store", "query", path, "--from", "0", "--until", "20"]) == 2
+        assert "does not support merging" in capsys.readouterr().err
+
+    def test_init_unknown_kind_clear_error(self, tmp_path, capsys):
+        assert main(
+            ["store", "init", "--kind", "nope", "--bucket-width", "10",
+             "--out", str(tmp_path / "x.json")]
+        ) == 2
+        assert "unknown sketch kind" in capsys.readouterr().err

@@ -15,7 +15,13 @@ from repro.core.moments import FrequencyMomentTracker
 from repro.core.naivesampling import NaiveSamplingEstimator
 from repro.core.samplecount import SampleCountFastQuery, SampleCountSketch
 from repro.core.tugofwar import TugOfWarSketch
-from repro.engine import MergeUnsupportedError, Sketch
+from repro.engine import (
+    MergeUnsupportedError,
+    Sketch,
+    dump_sketch,
+    load_sketch,
+    sketch_kinds,
+)
 
 ALL_SKETCHES = [
     TugOfWarSketch(16, 3, seed=1),
@@ -25,6 +31,20 @@ ALL_SKETCHES = [
     NaiveSamplingEstimator(s=48, seed=1),
     FrequencyVector(),
 ]
+
+#: One fresh-sketch factory per registered kind; the round-trip tests
+#: parametrize over `sketch_kinds()` so a newly registered kind that
+#: is missing here fails loudly instead of silently escaping coverage.
+KIND_FACTORIES = {
+    "tugofwar": lambda: TugOfWarSketch(16, 3, seed=11),
+    "samplecount": lambda: SampleCountSketch(8, 3, seed=11, initial_range=64),
+    "samplecount-fast": lambda: SampleCountFastQuery(
+        8, 3, seed=11, initial_range=64
+    ),
+    "moments": lambda: FrequencyMomentTracker(8, 3, seed=11, initial_range=64),
+    "naivesampling": lambda: NaiveSamplingEstimator(s=24, seed=11),
+    "frequency": FrequencyVector,
+}
 
 
 @pytest.mark.parametrize("sketch", ALL_SKETCHES, ids=lambda s: type(s).__name__)
@@ -93,6 +113,60 @@ class TestDefaults:
     def test_abstract_base_cannot_instantiate(self):
         with pytest.raises(TypeError):
             Sketch()
+
+
+@pytest.mark.parametrize("kind", sketch_kinds())
+class TestRoundTripContinuedIngestion:
+    """ISSUE 2 satellite: serialising must never fork a sketch's future.
+
+    For every registered kind, `load_sketch(dump_sketch(s))` followed
+    by more ingestion must be bit-identical — full state, RNG state
+    included — to the sketch that was never serialised.
+    """
+
+    def _streams(self):
+        rng = np.random.default_rng(42)
+        return (
+            rng.integers(0, 60, size=500).astype(np.int64),
+            rng.integers(0, 60, size=300).astype(np.int64),
+        )
+
+    def test_registered_kind_has_factory(self, kind):
+        assert kind in KIND_FACTORIES, (
+            f"kind {kind!r} registered but not covered by the round-trip "
+            "tests; add a factory to KIND_FACTORIES"
+        )
+
+    def test_round_trip_then_ingest_bit_identical(self, kind):
+        prefix, suffix = self._streams()
+        original = KIND_FACTORIES[kind]()
+        original.update_from_stream(prefix)
+        restored = load_sketch(dump_sketch(original))
+        assert type(restored) is type(original)
+        assert dump_sketch(restored) == dump_sketch(original)
+        original.update_from_stream(suffix)
+        restored.update_from_stream(suffix)
+        assert dump_sketch(restored) == dump_sketch(original)
+        assert restored.estimate() == original.estimate()
+
+    def test_round_trip_through_json_text(self, kind):
+        from repro.engine import dumps_sketch, loads_sketch
+
+        prefix, suffix = self._streams()
+        original = KIND_FACTORIES[kind]()
+        original.update_from_stream(prefix)
+        restored = loads_sketch(dumps_sketch(original))
+        original.update_from_stream(suffix)
+        restored.update_from_stream(suffix)
+        assert dump_sketch(restored) == dump_sketch(original)
+
+    def test_double_round_trip_is_stable(self, kind):
+        prefix, _ = self._streams()
+        sketch = KIND_FACTORIES[kind]()
+        sketch.update_from_stream(prefix)
+        once = dump_sketch(load_sketch(dump_sketch(sketch)))
+        twice = dump_sketch(load_sketch(once))
+        assert once == twice
 
 
 class TestRelationalBulkPaths:

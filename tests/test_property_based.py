@@ -22,6 +22,7 @@ from repro.core.samplecount import (
     sample_count_estimate_offline,
 )
 from repro.core.tugofwar import TugOfWarSketch
+from repro.engine.ingest import ingest_operations
 from repro.streams.canonical import canonical_sequence
 from repro.streams.operations import Delete, Insert
 
@@ -202,6 +203,88 @@ class TestNaiveSamplingProperties:
         arr = np.asarray(values, dtype=np.int64)
         est = naive_sampling_estimate_offline(arr, arr.size, rng=seed)
         assert est == pytest.approx(float(self_join_size(arr)))
+
+
+class TestVectorisedIngestCanonicalEquivalence:
+    """Every vectorised ingest path must match the canonical reduction.
+
+    `ingest_operations` is the engine's single entry point for
+    insert/delete programs; depending on the sketch it routes through
+    the histogram fold (tug-of-war, frequency), the segment walker
+    (sample-count), or the skip-jump reservoir (naive-sampling).  For
+    linear sketches the result must be bit-identical to a build over
+    the canonical sequence of Section 2.1; for the order-sensitive
+    samplers it must be bit-identical to the per-element operation
+    loop (whose canonical-sequence equivalence is distributional and
+    asserted elsewhere).  Invalid programs — a delete with no matching
+    insert — must be rejected, exactly as the canonical reduction
+    rejects them.
+    """
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_fold_matches_canonical_tugofwar(self, ops, seed):
+        folded = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        ingest_operations(folded, ops)
+        canonical = TugOfWarSketch(s1=8, s2=2, seed=seed)
+        canonical.update_from_stream(
+            np.asarray(canonical_sequence(ops), dtype=np.int64)
+        )
+        assert np.array_equal(folded.counters, canonical.counters)
+        assert folded.n == canonical.n
+
+    @given(ops=ops_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_fold_matches_canonical_frequency(self, ops):
+        folded = FrequencyVector()
+        ingest_operations(folded, ops)
+        assert folded == FrequencyVector.from_stream(
+            np.asarray(canonical_sequence(ops), dtype=np.int64)
+        )
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_segment_walker_matches_per_element_samplecount(self, ops, seed):
+        walked = SampleCountSketch(s1=6, s2=2, seed=seed, initial_range=40)
+        ingest_operations(walked, ops)
+        loop = SampleCountSketch(s1=6, s2=2, seed=seed, initial_range=40)
+        for op in ops:
+            if isinstance(op, Insert):
+                loop.insert(op.value)
+            else:
+                loop.delete(op.value)
+        assert walked.to_dict() == loop.to_dict()  # RNG state included
+        walked.check_invariants()
+        # ... and the sample only ever holds canonical survivors.
+        survivors = FrequencyVector.from_stream(
+            np.asarray(canonical_sequence(ops), dtype=np.int64)
+        )
+        for v in walked.sample_values():
+            assert survivors.frequency(v) >= 1
+
+    @given(values=values_list, seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_skip_jump_reservoir_matches_per_element(self, values, seed):
+        from repro.core.naivesampling import NaiveSamplingEstimator
+
+        ops = [Insert(v) for v in values]
+        jumped = NaiveSamplingEstimator(s=8, seed=seed)
+        ingest_operations(jumped, ops)
+        loop = NaiveSamplingEstimator(s=8, seed=seed)
+        for v in values:
+            loop.insert(v)
+        assert jumped.to_dict() == loop.to_dict()
+
+    @given(ops=ops_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_without_insert_rejected_everywhere(self, ops, seed):
+        bogus = ops + [Delete(999)]  # 999 is outside the generated domain
+        with pytest.raises(ValueError):
+            canonical_sequence(bogus)
+        with pytest.raises(ValueError):
+            ingest_operations(TugOfWarSketch(s1=4, s2=2, seed=seed), bogus)
+        with pytest.raises((ValueError, KeyError)):
+            ingest_operations(FrequencyVector(), bogus)
 
 
 class TestFrequencyVectorProperties:

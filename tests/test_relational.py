@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.relational.catalog import SampleCatalog, SignatureCatalog
+from repro.relational.catalog import (
+    SampleCatalog,
+    SignatureCatalog,
+    UnknownRelationError,
+)
 from repro.relational.optimizer import JoinPlan, choose_join_order, plan_cost
 from repro.relational.relation import Relation
 
@@ -83,7 +87,7 @@ class TestSignatureCatalog:
     def test_drop(self, catalog):
         catalog.drop("C")
         assert "C" not in catalog
-        with pytest.raises(KeyError):
+        with pytest.raises(UnknownRelationError):
             catalog.drop("C")
 
     def test_join_estimate_close(self, catalog):
@@ -119,8 +123,21 @@ class TestSignatureCatalog:
         assert catalog.k == 512
 
     def test_unknown_relation_raises(self, catalog):
-        with pytest.raises(KeyError, match="not registered"):
+        with pytest.raises(UnknownRelationError, match="not registered"):
             catalog.join_estimate("A", "Z")
+
+    def test_unknown_relation_error_is_not_keyerror(self, catalog):
+        # The old raw-mapping KeyError looked like an internal bug; the
+        # dedicated error names the relation and lists what exists.
+        try:
+            catalog.join_estimate("A", "Z")
+        except UnknownRelationError as exc:
+            assert not isinstance(exc, KeyError)
+            assert exc.name == "Z"
+            assert exc.registered == ["A", "B", "C"]
+            assert "register" in str(exc)
+        else:  # pragma: no cover - the raise is the point
+            raise AssertionError("expected UnknownRelationError")
 
 
 class TestSampleCatalog:
@@ -162,6 +179,14 @@ class TestSampleCatalog:
     def test_rejects_bad_p(self):
         with pytest.raises(ValueError):
             SampleCatalog(p=0.0)
+
+    def test_unknown_relation_clear_error(self):
+        cat = SampleCatalog(p=0.5, seed=0)
+        cat.register("A")
+        with pytest.raises(UnknownRelationError, match="not registered"):
+            cat.join_estimate("A", "missing")
+        with pytest.raises(UnknownRelationError):
+            cat.drop("missing")
 
     def test_memory_words_tracks_samples(self, rng):
         cat = SampleCatalog(p=0.1, seed=1)

@@ -1,0 +1,120 @@
+"""Empirical (eps, delta) validation of the tug-of-war guarantee.
+
+Theorem 2.2: for *any* fixed input, the median of s2 means of s1
+squared counters is within relative error ``eps = 4 / sqrt(s1)`` of
+SJ(R) with probability at least ``1 - delta``, ``delta = 2^(-s2/2)``,
+over the sketch's own randomness.  This harness fixes the inputs — a
+Zipf stream, the paper's adversarial `path` set, and a deletion-heavy
+workload — and measures the failure frequency across 200 independent
+sketch seeds per input.  Everything is seeded and deterministic.
+
+The check is one-sided on purpose: the theorem promises failures are
+*rarer* than delta (in practice far rarer, since the Chebyshev +
+Chernoff analysis is loose), so the empirical rate must not exceed
+delta.  A companion test confirms the median stage earns its keep:
+widening s2 must not hurt the failure rate on the worst input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    theoretical_confidence,
+    theoretical_relative_error,
+)
+from repro.core.frequency import self_join_size
+from repro.core.tugofwar import TugOfWarSketch
+from repro.data.adversarial import path_dataset
+from repro.engine.ingest import ingest_operations
+from repro.streams.canonical import remaining_multiset
+from repro.streams.operations import mixed_workload
+
+S1, S2 = 64, 5
+EPS = theoretical_relative_error(S1)  # 4 / sqrt(64) = 0.5
+DELTA = 1.0 - theoretical_confidence(S2)  # 2^(-5/2) ~ 0.177
+N_SEEDS = 200
+
+
+def _zipf_stream() -> np.ndarray:
+    rng = np.random.default_rng(123)
+    return (rng.zipf(1.3, size=6000) % 2000).astype(np.int64)
+
+
+def _adversarial_stream() -> np.ndarray:
+    # The paper's `path` set scaled down: worst case for sampling-based
+    # estimators, and maximally skewed between singletons and one heavy
+    # value — a stress input for the variance bound.
+    return path_dataset(singletons=4000, heavy_count=80, rng=9)
+
+
+def _failure_rate(values: np.ndarray, s1: int = S1, s2: int = S2) -> float:
+    """Fraction of sketch seeds whose estimate misses the eps band."""
+    truth = float(self_join_size(values))
+    eps = theoretical_relative_error(s1)
+    failures = 0
+    for seed in range(N_SEEDS):
+        sketch = TugOfWarSketch(s1=s1, s2=s2, seed=seed)
+        sketch.update_from_stream(values)
+        if abs(sketch.estimate() - truth) > eps * truth:
+            failures += 1
+    return failures / N_SEEDS
+
+
+class TestTheorem22Empirically:
+    def test_zipf_stream_within_eps_delta(self):
+        assert _failure_rate(_zipf_stream()) <= DELTA
+
+    def test_adversarial_stream_within_eps_delta(self):
+        assert _failure_rate(_adversarial_stream()) <= DELTA
+
+    def test_deletion_workload_within_eps_delta(self):
+        """The tracking guarantee: deletions do not degrade accuracy.
+
+        The sketch state after an insert/delete program equals the
+        state over the canonical surviving multiset exactly
+        (linearity), so the (eps, delta) bound applies to the
+        *remaining* multiset.
+        """
+        base = _zipf_stream()[:4000]
+        ops = list(mixed_workload(base, delete_fraction=0.2, rng=77))
+        truth = float(
+            sum(c * c for c in remaining_multiset(ops).values())
+        )
+        failures = 0
+        for seed in range(N_SEEDS):
+            sketch = TugOfWarSketch(s1=S1, s2=S2, seed=seed)
+            ingest_operations(sketch, ops)
+            if abs(sketch.estimate() - truth) > EPS * truth:
+                failures += 1
+        assert failures / N_SEEDS <= DELTA
+
+    def test_more_confidence_groups_never_hurt_much(self):
+        """delta shrinks with s2: at equal s1, failures with s2=5
+        must not exceed failures with s2=1 beyond seed noise."""
+        values = _adversarial_stream()
+        wide = _failure_rate(values, s1=S1, s2=5)
+        single = _failure_rate(values, s1=S1, s2=1)
+        assert wide <= single + 0.05
+
+    def test_relative_error_shrinks_with_s1(self):
+        """The eps = 4/sqrt(s1) trend: quadrupling s1 should at least
+        halve the median relative error on the Zipf input."""
+        values = _zipf_stream()
+        truth = float(self_join_size(values))
+
+        def median_rel_error(s1: int) -> float:
+            errors = []
+            for seed in range(60):
+                sketch = TugOfWarSketch(s1=s1, s2=S2, seed=seed)
+                sketch.update_from_stream(values)
+                errors.append(abs(sketch.estimate() - truth) / truth)
+            return float(np.median(errors))
+
+        assert median_rel_error(64) <= 0.75 * median_rel_error(4)
+
+    def test_bound_constants_match_theorem(self):
+        assert EPS == pytest.approx(0.5)
+        assert DELTA == pytest.approx(2.0 ** -2.5)
+        assert N_SEEDS >= 200

@@ -1,0 +1,487 @@
+"""The windowed sketch store: routing, merge-on-query, retention, snapshots.
+
+The tentpole contract of ISSUE 2: a time-bucketed store that absorbs
+timestamped insert/delete batches (out-of-order included) and answers
+estimates over arbitrary bucket-aligned windows, with merge-on-query
+**bit-identical** to a monolithic sketch built over the same window.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector, self_join_size
+from repro.core.tugofwar import TugOfWarSketch
+from repro.engine import MergeUnsupportedError, SketchPayloadError
+from repro.engine.registry import UnknownSketchKindError
+from repro.store import SketchSpec, WindowAlignmentError, WindowedSketchStore
+
+TW_SPEC = SketchSpec("tugofwar", {"s1": 32, "s2": 3, "seed": 7})
+
+
+@pytest.fixture
+def events(rng):
+    """5,000 timestamped events over [0, 200), shuffled out of order."""
+    ts = rng.integers(0, 200, size=5000)
+    values = (rng.zipf(1.4, size=5000) % 100).astype(np.int64)
+    return ts, values
+
+
+def monolithic(ts, values, t0, t1, spec=TW_SPEC):
+    """Reference sketch built over exactly the window's events."""
+    sketch = spec.build()
+    mask = (ts >= t0) & (ts < t1)
+    sketch.update_from_stream(values[mask])
+    return sketch
+
+
+class TestSketchSpec:
+    def test_build_and_flags(self):
+        sketch = TW_SPEC.build()
+        assert isinstance(sketch, TugOfWarSketch)
+        assert TW_SPEC.is_mergeable and TW_SPEC.is_linear
+
+    def test_same_spec_sketches_merge(self):
+        a, b = TW_SPEC.build(), TW_SPEC.build()
+        a.insert(1)
+        b.insert(2)
+        assert a.merge(b).n == 2
+
+    def test_non_mergeable_kind_flags(self):
+        spec = SketchSpec("naivesampling", {"s": 8, "seed": 0})
+        assert not spec.is_mergeable and not spec.is_linear
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(UnknownSketchKindError):
+            SketchSpec("nope", {})
+
+    def test_mergeable_kind_without_seed_gets_one_pinned(self):
+        # A None/absent seed on a mergeable kind would make every
+        # build() draw its own hash family and no two buckets could
+        # ever merge; the spec pins fresh entropy once instead.
+        spec = SketchSpec("tugofwar", {"s1": 8, "s2": 2})
+        assert spec.params["seed"] is not None
+        a, b = spec.build(), spec.build()
+        a.insert(1)
+        b.insert(2)
+        assert a.merge(b).n == 2
+        explicit = SketchSpec("tugofwar", {"s1": 8, "s2": 2, "seed": None})
+        assert explicit.params["seed"] is not None
+        # ... and the pinned seed survives serialisation.
+        clone = SketchSpec.from_dict(spec.to_dict())
+        assert clone.params["seed"] == spec.params["seed"]
+
+    def test_round_trip(self):
+        clone = SketchSpec.from_dict(TW_SPEC.to_dict())
+        assert clone == TW_SPEC
+
+    def test_bad_payload(self):
+        with pytest.raises(SketchPayloadError):
+            SketchSpec.from_dict({"params": {}})
+
+
+class TestRoutingAndWindows:
+    def test_out_of_order_ingest_routes_by_timestamp(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)  # arbitrary arrival order
+        assert store.span_count == 20
+        assert store.coverage == (0, 200)
+
+    def test_window_query_bit_identical_to_monolithic(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        for t0, t1 in ((0, 200), (50, 120), (0, 10), (190, 200)):
+            window = store.query(t0, t1)
+            mono = monolithic(ts, values, t0, t1)
+            assert np.array_equal(window.counters, mono.counters), (t0, t1)
+            assert window.n == mono.n
+
+    def test_incremental_batches_equal_single_batch(self, events):
+        ts, values = events
+        one = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        one.ingest(ts, values)
+        many = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        for lo in range(0, ts.size, 613):  # uneven batch edges
+            many.ingest(ts[lo : lo + 613], values[lo : lo + 613])
+        assert np.array_equal(
+            one.query(0, 200).counters, many.query(0, 200).counters
+        )
+
+    def test_threaded_ingest_bit_identical_to_serial(self, events):
+        ts, values = events
+        serial = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        serial.ingest(ts, values)
+        threaded = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        threaded.ingest(ts, values, max_workers=4)
+        assert serial.to_dict() == threaded.to_dict()
+
+    def test_threaded_ingest_with_deletes_matches_serial(self, events):
+        # Net-negative buckets cannot go through delta-build (an empty
+        # delta rejects them); the threaded path must still accept any
+        # batch the serial path accepts, bit-identically.
+        ts, values = events
+        serial = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        threaded = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        for store in (serial, threaded):
+            store.ingest(ts, values)
+        delete_ts = ts[:50]
+        delete_values = values[:50]
+        serial.ingest(delete_ts, delete_values, counts=np.full(50, -1))
+        threaded.ingest(
+            delete_ts, delete_values, counts=np.full(50, -1), max_workers=4
+        )
+        assert serial.to_dict() == threaded.to_dict()
+
+    def test_descending_single_event_ingest_keeps_spans_sorted(self):
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        for t in range(190, -10, -10):
+            store.ingest([t], [t // 10])
+        assert store.spans == [(t, t + 10) for t in range(0, 200, 10)]
+
+    def test_signed_counts_apply_deletes(self):
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest([5, 5, 15], [1, 1, 2], counts=[3, -1, 4])
+        reference = TW_SPEC.build()
+        reference.update_from_frequencies([1, 2], [2, 4])
+        assert np.array_equal(store.query(0, 20).counters, reference.counters)
+
+    def test_cross_bucket_delete_rejected_with_bucket_context(self):
+        # Retraction semantics: a delete carries the timestamp of the
+        # insert it reverses.  Routed anywhere else, the target bucket
+        # never saw the occurrence and the rejection names the bucket.
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest([1], [7])
+        with pytest.raises(ValueError, match=r"bucket span \[10, 20\)"):
+            store.ingest([15], [7], counts=[-1])
+        with pytest.raises(ValueError, match=r"bucket span"):
+            threaded = WindowedSketchStore(TW_SPEC, bucket_width=10)
+            threaded.ingest([1], [7])
+            threaded.ingest([15], [7], counts=[-1], max_workers=2)
+        # routed to the insert's bucket, the same delete is fine
+        store.ingest([5], [7], counts=[-1])
+        assert store.query(0, 10, align="outer").n == 0
+
+    def test_deletes_into_sampler_kind_wrapped(self):
+        # Insertion-only kinds reject deletion counts with
+        # NotImplementedError; the store's ingest contract is a
+        # uniform bucket-named ValueError.
+        store = WindowedSketchStore(
+            SketchSpec("naivesampling", {"s": 8, "seed": 0}), bucket_width=10
+        )
+        with pytest.raises(ValueError, match=r"bucket span \[0, 10\)"):
+            store.ingest([2], [7], counts=[-1])
+
+    def test_unmatched_delete_on_frequency_kind_wrapped(self):
+        # The exact kind signals unmatched deletes with KeyError; the
+        # store converts that to its uniform bucket-named ValueError.
+        store = WindowedSketchStore(SketchSpec("frequency"), bucket_width=10)
+        store.ingest([1], [7])
+        with pytest.raises(ValueError, match=r"bucket span \[10, 20\)"):
+            store.ingest([15], [7], counts=[-1])
+
+    def test_negative_timestamps_and_origin(self):
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10, origin=-30)
+        store.ingest([-30, -21, -1], [1, 2, 3])
+        assert store.coverage == (-30, 0)
+        mono = TW_SPEC.build()
+        mono.update_from_stream(np.array([1, 2], dtype=np.int64))
+        assert np.array_equal(store.query(-30, -10).counters, mono.counters)
+
+    def test_empty_window_of_data_returns_empty_sketch(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        sketch = store.query(1000, 1010)
+        assert sketch.n == 0 and sketch.estimate() == 0.0
+
+    def test_query_does_not_mutate_store(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        before = store.to_dict()
+        window = store.query(0, 50)
+        window.insert(42)  # mutate the returned sketch only
+        assert store.to_dict() == before
+
+    def test_mismatched_arrays_rejected(self):
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        with pytest.raises(ValueError, match="equal-length"):
+            store.ingest([1, 2], [1])
+        with pytest.raises(ValueError, match="counts"):
+            store.ingest([1, 2], [1, 2], counts=[1])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="bucket_width"):
+            WindowedSketchStore(TW_SPEC, bucket_width=0)
+        with pytest.raises(ValueError, match="retention_policy"):
+            WindowedSketchStore(TW_SPEC, bucket_width=1, retention_policy="x")
+        with pytest.raises(ValueError, match="retention_buckets"):
+            WindowedSketchStore(TW_SPEC, bucket_width=1, retention_buckets=0)
+        with pytest.raises(TypeError, match="SketchSpec"):
+            WindowedSketchStore("tugofwar", bucket_width=1)
+
+
+class TestAlignment:
+    @pytest.fixture
+    def store(self, events):
+        ts, values = events
+        st = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        st.ingest(ts, values)
+        return st
+
+    def test_strict_rejects_misaligned(self, store):
+        with pytest.raises(WindowAlignmentError, match="not aligned"):
+            store.query(5, 20)
+        with pytest.raises(WindowAlignmentError, match="not aligned"):
+            store.query(0, 25)
+
+    def test_outer_expands_to_buckets(self, store, events):
+        ts, values = events
+        assert store.window_bounds(5, 25, align="outer") == (0, 30)
+        window = store.query(5, 25, align="outer")
+        mono = monolithic(ts, values, 0, 30)
+        assert np.array_equal(window.counters, mono.counters)
+
+    def test_empty_window_rejected(self, store):
+        with pytest.raises(ValueError, match="empty window"):
+            store.query(50, 50)
+
+    def test_bad_align_value(self, store):
+        with pytest.raises(ValueError, match="align"):
+            store.query(0, 10, align="inner")
+
+
+class TestRetention:
+    def test_compact_preserves_covering_queries(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        full_before = store.query(0, 200).counters.copy()
+        folded = store.compact(before=100)
+        assert folded == 10
+        assert store.span_count == 11  # one compacted span + 10 buckets
+        assert np.array_equal(store.query(0, 200).counters, full_before)
+        mono = monolithic(ts, values, 0, 100)
+        assert np.array_equal(store.query(0, 100).counters, mono.counters)
+
+    def test_query_splitting_compacted_span_raises(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        store.compact(before=100)
+        with pytest.raises(WindowAlignmentError, match="compacted span"):
+            store.query(50, 150)
+        # outer expands over the span instead
+        assert store.window_bounds(50, 150, align="outer") == (0, 150)
+
+    def test_compact_requires_boundary(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        with pytest.raises(WindowAlignmentError, match="boundary"):
+            store.compact(before=95)
+
+    def test_compact_all(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        assert store.compact() == 20
+        assert store.span_count == 1
+
+    def test_threaded_late_arrivals_into_one_compacted_span(self, events):
+        # Two bucket groups resolving to the same compacted span must
+        # not race: jobs are grouped per span, so the threaded result
+        # matches the serial one exactly.
+        ts, values = events
+        late_ts = np.array([15, 15, 85, 85, 42], dtype=np.int64)
+        late_values = np.array([7, 8, 9, 7, 3], dtype=np.int64)
+        serial = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        serial.ingest(ts, values)
+        serial.compact(before=100)
+        threaded = WindowedSketchStore.from_dict(serial.to_dict())
+        serial.ingest(late_ts, late_values)
+        threaded.ingest(late_ts, late_values, max_workers=4)
+        assert serial.to_dict() == threaded.to_dict()
+
+    def test_late_arrival_after_compaction_folds_into_span(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        store.compact(before=100)
+        store.ingest([15], [77])  # older than the compaction horizon
+        mono = monolithic(ts, values, 0, 100)
+        mono.insert(77)
+        assert np.array_equal(store.query(0, 100).counters, mono.counters)
+
+    def test_evict_forgets_history(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        dropped = store.evict(before=100)
+        assert dropped == 10
+        mono = monolithic(ts, values, 100, 200)
+        assert np.array_equal(store.query(0, 200).counters, mono.counters)
+
+    def test_auto_retention_compact(self, events):
+        ts, values = events
+        store = WindowedSketchStore(
+            TW_SPEC, bucket_width=10, retention_buckets=5
+        )
+        store.ingest(ts, values)
+        # 20 buckets ingested, 5 hot: old ones folded into one span.
+        assert store.span_count == 6
+        assert np.array_equal(
+            store.query(0, 200).counters,
+            monolithic(ts, values, 0, 200).counters,
+        )
+
+    def test_auto_retention_evict(self, events):
+        ts, values = events
+        store = WindowedSketchStore(
+            TW_SPEC, bucket_width=10, retention_buckets=5,
+            retention_policy="evict",
+        )
+        store.ingest(ts, values)
+        assert store.span_count == 5
+        assert store.coverage == (150, 200)
+
+    def test_compact_non_mergeable_kind_clear_error(self):
+        spec = SketchSpec("naivesampling", {"s": 8, "seed": 0})
+        store = WindowedSketchStore(spec, bucket_width=10)
+        store.ingest([5, 15], [1, 2])
+        with pytest.raises(TypeError, match="does not support merging"):
+            store.compact()
+
+    def test_compact_retention_rejected_for_non_mergeable_kind(self):
+        # Validated at construction, not mid-ingest: auto-retention
+        # fires after every batch and would otherwise explode with the
+        # batch already applied.
+        spec = SketchSpec("naivesampling", {"s": 8, "seed": 0})
+        with pytest.raises(ValueError, match="evict"):
+            WindowedSketchStore(spec, bucket_width=10, retention_buckets=2)
+        # evict retention is the supported policy for samplers
+        store = WindowedSketchStore(
+            spec, bucket_width=10, retention_buckets=2,
+            retention_policy="evict",
+        )
+        store.ingest([5, 15, 25, 35], [1, 2, 3, 4])
+        assert store.span_count == 2
+
+
+class TestNonMergeableKinds:
+    def test_single_span_query_is_detached_copy(self, rng):
+        spec = SketchSpec("naivesampling", {"s": 16, "seed": 3})
+        store = WindowedSketchStore(spec, bucket_width=10)
+        values = rng.integers(0, 50, size=500)
+        store.ingest(np.full(500, 5), values)
+        window = store.query(0, 10)
+        expected = spec.build()
+        expected.update_from_stream(values)
+        assert window.to_dict() == expected.to_dict()
+        window.insert(1)  # must not touch the stored bucket
+        assert store.query(0, 10).to_dict() == expected.to_dict()
+
+    def test_multi_span_query_raises_merge_unsupported(self, rng):
+        spec = SketchSpec("samplecount", {"s1": 8, "s2": 2, "seed": 3})
+        store = WindowedSketchStore(spec, bucket_width=10)
+        store.ingest([5, 15], [1, 2])
+        with pytest.raises(MergeUnsupportedError):
+            store.query(0, 20)
+
+    def test_frequency_kind_windows_are_exact(self, events):
+        ts, values = events
+        store = WindowedSketchStore(SketchSpec("frequency"), bucket_width=10)
+        store.ingest(ts, values)
+        window = store.query(30, 90)
+        mask = (ts >= 30) & (ts < 90)
+        assert isinstance(window, FrequencyVector)
+        assert window.estimate() == float(self_join_size(values[mask]))
+
+
+class TestSnapshotRestore:
+    def test_round_trip_then_continued_ingestion_bit_identical(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts[:3000], values[:3000])
+        payload = json.loads(json.dumps(store.to_dict()))  # through JSON
+        restored = WindowedSketchStore.from_dict(payload)
+        store.ingest(ts[3000:], values[3000:])
+        restored.ingest(ts[3000:], values[3000:])
+        assert store.to_dict() == restored.to_dict()
+
+    def test_restore_preserves_config(self):
+        store = WindowedSketchStore(
+            TW_SPEC, bucket_width=7, origin=-3,
+            retention_buckets=9, retention_policy="evict",
+        )
+        clone = WindowedSketchStore.from_dict(store.to_dict())
+        assert clone.bucket_width == 7 and clone.origin == -3
+        assert clone.retention_buckets == 9
+        assert clone.retention_policy == "evict"
+
+    def test_restore_rejects_wrong_kind(self):
+        with pytest.raises(SketchPayloadError, match="windowed-store"):
+            WindowedSketchStore.from_dict({"kind": "tugofwar"})
+        with pytest.raises(SketchPayloadError):
+            WindowedSketchStore.from_dict("not a mapping")
+
+    def test_restore_rejects_missing_fields(self):
+        payload = WindowedSketchStore(TW_SPEC, bucket_width=10).to_dict()
+        del payload["bucket_width"]
+        with pytest.raises(SketchPayloadError, match="corrupt"):
+            WindowedSketchStore.from_dict(payload)
+
+    def test_restore_wraps_validation_errors(self):
+        # Constructor/structure ValueErrors must surface as payload
+        # errors, not leak as bare ValueError.
+        base = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        base.ingest([5], [1])
+        for mutate in (
+            lambda p: p.__setitem__("bucket_width", 0),
+            lambda p: p.__setitem__("retention_policy", "weird"),
+            lambda p: p.__setitem__("spans", [p["spans"][0][:2]]),
+        ):
+            payload = base.to_dict()
+            mutate(payload)
+            with pytest.raises(SketchPayloadError, match="corrupt"):
+                WindowedSketchStore.from_dict(payload)
+
+    def test_restore_keeps_unknown_kind_error_actionable(self):
+        payload = WindowedSketchStore(TW_SPEC, bucket_width=10).to_dict()
+        payload["spec"]["kind"] = "alien"
+        with pytest.raises(UnknownSketchKindError, match="registered kinds"):
+            WindowedSketchStore.from_dict(payload)
+
+    def test_restore_rejects_overlapping_spans(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest(ts, values)
+        payload = store.to_dict()
+        payload["spans"][1][0] = payload["spans"][0][0]  # overlap span 0
+        with pytest.raises(SketchPayloadError, match="overlap"):
+            WindowedSketchStore.from_dict(payload)
+
+    def test_restore_rejects_empty_span(self):
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        store.ingest([5], [1])
+        payload = store.to_dict()
+        payload["spans"][0][1] = payload["spans"][0][0]
+        with pytest.raises(SketchPayloadError, match="empty span"):
+            WindowedSketchStore.from_dict(payload)
+
+
+class TestIntrospection:
+    def test_spans_and_memory(self, events):
+        ts, values = events
+        store = WindowedSketchStore(TW_SPEC, bucket_width=10)
+        assert store.coverage is None and len(store) == 0
+        store.ingest(ts, values)
+        assert store.spans[0] == (0, 10) and store.spans[-1] == (190, 200)
+        assert store.memory_words == 20 * 32 * 3
+        assert store.bucket_of(0) == 0 and store.bucket_of(-1) == -1
+        assert store.bucket_bounds(3) == (30, 40)
