@@ -14,22 +14,31 @@ Measures, on one synthetic Zipf stream:
 4. **windowed store** — timestamped ingestion throughput (serial and
    threaded) into a time-bucketed store plus merge-on-query latency
    over growing windows, with every windowed estimate checked
-   **bit-identical** against a monolithic sketch of the same window.
+   **bit-identical** against a monolithic sketch of the same window;
+5. **estimation service** — a load generator against
+   :class:`repro.service.SketchService`: cold (merge-on-query) vs
+   cached merged-window estimate latency (p50/p99), then query
+   throughput under multi-threaded ingest+query churn, with the final
+   concurrent state checked **bit-identical** against a serial replay.
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
 build bit-identical to the single-shot build.  ISSUE 2 adds the
 windowed bar: merge-on-query over any bucket range must equal the
-monolithic build bit for bit.  The script exits non-zero if any check
-fails.
+monolithic build bit for bit.  ISSUE 3 adds the serving bar: cached
+merged-window queries at least 10x lower latency than cold
+merge-on-query, and concurrent ingest+query ending bit-identical to a
+serial replay.  The script exits non-zero if any check fails.
 
 Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
+      PYTHONPATH=src python benchmarks/bench_engine.py --smoke   # service only
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 
 import numpy as np
@@ -38,6 +47,7 @@ from repro.core.naivesampling import NaiveSamplingEstimator
 from repro.core.samplecount import SampleCountSketch
 from repro.core.tugofwar import TugOfWarSketch
 from repro.engine import sharded_build
+from repro.service import SketchService
 from repro.store import SketchSpec, WindowedSketchStore
 
 
@@ -55,6 +65,139 @@ def throughput(n: int, seconds: float) -> str:
     return f"{n / seconds / 1e6:8.2f} M elem/s"
 
 
+def service_section(args, n: int) -> list[str]:
+    """Section 5: the estimation-service load generator.
+
+    Self-contained (builds its own stream and store) so ``--smoke``
+    can run it alone.  Returns the list of failed acceptance checks.
+    """
+    failures: list[str] = []
+    rng = np.random.default_rng(args.seed)
+    stream = (rng.zipf(1.2, size=n) % (n // 10)).astype(np.int64)
+    num_buckets = 64
+    timestamps = (np.arange(n, dtype=np.int64) * num_buckets) // n
+    spec = SketchSpec(
+        "tugofwar", {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    )
+    store = WindowedSketchStore(spec, bucket_width=1)
+    store.ingest(timestamps, stream)
+    service = SketchService(store, cache_entries=512)
+
+    # A mix of window sizes and offsets, every one span-aligned.
+    windows = [
+        (b0, b0 + width)
+        for width in (8, 16, 32, 64)
+        for b0 in range(0, num_buckets - width + 1, 8)
+    ]
+
+    def percentiles(samples: list[float]) -> tuple[float, float]:
+        arr = np.asarray(samples) * 1e3  # -> milliseconds
+        return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+    cold: list[float] = []
+    for window in windows:  # first touch: every query is a miss
+        t, _ = timed(lambda w=window: service.estimate(*w))
+        cold.append(t)
+    cached: list[float] = []
+    for _ in range(10):
+        for window in windows:
+            t, _ = timed(lambda w=window: service.estimate(*w))
+            cached.append(t)
+    cold_p50, cold_p99 = percentiles(cold)
+    hot_p50, hot_p99 = percentiles(cached)
+    ratio = cold_p50 / hot_p50 if hot_p50 else float("inf")
+
+    print(f"estimation service ({len(windows)} windows over {num_buckets} buckets)")
+    print(f"  cold merge-on-query   p50 {cold_p50:9.4f} ms   p99 {cold_p99:9.4f} ms")
+    print(f"  cached merged-window  p50 {hot_p50:9.4f} ms   p99 {hot_p99:9.4f} ms"
+          f"   ({ratio:.0f}x)")
+    if ratio < 10.0:
+        failures.append(
+            f"service: cached speedup {ratio:.1f}x below the 10x bar"
+        )
+    for window in windows:
+        if service.estimate(*window) != store.estimate(*window):
+            failures.append(f"service: cached estimate for {window} != store")
+            break
+
+    # Multi-threaded churn: writers ingest late arrivals into already
+    # queried buckets while readers hammer the window mix.
+    n_writers, n_readers = 2, 4
+    batches_per_writer, batch = (10, 2_000) if n <= 100_000 else (20, 10_000)
+    writer_batches = []
+    for w in range(n_writers):
+        wrng = np.random.default_rng(args.seed + 100 + w)
+        writer_batches.append([
+            (
+                wrng.integers(0, num_buckets, size=batch),
+                (wrng.zipf(1.2, size=batch) % (n // 10)).astype(np.int64),
+            )
+            for _ in range(batches_per_writer)
+        ])
+    stop = threading.Event()
+    latencies: list[list[float]] = [[] for _ in range(n_readers)]
+    errors: list[BaseException] = []
+
+    def writer(batches):
+        try:
+            for ts, vals in batches:
+                service.ingest(ts, vals)
+        except BaseException as exc:
+            errors.append(exc)
+
+    def reader(bucket: list[float]):
+        try:
+            i = 0
+            while not stop.is_set():
+                window = windows[i % len(windows)]
+                t, _ = timed(lambda w=window: service.estimate(*w))
+                bucket.append(t)
+                i += 1
+        except BaseException as exc:
+            errors.append(exc)
+
+    readers = [
+        threading.Thread(target=reader, args=(latencies[i],))
+        for i in range(n_readers)
+    ]
+    writers = [threading.Thread(target=writer, args=(b,)) for b in writer_batches]
+    start = time.perf_counter()
+    for t in readers + writers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    elapsed = time.perf_counter() - start
+    all_latencies = [t for bucket in latencies for t in bucket]
+    churn_p50, churn_p99 = percentiles(all_latencies)
+    qps = len(all_latencies) / elapsed if elapsed else float("inf")
+    print(f"  under ingest churn    p50 {churn_p50:9.4f} ms   p99 {churn_p99:9.4f} ms"
+          f"   ({qps:,.0f} queries/s, {n_readers} readers, {n_writers} writers)")
+    if errors:
+        failures.append(f"service: concurrent run raised {errors[0]!r}")
+
+    # Serial replay of the same history must match bit for bit.
+    replay = WindowedSketchStore(spec, bucket_width=1)
+    replay.ingest(timestamps, stream)
+    for batches in writer_batches:
+        for ts, vals in batches:
+            replay.ingest(ts, vals)
+    identical = all(
+        service.estimate(*w) == replay.estimate(*w)
+        and np.array_equal(service.query(*w).counters, replay.query(*w).counters)
+        for w in windows
+    )
+    print(f"  post-churn estimates bit-identical to serial replay: {identical}")
+    if not identical:
+        failures.append("service: post-churn state != serial replay")
+    stats = service.stats()
+    print(f"  cache: hits={stats['hits']:,} misses={stats['misses']:,} "
+          f"coalesced={stats['coalesced']:,} invalidated={stats['invalidated']:,}")
+    return failures
+
+
 def main(argv=None) -> int:
     """Run the benchmark; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -63,11 +206,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="100k-element stream for CI smoke runs (default: 1M)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the estimation-service section, CI-sized",
+    )
     parser.add_argument("--s1", type=int, default=256)
     parser.add_argument("--s2", type=int, default=5)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--shards", type=int, default=4)
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        failures = service_section(args, n=100_000)
+        print()
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("service benchmark checks passed")
+        return 0
 
     n = 100_000 if args.quick else 1_000_000
     rng = np.random.default_rng(args.seed)
@@ -213,6 +371,12 @@ def main(argv=None) -> int:
         store.query(0, num_buckets).counters,
     ):
         failures.append("windowed store: threaded ingest != serial ingest")
+
+    # ------------------------------------------------------------------
+    # 5. estimation service: cold vs cached, then ingest+query churn
+    # ------------------------------------------------------------------
+    print()
+    failures.extend(service_section(args, n=n))
 
     print()
     if failures:

@@ -16,7 +16,13 @@ The **store** layer (:mod:`repro.store`) adds continuous maintenance:
 :class:`WindowedSketchStore` buckets timestamped updates and answers
 estimates over arbitrary time windows by merging bucket sketches on
 the fly, and :class:`WindowedSignatureCatalog` lifts that to windowed
-join-size estimates between relations.
+join-size estimates between relations.  The **service** layer
+(:mod:`repro.service`) serves those estimates under concurrent load:
+:class:`SketchService` / :class:`CatalogService` add reader–writer
+snapshot isolation, a merged-window LRU cache with per-dirty-bucket
+invalidation, and request coalescing, and
+:class:`SketchServiceServer` (the ``repro serve`` command) exposes it
+all as line-delimited JSON over TCP.
 
 Quick start::
 
@@ -82,9 +88,11 @@ from .relational import (
     SampleCatalog,
     SignatureCatalog,
     UnknownRelationError,
+    UnknownRelationSizeError,
     WindowedSignatureCatalog,
     choose_join_order,
 )
+from .service import CatalogService, SketchService, SketchServiceServer
 from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
 from .streams import (
     Delete,
@@ -155,11 +163,16 @@ __all__ = [
     "SampleCatalog",
     "WindowedSignatureCatalog",
     "UnknownRelationError",
+    "UnknownRelationSizeError",
     "choose_join_order",
     # windowed store
     "SketchSpec",
     "WindowedSketchStore",
     "WindowAlignmentError",
+    # estimation service
+    "SketchService",
+    "CatalogService",
+    "SketchServiceServer",
     # streams
     "Insert",
     "Delete",

@@ -28,11 +28,17 @@ The windowed store (continuous maintenance over time buckets)::
     python -m repro store snapshot st.json --out checkpoint.json
     python -m repro store info st.json
 
+The estimation service (line-delimited JSON over TCP)::
+
+    python -m repro serve st.json --port 7099
+    echo '{"op": "estimate", "from": 0, "until": 1000}' | nc 127.0.0.1 7099
+
 Every reproduction subcommand prints the same rows/series the
 corresponding paper artifact reports.  Heavy runs scale down with
 ``--scale`` (fraction of the paper's stream lengths).  User-level
 failures (missing files, corrupt payloads, unknown kinds, misaligned
-windows) exit with code 2 and a one-line message on stderr.
+windows, unknown figure/data-set/algorithm names) exit with code 2 and
+a one-line message on stderr.
 """
 
 from __future__ import annotations
@@ -201,6 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_st_info = store_sub.add_parser("info", help="inspect a store file")
     p_st_info.add_argument("path")
 
+    p_serve = sub.add_parser(
+        "serve", help="serve windowed estimates over line-delimited JSON/TCP"
+    )
+    p_serve.add_argument("path", help="store JSON file (loaded into memory)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick an ephemeral port)")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="merged-window LRU cache capacity")
+    p_serve.add_argument("--max-requests", type=int, default=None,
+                         help="exit after serving this many requests "
+                         "(bounded smoke runs)")
+
     return parser
 
 
@@ -366,27 +385,36 @@ def _sketch_main(args) -> int:
     )  # pragma: no cover
 
 
+def _load_store_file(path: str):
+    """Load a windowed-store JSON file under the one-line error contract.
+
+    Shared by ``store`` and ``serve``: missing files, bad JSON, and
+    corrupt/unknown-kind payloads all become :class:`CliError`.
+    """
+    import json
+
+    from .engine import SketchPayloadError, UnknownSketchKindError
+    from .store import WindowedSketchStore
+
+    try:
+        payload = json.loads(_read_text(path))
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{path}: not valid JSON: {exc}") from exc
+    try:
+        return WindowedSketchStore.from_dict(payload)
+    except (SketchPayloadError, UnknownSketchKindError) as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
 def _store_main(args) -> int:
     """The `store` subcommand group: init/ingest/query/compact/snapshot/info."""
     import json
     from pathlib import Path
 
-    from .engine import (
-        MergeUnsupportedError,
-        SketchPayloadError,
-        UnknownSketchKindError,
-    )
+    from .engine import MergeUnsupportedError, UnknownSketchKindError
     from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
 
-    def load_store(path: str) -> WindowedSketchStore:
-        try:
-            payload = json.loads(_read_text(path))
-        except json.JSONDecodeError as exc:
-            raise CliError(f"{path}: not valid JSON: {exc}") from exc
-        try:
-            return WindowedSketchStore.from_dict(payload)
-        except (SketchPayloadError, UnknownSketchKindError) as exc:
-            raise CliError(f"{path}: {exc}") from exc
+    load_store = _load_store_file
 
     def save_store(store: WindowedSketchStore, path: str) -> None:
         # Atomic replace: ingest/compact rewrite the only copy of the
@@ -500,23 +528,86 @@ def _store_main(args) -> int:
     )  # pragma: no cover
 
 
+def _serve_main(args) -> int:
+    """The `serve` command: expose a store as a line-delimited JSON service."""
+    from .service import SketchService, SketchServiceServer
+
+    store = _load_store_file(args.path)
+    try:
+        service = SketchService(store, cache_entries=args.cache_entries)
+        server = SketchServiceServer(
+            service,
+            address=(args.host, args.port),
+            max_requests=args.max_requests,
+        )
+    except (ValueError, OSError) as exc:
+        # Bad cache size or an unbindable host/port are user errors.
+        raise CliError(str(exc)) from exc
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.path} on {host}:{port} "
+        f"(kind={store.spec.kind}, spans={store.span_count})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    stats = service.stats()
+    print(
+        f"served: cache hits={stats['hits']}, misses={stats['misses']}, "
+        f"coalesced={stats['coalesced']}, invalidated={stats['invalidated']}"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     try:
-        if args.command == "sketch":
-            return _sketch_main(args)
-        if args.command == "store":
-            return _store_main(args)
+        return _dispatch(args)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _dispatch(args) -> int:
+    """Route one parsed command; raises :class:`CliError` on user errors."""
+    if args.command == "sketch":
+        return _sketch_main(args)
+    if args.command == "store":
+        return _store_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
 
     # Imports deferred so `--help` stays instant.
     from .experiments import figures, tables
     from .experiments.metrics import convergence_from_sweep
 
+    return _experiments_main(args, figures, tables, convergence_from_sweep)
+
+
+def _from_registry(call):
+    """Run one registry-keyed runner under the exit-2 user-error contract.
+
+    The figure/data-set/algorithm registries raise ``KeyError`` with a
+    user-facing sentence (``figures.figure``, ``run_figure``,
+    ``load_dataset``, ``estimate_once``); at the CLI boundary those are
+    user errors, not tracebacks.  Wrapped per call site — not around
+    the whole dispatch — so a genuine mapping bug elsewhere still
+    surfaces loudly.
+    """
+    try:
+        return call()
+    except KeyError as exc:
+        raise CliError(exc.args[0] if exc.args else exc) from exc
+
+
+def _experiments_main(args, figures, tables, convergence_from_sweep) -> int:
+    """The reproduction commands: table1 / figure / convergence / ..."""
     if args.command == "table1":
         rows = tables.table1(seed=args.seed, scale=args.scale)
         print(tables.format_table1(rows))
@@ -527,25 +618,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             out = figures.figure15(estimators=1024, scale=args.scale, seed=args.seed)
             print(figures.format_figure15(out))
             return 0
-        sweep = figures.figure(
+        sweep = _from_registry(lambda: figures.figure(
             args.number,
             scale=args.scale,
             max_log2_s=args.max_log2_s,
             seed=args.seed,
             repeats=args.repeats,
-        )
+        ))
         print(sweep.format_table())
         conv = convergence_from_sweep(sweep)
         print("\n15%-convergence:", ", ".join(f"{a}={s}" for a, s in conv.items()))
         return 0
 
     if args.command == "convergence":
-        table = tables.convergence_table(
+        table = _from_registry(lambda: tables.convergence_table(
             datasets=args.datasets,
             scale=args.scale,
             max_log2_s=args.max_log2_s,
             seed=args.seed,
-        )
+        ))
         print(tables.format_convergence_table(table))
         return 0
 
@@ -557,13 +648,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "sweep":
-        sweep = figures.run_figure(
+        sweep = _from_registry(lambda: figures.run_figure(
             args.dataset,
             scale=args.scale,
             max_log2_s=args.max_log2_s,
             seed=args.seed,
             repeats=args.repeats,
-        )
+        ))
         print(sweep.format_table())
         return 0
 

@@ -31,13 +31,28 @@ from typing import Iterable
 
 import numpy as np
 
+from ..engine.protocol import as_histogram
 from .hashing import SignHashFamily
 
 __all__ = ["MultiJoinFamily", "MultiJoinSignature"]
 
 
 class MultiJoinSignature:
-    """One relation's signature for a fixed position in an m-way chain."""
+    """One relation's signature for a fixed position in an m-way chain.
+
+    Like the tug-of-war sketch, the state is a *linear* function of the
+    relation's frequency vector, so deletions are exact retractions and
+    any insert/delete sequence may be coalesced into a signed histogram
+    with bit-identical results.  The bulk paths below carry the same
+    validation as the engine's vectorised ingestion (a batch may never
+    drive the relation size negative), and setting ``is_linear`` lets
+    :func:`repro.engine.ingest.ingest_operations` route operation
+    streams through its linear pipeline — which also rejects a delete
+    with no remaining insert exactly where a per-element replay would.
+    """
+
+    #: State is linear in the frequency vector (engine batching contract).
+    is_linear = True
 
     __slots__ = ("_family", "_position", "_z", "_n")
 
@@ -56,21 +71,63 @@ class MultiJoinSignature:
         self._n += 1
 
     def delete(self, value: int) -> None:
-        """Remove a tuple with joining-attribute value v."""
+        """Remove a tuple with joining-attribute value v.
+
+        Deletions are retractions of earlier inserts.  As with every
+        linear sketch, detection of an invalid delete is best-effort
+        (the signature cannot afford per-value counts): relation-level
+        emptiness is caught here, while per-value validation happens in
+        the engine's operation pipeline, which tracks the live multiset.
+        """
         if self._n <= 0:
             raise ValueError("cannot delete from an empty relation")
         self._z -= self._signs(value)
         self._n -= 1
 
+    def update(self, value: int, count: int) -> None:
+        """Fold ``count`` occurrences of ``value`` in at once (signed).
+
+        Negative counts are batched deletions; equivalent to ``|count|``
+        individual insert/delete calls but O(k) total.
+        """
+        c = int(count)
+        if c == 0:
+            return
+        if self._n + c < 0:
+            raise ValueError(
+                f"deleting {-c} occurrences would make the relation size negative"
+            )
+        self._z += np.int64(c) * self._signs(value).astype(np.int64)
+        self._n += c
+
+    def update_from_frequencies(
+        self, values: np.ndarray | Iterable[int], counts: np.ndarray | Iterable[int]
+    ) -> None:
+        """Fold a signed frequency histogram into the signature.
+
+        The vectorised insert/delete path, mirroring
+        :meth:`repro.core.tugofwar.TugOfWarSketch.update_from_frequencies`:
+        bit-identical to the equivalent sequence of :meth:`update`
+        calls (linearity), with the same precondition — the net batch
+        may not drive the relation size negative.
+        """
+        vals, cnts = as_histogram(values, counts)
+        if vals.size == 0:
+            return
+        total = int(cnts.sum())
+        if self._n + total < 0:
+            raise ValueError("batch would make the relation size negative")
+        signs = self._family.position_signs_many(self._position, vals)  # (k, m)
+        self._z += signs.astype(np.int64) @ cnts
+        self._n += total
+
     def update_from_stream(self, values: np.ndarray | Iterable[int]) -> None:
-        """Bulk-load a value stream (vectorised via the histogram)."""
+        """Bulk-load an insertion-only value stream via its histogram."""
         arr = np.asarray(values, dtype=np.int64)
         if arr.size == 0:
             return
         uniq, counts = np.unique(arr, return_counts=True)
-        signs = self._family.position_signs_many(self._position, uniq)  # (k, m)
-        self._z += signs.astype(np.int64) @ counts.astype(np.int64)
-        self._n += int(arr.size)
+        self.update_from_frequencies(uniq, counts)
 
     @property
     def position(self) -> int:

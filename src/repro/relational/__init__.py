@@ -23,7 +23,12 @@ way a database would:
 """
 
 from .catalog import SampleCatalog, SignatureCatalog, UnknownRelationError
-from .optimizer import JoinPlan, choose_join_order, plan_cost
+from .optimizer import (
+    JoinPlan,
+    UnknownRelationSizeError,
+    choose_join_order,
+    plan_cost,
+)
 from .relation import Relation
 from .windowed import WindowedSignatureCatalog
 
@@ -33,6 +38,7 @@ __all__ = [
     "SampleCatalog",
     "WindowedSignatureCatalog",
     "UnknownRelationError",
+    "UnknownRelationSizeError",
     "JoinPlan",
     "choose_join_order",
     "plan_cost",

@@ -19,10 +19,17 @@ which is exactly what real optimizers do with pairwise statistics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Protocol, Sequence
 
-__all__ = ["JoinPlan", "choose_join_order", "plan_cost", "EstimatingCatalog"]
+__all__ = [
+    "JoinPlan",
+    "choose_join_order",
+    "plan_cost",
+    "EstimatingCatalog",
+    "UnknownRelationSizeError",
+]
 
 
 class EstimatingCatalog(Protocol):
@@ -31,6 +38,74 @@ class EstimatingCatalog(Protocol):
     def join_estimate(self, left: str, right: str) -> float:
         """Estimated |left join right| for two registered relations."""
         ...
+
+
+class UnknownRelationSizeError(LookupError):
+    """A plan was requested over a relation with no recorded size.
+
+    Deliberately *not* a ``KeyError`` (same policy as
+    :class:`~repro.relational.catalog.UnknownRelationError`): the raw
+    mapping miss this used to surface as looks like an internal bug,
+    whereas a missing cardinality is a caller-level condition with an
+    obvious fix — so the message names the relation, lists what *is*
+    recorded, and says what to supply.
+    """
+
+    def __init__(self, name: str, sizes: Mapping[str, int]):
+        self.name = name
+        self.recorded = sorted(sizes)
+        known = ", ".join(self.recorded) or "<none>"
+        super().__init__(
+            f"no size recorded for relation {name!r} (sizes recorded for: "
+            f"{known}); every joined relation needs an entry in `sizes` — "
+            "cardinalities are one counter each, tracked exactly"
+        )
+
+
+def _checked_names(
+    relations: Sequence[str],
+    sizes: Mapping[str, int],
+    what: str,
+    dedupe: bool = True,
+) -> list[str]:
+    """Relation names validated against ``sizes``, order preserved.
+
+    ``dedupe=True`` collapses repeats (a relation set, as
+    :func:`choose_join_order` accepts); ``dedupe=False`` rejects them
+    (an explicit join *order* repeating a relation is a caller error —
+    silently dropping the repeat would score a different plan than the
+    one passed in).
+    """
+    names = list(dict.fromkeys(relations)) if dedupe else list(relations)
+    if not dedupe and len(set(names)) != len(names):
+        raise ValueError(f"{what} order repeats a relation: {names}")
+    if len(names) < 2:
+        raise ValueError(f"{what} needs at least two relations, got {names}")
+    for name in names:
+        if name not in sizes:
+            raise UnknownRelationSizeError(name, sizes)
+        if int(sizes[name]) < 0:
+            raise ValueError(
+                f"relation {name!r} has negative size {sizes[name]}"
+            )
+    return names
+
+
+def _checked_estimate(estimate: float, left: str, right: str) -> float:
+    """A pairwise estimate clamped to >= 0, rejecting NaN/inf.
+
+    A degenerate (non-finite) estimate would silently poison every
+    comparison in the greedy loop — NaN compares false against
+    everything — so it is rejected here with the offending pair named
+    rather than surfacing later as a nonsensical plan.
+    """
+    est = float(estimate)
+    if not math.isfinite(est):
+        raise ValueError(
+            f"catalog returned a non-finite join estimate for "
+            f"({left!r}, {right!r}): {est!r}"
+        )
+    return max(0.0, est)
 
 
 @dataclass(frozen=True)
@@ -51,8 +126,7 @@ def _pairwise_selectivity(
     denom = sizes[left] * sizes[right]
     if denom == 0:
         return 0.0
-    est = max(0.0, float(catalog.join_estimate(left, right)))
-    return est / denom
+    return _checked_estimate(catalog.join_estimate(left, right), left, right) / denom
 
 
 def choose_join_order(
@@ -83,31 +157,36 @@ def choose_join_order(
     JoinPlan
         The chosen order and its estimated cost (sum of estimated
         intermediate sizes).
-    """
-    names = list(dict.fromkeys(relations))
-    if len(names) < 2:
-        raise ValueError(f"need at least two relations, got {names}")
-    for name in names:
-        if name not in sizes:
-            raise KeyError(f"no size recorded for relation {name!r}")
 
-    # Seed: cheapest pair.
-    best_pair = None
+    Raises
+    ------
+    UnknownRelationSizeError
+        If a relation has no entry in ``sizes``.
+    ValueError
+        For degenerate inputs: fewer than two distinct relations, a
+        negative size, or a catalog producing non-finite estimates.
+    """
+    names = _checked_names(relations, sizes, "choose_join_order")
+
+    # Seed: cheapest pair.  Every estimate is validated finite, so the
+    # minimum always exists (no assert needed — the previous assert
+    # here could only fire on a degenerate catalog, and vanished
+    # entirely under `python -O`).
+    best_pair = names[0], names[1]
     best_size = None
     for i, a in enumerate(names):
         for b in names[i + 1 :]:
-            est = max(0.0, float(catalog.join_estimate(a, b)))
+            est = _checked_estimate(catalog.join_estimate(a, b), a, b)
             if best_size is None or est < best_size:
                 best_size = est
                 best_pair = (a, b)
-    assert best_pair is not None and best_size is not None
     order = [best_pair[0], best_pair[1]]
     remaining = [n for n in names if n not in order]
     intermediate = best_size
     cost = intermediate
 
     while remaining:
-        best_next = None
+        best_next = remaining[0]
         best_next_size = None
         for cand in remaining:
             sel = 1.0
@@ -117,7 +196,6 @@ def choose_join_order(
             if best_next_size is None or next_size < best_next_size:
                 best_next_size = next_size
                 best_next = cand
-        assert best_next is not None and best_next_size is not None
         order.append(best_next)
         remaining.remove(best_next)
         intermediate = best_next_size
@@ -136,18 +214,24 @@ def plan_cost(
     ``join_size`` supplies *true* pairwise join sizes (the independence
     heuristic is applied for deeper intermediates, so plans chosen from
     estimates and from exact statistics are scored consistently).
+
+    Raises :class:`UnknownRelationSizeError` for a relation missing
+    from ``sizes`` and ``ValueError`` for degenerate inputs, exactly
+    as :func:`choose_join_order` does.
     """
-    names = list(order)
-    if len(names) < 2:
-        raise ValueError(f"need at least two relations, got {names}")
-    intermediate = max(0.0, float(join_size(names[0], names[1])))
+    names = _checked_names(order, sizes, "plan_cost", dedupe=False)
+    intermediate = _checked_estimate(join_size(names[0], names[1]), names[0], names[1])
     cost = intermediate
     joined = [names[0], names[1]]
     for cand in names[2:]:
         sel = 1.0
         for j in joined:
             denom = sizes[j] * sizes[cand]
-            sel *= (max(0.0, float(join_size(j, cand))) / denom) if denom else 0.0
+            sel *= (
+                (_checked_estimate(join_size(j, cand), j, cand) / denom)
+                if denom
+                else 0.0
+            )
         intermediate = intermediate * sizes[cand] * sel
         cost += intermediate
         joined.append(cand)

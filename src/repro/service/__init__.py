@@ -1,0 +1,36 @@
+"""Concurrent estimation serving: the system face of the reproduction.
+
+The paper motivates sketches with query optimizers that need *fast,
+high-quality join-size estimates at query time*.  This package is the
+layer that actually serves those estimates under concurrent load:
+
+* :class:`~repro.service.service.SketchService` — a thread-safe front
+  on one :class:`~repro.store.windowed.WindowedSketchStore`:
+  reader–writer snapshot isolation (queries never observe a
+  half-applied ingest batch), an LRU merged-window cache keyed by
+  ``(t0, t1, align)`` invalidated precisely per dirty bucket span, and
+  single-flight coalescing of concurrent identical queries.
+* :class:`~repro.service.service.CatalogService` — the same contract
+  over a :class:`~repro.relational.windowed.WindowedSignatureCatalog`:
+  cached windowed join / self-join estimates, invalidated per relation,
+  with :meth:`~repro.service.service.CatalogService.at_window` adapting
+  any window to the optimizer's catalog protocol.
+* :class:`~repro.service.server.SketchServiceServer` — line-delimited
+  JSON over TCP (the ``repro serve`` CLI command), errors surfaced as
+  one-line ``{"ok": false, "error": ...}`` responses.
+"""
+
+from .concurrency import ReadWriteLock, SingleFlightCache
+from .server import SketchServiceServer, handle_request
+from .service import CatalogService, SketchService, WindowEstimate, dirty_intervals
+
+__all__ = [
+    "SketchService",
+    "CatalogService",
+    "WindowEstimate",
+    "SketchServiceServer",
+    "handle_request",
+    "ReadWriteLock",
+    "SingleFlightCache",
+    "dirty_intervals",
+]

@@ -1,0 +1,211 @@
+"""Line-delimited JSON estimation server (the wire behind ``repro serve``).
+
+Protocol: one JSON object per line in each direction, over TCP.  Every
+request carries an ``op``; every response carries ``"ok": true`` plus
+op-specific fields, or ``"ok": false`` with a one-line ``error`` (the
+wire twin of the CLI's exit-2 user-error contract — malformed requests
+never take the server down, and internal tracebacks never leak to the
+client).
+
+Supported operations::
+
+    {"op": "ping"}
+    {"op": "estimate", "from": 0, "until": 600, "align": "outer"}
+    {"op": "sketch",   "from": 0, "until": 600}       # full merged sketch
+    {"op": "ingest",   "timestamps": [...], "values": [...], "counts": [...]}
+    {"op": "compact",  "before": 300}
+    {"op": "evict",    "before": 300}
+    {"op": "info"}
+    {"op": "stats"}
+
+The server is a ``ThreadingTCPServer``: one thread per connection, any
+number of requests per connection, with all correctness delegated to
+:class:`~repro.service.service.SketchService` (snapshot isolation,
+merged-window caching, request coalescing).  Ingested state lives in
+memory; snapshot the service (``{"op": "info"}`` reports coverage,
+:meth:`SketchService.snapshot` from the owning process persists) if
+durability is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Callable, Mapping
+
+from ..engine.protocol import MergeUnsupportedError
+from ..engine.registry import dump_sketch
+from .service import SketchService
+
+__all__ = ["SketchServiceServer", "handle_request"]
+
+
+def _window(request: Mapping) -> tuple[int, int, str]:
+    """Extract (t0, t1, align) from a request, validating presence."""
+    if "from" not in request or "until" not in request:
+        raise ValueError("window ops need 'from' and 'until' timestamps")
+    align = request.get("align", "strict")
+    return int(request["from"]), int(request["until"]), str(align)
+
+
+def _op_ping(service: SketchService, request: Mapping) -> dict:
+    return {"pong": True}
+
+
+def _op_estimate(service: SketchService, request: Mapping) -> dict:
+    t0, t1, align = _window(request)
+    result = service.estimate_window(t0, t1, align=align)
+    return {
+        "window": [result.t0, result.t1],
+        "estimate": result.estimate,
+    }
+
+
+def _op_sketch(service: SketchService, request: Mapping) -> dict:
+    t0, t1, align = _window(request)
+    sketch, lo, hi = service.sketch_window(t0, t1, align=align)
+    return {"window": [lo, hi], "sketch": dump_sketch(sketch)}
+
+
+def _op_ingest(service: SketchService, request: Mapping) -> dict:
+    timestamps = request.get("timestamps")
+    values = request.get("values")
+    if not isinstance(timestamps, list) or not isinstance(values, list):
+        raise ValueError("ingest needs 'timestamps' and 'values' lists")
+    counts = request.get("counts")
+    if counts is not None and not isinstance(counts, list):
+        raise ValueError("'counts' must be a list when present")
+    service.ingest(timestamps, values, counts=counts)
+    return {"ingested": len(values)}
+
+
+def _op_compact(service: SketchService, request: Mapping) -> dict:
+    before = request.get("before")
+    return {"folded": service.compact(None if before is None else int(before))}
+
+
+def _op_evict(service: SketchService, request: Mapping) -> dict:
+    if "before" not in request:
+        raise ValueError("evict needs a 'before' bucket boundary")
+    return {"evicted": service.evict(int(request["before"]))}
+
+
+def _op_info(service: SketchService, request: Mapping) -> dict:
+    coverage = service.coverage
+    return {
+        "kind": service.spec.kind,
+        "bucket_width": service.bucket_width,
+        "origin": service.origin,
+        "spans": [list(span) for span in service.spans],
+        "coverage": None if coverage is None else list(coverage),
+        "memory_words": service.memory_words,
+    }
+
+
+def _op_stats(service: SketchService, request: Mapping) -> dict:
+    return {"cache": service.stats()}
+
+
+_OPS: dict[str, Callable[[SketchService, Mapping], dict]] = {
+    "ping": _op_ping,
+    "estimate": _op_estimate,
+    "sketch": _op_sketch,
+    "ingest": _op_ingest,
+    "compact": _op_compact,
+    "evict": _op_evict,
+    "info": _op_info,
+    "stats": _op_stats,
+}
+
+
+def handle_request(service: SketchService, line: str | bytes) -> dict:
+    """Serve one request line; never raises (errors become responses).
+
+    The single entry point behind both the TCP handler and any
+    in-process driver (tests call it directly), so wire behaviour and
+    error wording have exactly one definition.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"invalid JSON: {exc}"}
+    if not isinstance(request, dict) or "op" not in request:
+        return {"ok": False, "error": "request must be a JSON object with an 'op'"}
+    handler = _OPS.get(str(request["op"]))
+    if handler is None:
+        return {
+            "ok": False,
+            "error": f"unknown op {request['op']!r}; supported: {sorted(_OPS)}",
+        }
+    try:
+        return {"ok": True, "op": request["op"], **handler(service, request)}
+    except (
+        ValueError,  # misaligned/empty windows, bad batches (incl. subclasses)
+        TypeError,
+        LookupError,
+        NotImplementedError,  # deletion counts on insertion-only kinds
+        MergeUnsupportedError,
+        OverflowError,
+    ) as exc:
+        return {"ok": False, "error": str(exc)}
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: serve request lines until the peer hangs up."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised over sockets
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            response = handle_request(self.server.service, line)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if self.server.count_request():
+                self.server.shutdown()
+                return
+
+
+class SketchServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server exposing one :class:`SketchService`.
+
+    Parameters
+    ----------
+    service:
+        The service to expose (all concurrency control lives there).
+    address:
+        ``(host, port)``; port 0 binds an ephemeral port, readable from
+        :attr:`server_address` after construction.
+    max_requests:
+        If set, the server shuts itself down after serving this many
+        requests — the hook smoke tests and the CI service job use to
+        get a bounded run without process signalling.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SketchService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_requests: int | None = None,
+    ):
+        if not isinstance(service, SketchService):
+            raise TypeError(
+                f"service must be a SketchService, got {type(service).__name__}"
+            )
+        self.service = service
+        self.max_requests = None if max_requests is None else int(max_requests)
+        self._served = 0
+        self._served_lock = threading.Lock()
+        super().__init__(tuple(address), _RequestHandler)
+
+    def count_request(self) -> bool:
+        """Record one served request; True when the budget is exhausted."""
+        if self.max_requests is None:
+            return False
+        with self._served_lock:
+            self._served += 1
+            return self._served >= self.max_requests

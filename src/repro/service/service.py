@@ -1,0 +1,487 @@
+"""The concurrent estimation service: cached merged-window queries.
+
+The paper's pitch is that optimizers need *fast, high-quality join-size
+estimates at query time*.  :mod:`repro.store` gave us continuously
+maintained windowed sketches; this module puts a query-serving front on
+them so many threads can estimate while ingestion keeps running:
+
+* **Snapshot isolation.**  Every public operation runs under a
+  writer-preferring :class:`~repro.service.concurrency.ReadWriteLock`:
+  queries share the read side, mutations (ingest / compact / evict)
+  hold the write side alone.  A query therefore never observes a
+  half-applied ingest batch — it sees the store either before or after
+  each whole mutation, which is exactly linearizability for this API
+  (the stress test replays concurrent histories serially and demands
+  bit-identical estimates).
+
+* **Merged-window cache.**  ``query``/``estimate`` results are cached
+  in an LRU keyed by the request tuple ``(t0, t1, align)``.  Each
+  entry records the bucket-span range it was merged from; a mutation
+  computes its *dirty intervals* — the covering spans of every bucket
+  the batch touched, plus any spans created or removed by compaction,
+  eviction, or retention — and drops exactly the entries whose ranges
+  intersect.  Windows over untouched history stay hot forever.
+
+* **Request coalescing.**  Concurrent identical cold queries share one
+  merge: the first caller computes under the read lock, the rest wait
+  for its result (single flight).  A mutation landing mid-flight marks
+  the flight stale so the result is served to the overlapping callers
+  but never cached; the first later caller leads a fresh replacement
+  flight that the rest coalesce onto.
+
+:class:`SketchService` wraps one :class:`~repro.store.windowed.
+WindowedSketchStore`; :class:`CatalogService` wraps a
+:class:`~repro.relational.windowed.WindowedSignatureCatalog` with the
+same machinery, caching windowed join / self-join estimates per
+relation pair and invalidating only the entries that mention a dirtied
+relation.  ``CatalogService.at_window`` adapts a fixed window to the
+``join_estimate(left, right)`` protocol the optimizer consumes, so a
+join order can be chosen from cached windowed estimates directly.
+
+The wire-facing twin of this module is :mod:`repro.service.server`
+(line-delimited JSON over TCP, the ``repro serve`` CLI command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..engine.protocol import Sketch
+from ..engine.registry import dump_sketch, load_sketch
+from ..relational.windowed import WindowedSignatureCatalog
+from ..store.windowed import WindowedSketchStore
+from .concurrency import ReadWriteLock, SingleFlightCache
+
+__all__ = ["SketchService", "CatalogService", "WindowEstimate", "dirty_intervals"]
+
+#: A bucket interval meaning "every window involving this tag".
+_EVERYWHERE = (-(1 << 62), 1 << 62)
+
+
+@dataclass(frozen=True)
+class WindowEstimate:
+    """One served estimate with the window it actually summarises."""
+
+    estimate: float
+    t0: int  # resolved window start (inclusive), after alignment
+    t1: int  # resolved window end (exclusive), after alignment
+
+
+@dataclass(eq=False)
+class _WindowEntry:
+    """A cached merged window: the sketch, its estimate, its bounds."""
+
+    sketch: Sketch
+    estimate: float
+    lo: int
+    hi: int
+
+
+def dirty_intervals(
+    store: WindowedSketchStore,
+    spans_before: Sequence[tuple[int, int]],
+    touched_buckets: Iterable[int],
+) -> list[tuple[int, int]]:
+    """Bucket intervals a mutation may have changed answers over.
+
+    ``spans_before`` is the store's :attr:`~repro.store.windowed.
+    WindowedSketchStore.bucket_spans` snapshot taken before the
+    mutation; ``touched_buckets`` are the bucket indices an ingest
+    batch routed events to (empty for compact/evict).  The result is
+
+    * the covering span of every touched bucket (a span's sketch
+      cannot be split, so the whole span's answers changed), and
+    * every span created or removed by the mutation (compaction can
+      bridge gaps between old spans, changing alignment behaviour for
+      windows that never held data — those cached entries must go too).
+    """
+    before = set(spans_before)
+    after = set(store.bucket_spans)
+    intervals = set(before ^ after)
+    for bucket in touched_buckets:
+        b = int(bucket)
+        intervals.add(store.covering_span(b) or (b, b + 1))
+    return sorted(intervals)
+
+
+def _copy_sketch(sketch: Sketch) -> Sketch:
+    """A detached copy the caller may mutate without touching the cache."""
+    copy = getattr(sketch, "copy", None)
+    if callable(copy):
+        return copy()
+    return load_sketch(dump_sketch(sketch))
+
+
+class SketchService:
+    """Thread-safe, cached windowed estimates over one sketch store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.windowed.WindowedSketchStore` to
+        serve.  The service owns it from here on: all access must go
+        through the service, or the cache and isolation guarantees are
+        void.
+    cache_entries:
+        Capacity of the merged-window LRU cache.
+
+    Examples
+    --------
+    >>> from repro.store import SketchSpec, WindowedSketchStore
+    >>> store = WindowedSketchStore(
+    ...     SketchSpec("tugofwar", {"s1": 16, "s2": 3, "seed": 1}),
+    ...     bucket_width=10,
+    ... )
+    >>> service = SketchService(store)
+    >>> service.ingest([3, 27, 14], [5, 5, 9])
+    >>> service.estimate(0, 30) == service.estimate(0, 30)  # second is cached
+    True
+    """
+
+    def __init__(self, store: WindowedSketchStore, cache_entries: int = 256):
+        if not isinstance(store, WindowedSketchStore):
+            raise TypeError(
+                f"store must be a WindowedSketchStore, got {type(store).__name__}"
+            )
+        self._store = store
+        self._rw = ReadWriteLock()
+        self._cache = SingleFlightCache(cache_entries)
+
+    # ------------------------------------------------------------------
+    # Mutations (exclusive; invalidate precisely, then return)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        timestamps: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[int],
+        counts: np.ndarray | Iterable[int] | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        """Apply one timestamped batch atomically (no query sees it half-done).
+
+        Cached windows intersecting the covering spans of the touched
+        buckets are invalidated before this returns, so any query
+        *issued after* the call completes observes the batch.  A batch
+        the store rejects (e.g. a mis-routed delete) may already be
+        partially applied — invalidation still runs, so the cache never
+        outlives the store state it described.
+        """
+        ts = np.asarray(timestamps, dtype=np.int64)
+        touched: np.ndarray = (
+            np.unique((ts - self._store.origin) // self._store.bucket_width)
+            if ts.ndim == 1 and ts.size
+            else np.empty(0, dtype=np.int64)
+        )
+        with self._rw.write():
+            before = self._store.bucket_spans
+            try:
+                self._store.ingest(
+                    ts, values, counts=counts, max_workers=max_workers
+                )
+            finally:
+                self._cache.invalidate(
+                    None, dirty_intervals(self._store, before, touched.tolist())
+                )
+
+    def compact(self, before: int | None = None) -> int:
+        """Fold old spans into one; drops cached windows the fold affects."""
+        with self._rw.write():
+            spans_before = self._store.bucket_spans
+            try:
+                return self._store.compact(before=before)
+            finally:
+                self._cache.invalidate(
+                    None, dirty_intervals(self._store, spans_before, ())
+                )
+
+    def evict(self, before: int) -> int:
+        """Forget spans older than ``before``; drops their cached windows."""
+        with self._rw.write():
+            spans_before = self._store.bucket_spans
+            try:
+                return self._store.evict(before)
+            finally:
+                self._cache.invalidate(
+                    None, dirty_intervals(self._store, spans_before, ())
+                )
+
+    # ------------------------------------------------------------------
+    # Queries (shared; coalesced and cached)
+    # ------------------------------------------------------------------
+    def query(self, t0: int, t1: int, align: str = "strict") -> Sketch:
+        """The merged sketch of the window, as an independent copy."""
+        return _copy_sketch(self._entry(t0, t1, align).sketch)
+
+    def estimate(self, t0: int, t1: int, align: str = "strict") -> float:
+        """Self-join estimate over the window (cached merge-on-query)."""
+        return self._entry(t0, t1, align).estimate
+
+    def estimate_window(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> WindowEstimate:
+        """The estimate together with the window it actually covers."""
+        entry = self._entry(t0, t1, align)
+        return WindowEstimate(entry.estimate, entry.lo, entry.hi)
+
+    def sketch_window(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> tuple[Sketch, int, int]:
+        """A detached merged sketch plus its resolved window, atomically.
+
+        Both come from one cache entry, so the reported bounds always
+        describe the returned sketch — reading them through two
+        separate calls could interleave with a concurrent mutation.
+        """
+        entry = self._entry(t0, t1, align)
+        return _copy_sketch(entry.sketch), entry.lo, entry.hi
+
+    def window_bounds(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> tuple[int, int]:
+        """The timestamp window a query would actually cover."""
+        with self._rw.read():
+            return self._store.window_bounds(t0, t1, align)
+
+    def _entry(self, t0: int, t1: int, align: str) -> _WindowEntry:
+        key = (int(t0), int(t1), str(align))
+
+        def compute() -> tuple[_WindowEntry, list]:
+            with self._rw.read():
+                lo, hi = self._store.window_bounds(t0, t1, align)
+                sketch = self._store.query_resolved(lo, hi)
+            b0 = (lo - self._store.origin) // self._store.bucket_width
+            b1 = (hi - self._store.origin) // self._store.bucket_width
+            entry = _WindowEntry(sketch, float(sketch.estimate()), lo, hi)
+            return entry, [(None, b0, b1)]
+
+        return self._cache.get(key, compute)
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def spec(self):
+        """The store's :class:`~repro.store.spec.SketchSpec` (immutable)."""
+        return self._store.spec
+
+    @property
+    def bucket_width(self) -> int:
+        return self._store.bucket_width
+
+    @property
+    def origin(self) -> int:
+        return self._store.origin
+
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """Timestamp ranges of the stored spans (consistent snapshot)."""
+        with self._rw.read():
+            return self._store.spans
+
+    @property
+    def span_count(self) -> int:
+        with self._rw.read():
+            return self._store.span_count
+
+    @property
+    def coverage(self) -> tuple[int, int] | None:
+        with self._rw.read():
+            return self._store.coverage
+
+    @property
+    def memory_words(self) -> int:
+        with self._rw.read():
+            return self._store.memory_words
+
+    def snapshot(self) -> dict:
+        """A consistent whole-store checkpoint (no mutation mid-dump)."""
+        with self._rw.read():
+            return self._store.to_dict()
+
+    def stats(self) -> dict:
+        """Cache statistics: hits, misses, coalesced, invalidated, entries."""
+        return self._cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SketchService({self._store!r}, cache={self._cache.stats})"
+
+
+class _WindowView:
+    """A fixed-window facade satisfying the optimizer's catalog protocol."""
+
+    __slots__ = ("_service", "_t0", "_t1", "_align")
+
+    def __init__(self, service: "CatalogService", t0: int, t1: int, align: str):
+        self._service = service
+        self._t0 = int(t0)
+        self._t1 = int(t1)
+        self._align = align
+
+    def join_estimate(self, left: str, right: str) -> float:
+        """|left join right| over this view's window (cached)."""
+        return self._service.join_estimate(
+            left, right, self._t0, self._t1, align=self._align
+        )
+
+    def self_join_estimate(self, name: str) -> float:
+        """SJ(name) over this view's window (cached)."""
+        return self._service.self_join_estimate(
+            name, self._t0, self._t1, align=self._align
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_WindowView([{self._t0}, {self._t1}), align={self._align!r}, "
+            f"of {self._service!r})"
+        )
+
+
+class CatalogService:
+    """Thread-safe, cached windowed join estimates over many relations.
+
+    The same snapshot-isolation / merged-window-cache / coalescing
+    contract as :class:`SketchService`, lifted to a
+    :class:`~repro.relational.windowed.WindowedSignatureCatalog`:
+    cached values are windowed join-size and self-join estimates, each
+    tagged with the relations it reads so that ingesting into one
+    relation invalidates only the estimates that mention it (and only
+    over the dirtied spans).
+    """
+
+    def __init__(
+        self, catalog: WindowedSignatureCatalog, cache_entries: int = 256
+    ):
+        if not isinstance(catalog, WindowedSignatureCatalog):
+            raise TypeError(
+                "catalog must be a WindowedSignatureCatalog, got "
+                f"{type(catalog).__name__}"
+            )
+        self._catalog = catalog
+        self._rw = ReadWriteLock()
+        self._cache = SingleFlightCache(cache_entries)
+
+    # -- mutations ---------------------------------------------------------
+    def register(self, name: str) -> None:
+        """Start tracking a relation (its store begins empty)."""
+        with self._rw.write():
+            self._catalog.register(name)
+            # A re-registered name must not inherit estimates cached
+            # before a drop().
+            self._cache.invalidate(name, [_EVERYWHERE])
+
+    def drop(self, name: str) -> None:
+        """Stop tracking a relation; drops every estimate mentioning it."""
+        with self._rw.write():
+            self._catalog.drop(name)
+            self._cache.invalidate(name, [_EVERYWHERE])
+
+    def ingest(
+        self,
+        name: str,
+        timestamps: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[int],
+        counts: np.ndarray | Iterable[int] | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        """Route one relation's timestamped batch atomically."""
+        ts = np.asarray(timestamps, dtype=np.int64)
+        with self._rw.write():
+            store = self._catalog.store(name)
+            touched = (
+                np.unique((ts - store.origin) // store.bucket_width)
+                if ts.ndim == 1 and ts.size
+                else np.empty(0, dtype=np.int64)
+            )
+            before = store.bucket_spans
+            try:
+                store.ingest(ts, values, counts=counts, max_workers=max_workers)
+            finally:
+                self._cache.invalidate(
+                    name, dirty_intervals(store, before, touched.tolist())
+                )
+
+    # -- queries -----------------------------------------------------------
+    def join_estimate(
+        self, left: str, right: str, t0: int, t1: int, align: str = "strict"
+    ) -> float:
+        """Estimated ``|left join right|`` over ``[t0, t1)`` (cached).
+
+        The key is order-normalised: the inner product is symmetric, so
+        ``(left, right)`` and ``(right, left)`` share one cache entry.
+        """
+        a, b = sorted((str(left), str(right)))
+        key = ("join", a, b, int(t0), int(t1), str(align))
+
+        def compute() -> tuple[float, list]:
+            with self._rw.read():
+                lo, hi = self._catalog.window_bounds(
+                    t0, t1, names=(left, right), align=align
+                )
+                value = float(
+                    self._catalog.join_estimate(left, right, t0, t1, align=align)
+                )
+            b0, b1 = self._bucket_range(lo, hi)
+            return value, [(a, b0, b1), (b, b0, b1)]
+
+        return self._cache.get(key, compute)
+
+    def self_join_estimate(
+        self, name: str, t0: int, t1: int, align: str = "strict"
+    ) -> float:
+        """Estimated SJ of one relation over ``[t0, t1)`` (cached)."""
+        key = ("self", str(name), int(t0), int(t1), str(align))
+
+        def compute() -> tuple[float, list]:
+            with self._rw.read():
+                lo, hi = self._catalog.window_bounds(
+                    t0, t1, names=(name,), align=align
+                )
+                value = float(
+                    self._catalog.self_join_estimate(name, t0, t1, align=align)
+                )
+            b0, b1 = self._bucket_range(lo, hi)
+            return value, [(str(name), b0, b1)]
+
+        return self._cache.get(key, compute)
+
+    def at_window(self, t0: int, t1: int, align: str = "strict"):
+        """A fixed-window view usable anywhere an
+        :class:`~repro.relational.optimizer.EstimatingCatalog` is —
+        e.g. ``choose_join_order(names, sizes, service.at_window(0, 3600))``
+        picks a join order from cached windowed estimates.
+        """
+        return _WindowView(self, t0, t1, align)
+
+    def _bucket_range(self, lo: int, hi: int) -> tuple[int, int]:
+        width = self._catalog.bucket_width
+        origin = self._catalog.origin
+        return (lo - origin) // width, (hi - origin) // width
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def relations(self) -> list[str]:
+        with self._rw.read():
+            return self._catalog.relations
+
+    @property
+    def k(self) -> int:
+        return self._catalog.k
+
+    @property
+    def memory_words(self) -> int:
+        with self._rw.read():
+            return self._catalog.memory_words
+
+    def stats(self) -> dict:
+        """Cache statistics: hits, misses, coalesced, invalidated, entries."""
+        return self._cache.stats
+
+    def __contains__(self, name: str) -> bool:
+        with self._rw.read():
+            return name in self._catalog
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CatalogService({self._catalog!r}, cache={self._cache.stats})"

@@ -414,6 +414,16 @@ class WindowedSketchStore:
         :class:`~repro.engine.protocol.MergeUnsupportedError`.
         """
         lo, hi = self.window_bounds(t0, t1, align)
+        return self.query_resolved(lo, hi)
+
+    def query_resolved(self, lo: int, hi: int) -> Sketch:
+        """:meth:`query` for an already-resolved span-aligned window.
+
+        ``(lo, hi)`` must come from :meth:`window_bounds`; callers that
+        need both the resolved window and its sketch (the estimation
+        service caches the pair) use this to resolve once instead of
+        twice.
+        """
         b0 = (lo - self.origin) // self.bucket_width
         b1 = (hi - self.origin) // self.bucket_width
         spans = self._spans_in(b0, b1)
@@ -490,6 +500,30 @@ class WindowedSketchStore:
             (self.bucket_bounds(s.start)[0], self.bucket_bounds(s.end - 1)[1])
             for s in self._spans
         ]
+
+    @property
+    def bucket_spans(self) -> list[tuple[int, int]]:
+        """Bucket-index ranges ``[b0, b1)`` of the stored spans, in order.
+
+        The bucket-level twin of :attr:`spans`; the estimation service
+        diffs this structure around mutations to invalidate exactly the
+        cached windows a mutation could have changed.
+        """
+        return [(s.start, s.end) for s in self._spans]
+
+    def covering_span(self, bucket: int) -> tuple[int, int] | None:
+        """The bucket-index span holding ``bucket``, or None if uncovered.
+
+        Because a span's sketch cannot be split, any mutation that
+        touches one bucket of a span affects every query whose window
+        intersects the *whole* span — which is why cache invalidation
+        works on covering spans, not raw buckets.
+        """
+        b = int(bucket)
+        i = bisect.bisect_right(self._spans, b, key=lambda s: s.start) - 1
+        if i >= 0 and self._spans[i].covers(b):
+            return self._spans[i].start, self._spans[i].end
+        return None
 
     @property
     def span_count(self) -> int:

@@ -42,9 +42,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 15" in out
 
-    def test_figure_invalid_number(self):
-        with pytest.raises(KeyError):
-            main(["figure", "1", "--scale", "0.02"])
+    def test_figure_invalid_number_clear_error(self, capsys):
+        # ISSUE 3 satellite: registry KeyErrors no longer escape as
+        # tracebacks — one line on stderr, exit code 2.
+        assert main(["figure", "1", "--scale", "0.02"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not an accuracy sweep" in err
 
     def test_convergence_subset(self, capsys):
         assert main(
@@ -67,9 +70,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mf3" in out and "tug-of-war" in out
 
-    def test_sweep_unknown_dataset(self):
-        with pytest.raises(KeyError):
-            main(["sweep", "--dataset", "nope", "--scale", "0.05"])
+    def test_sweep_unknown_dataset_clear_error(self, capsys):
+        assert main(["sweep", "--dataset", "nope", "--scale", "0.05"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown data set" in err
+        assert "zipf1.0" in err  # the message lists what *is* registered
+
+    def test_convergence_unknown_dataset_clear_error(self, capsys):
+        assert main(
+            ["convergence", "--datasets", "nope", "--scale", "0.03"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown data set" in err
 
 
 class TestSketchCommands:
@@ -399,3 +411,80 @@ class TestStoreCommands:
              "--out", str(tmp_path / "x.json")]
         ) == 2
         assert "unknown sketch kind" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    @pytest.fixture()
+    def store_file(self, tmp_path):
+        rng = np.random.default_rng(8)
+        events = tmp_path / "events.txt"
+        events.write_text(
+            "\n".join(
+                f"{t} {v}"
+                for t, v in zip(
+                    rng.integers(0, 100, size=500).tolist(),
+                    rng.integers(0, 50, size=500).tolist(),
+                )
+            )
+        )
+        path = str(tmp_path / "serve_store.json")
+        assert main(
+            ["store", "init", "--kind", "tugofwar", "--bucket-width", "10",
+             "--s1", "32", "--s2", "3", "--seed", "5", "--out", path]
+        ) == 0
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 0
+        return path
+
+    def test_serve_missing_store_clear_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_serve_corrupt_store_clear_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["serve", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_bad_cache_size_clear_error(self, store_file, capsys):
+        assert main(["serve", store_file, "--cache-entries", "0"]) == 2
+        assert "max_entries" in capsys.readouterr().err
+
+    def test_serve_answers_over_the_wire(self, store_file, capsys):
+        # End to end through the CLI entry point: bind an ephemeral
+        # port, serve a bounded number of requests, compare the wire
+        # answer against the store file's own merge-on-query estimate.
+        import socket
+        import threading
+        import time
+        from pathlib import Path
+
+        from repro.store import WindowedSketchStore
+
+        rc: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["serve", store_file, "--port", "0", "--max-requests", "2"])
+            )
+        )
+        thread.start()
+        port = None
+        for _ in range(100):  # wait for the "serving ... on host:port" line
+            out = capsys.readouterr().out
+            if " on 127.0.0.1:" in out:
+                port = int(out.split(" on 127.0.0.1:")[1].split()[0])
+                break
+            time.sleep(0.05)
+        assert port is not None, "server never announced its port"
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            wire = conn.makefile("rw", encoding="utf-8")
+            for request in ({"op": "ping"}, {"op": "estimate", "from": 0, "until": 100}):
+                wire.write(json.dumps(request) + "\n")
+                wire.flush()
+                responses = [json.loads(wire.readline())]
+                assert all(r["ok"] for r in responses)
+        thread.join(timeout=10)
+        assert not thread.is_alive() and rc == [0]
+        expected = WindowedSketchStore.from_dict(
+            json.loads(Path(store_file).read_text())
+        ).estimate(0, 100)
+        assert responses[-1]["estimate"] == expected

@@ -167,3 +167,97 @@ class TestUpdates:
         for v in values.tolist():
             inc.insert(int(v))
         assert np.array_equal(bulk.counters, inc.counters)
+
+
+class TestRetractionSemantics:
+    """ISSUE 3 satellite: the engine's vectorised-ingest validation,
+    applied to multi-join signatures (PR 2 gave it to every engine
+    path; the m-way signatures had been skipped)."""
+
+    def test_signed_histogram_matches_per_element(self, rng):
+        fam = MultiJoinFamily(32, 3, seed=4)
+        batch = fam.signature(1)
+        batch.update_from_frequencies([3, 5, 3, 9], [2, 1, -1, 3])
+        inc = fam.signature(1)
+        for _ in range(2):
+            inc.insert(3)
+        inc.insert(5)
+        inc.delete(3)
+        for _ in range(3):
+            inc.insert(9)
+        assert np.array_equal(batch.counters, inc.counters)
+        assert batch.n == inc.n == 5
+
+    def test_update_signed_count(self):
+        fam = MultiJoinFamily(16, 2, seed=4)
+        sig = fam.signature(0)
+        sig.update(7, 3)
+        sig.update(7, -2)
+        inc = fam.signature(0)
+        inc.insert(7)
+        assert np.array_equal(sig.counters, inc.counters)
+        assert sig.n == 1
+
+    def test_net_negative_batch_rejected(self):
+        fam = MultiJoinFamily(16, 2, seed=4)
+        sig = fam.signature(0)
+        sig.insert(1)
+        with pytest.raises(ValueError, match="negative"):
+            sig.update_from_frequencies([1, 2], [-1, -1])
+
+    def test_update_below_zero_rejected(self):
+        sig = MultiJoinFamily(16, 2, seed=4).signature(1)
+        with pytest.raises(ValueError, match="negative"):
+            sig.update(5, -1)
+
+    def test_mismatched_histogram_rejected(self):
+        sig = MultiJoinFamily(16, 2, seed=4).signature(0)
+        with pytest.raises(ValueError, match="equal-length"):
+            sig.update_from_frequencies([1, 2], [1])
+
+    def test_engine_pipeline_rejects_delete_without_insert(self):
+        # is_linear + update_from_frequencies route multi-join
+        # signatures through the engine's linear path, whose live
+        # multiset tracking rejects an unmatched delete exactly where
+        # a per-element replay would have surfaced the caller bug.
+        from repro.engine.ingest import ingest_operations
+        from repro.streams.operations import Delete, Insert
+
+        fam = MultiJoinFamily(16, 2, seed=4)
+        sig = fam.signature(1)
+        assert sig.is_linear
+        with pytest.raises(ValueError, match="no remaining occurrence"):
+            ingest_operations(sig, [Insert(4), Delete(7)])
+
+    def test_engine_pipeline_matches_per_element(self, rng):
+        from repro.engine.ingest import ingest_operations
+        from repro.streams.operations import Delete, Insert
+
+        fam = MultiJoinFamily(32, 3, seed=6)
+        values = rng.integers(0, 10, size=200).tolist()
+        ops = [Insert(v) for v in values] + [Delete(v) for v in values[:50]]
+        piped = fam.signature(2)
+        ingest_operations(piped, ops)
+        inc = fam.signature(2)
+        for v in values:
+            inc.insert(int(v))
+        for v in values[:50]:
+            inc.delete(int(v))
+        assert np.array_equal(piped.counters, inc.counters)
+        assert piped.n == inc.n
+
+    def test_deletions_preserve_estimate_quality(self, rng):
+        # Retracting half of one relation must leave the estimate
+        # tracking the *current* multisets, not the historical stream.
+        fam = MultiJoinFamily(4096, 3, seed=11)
+        rels = [rng.integers(0, 12, size=600).astype(np.int64) for _ in range(3)]
+        sigs = fam.signatures()
+        for sig, rel in zip(sigs, rels):
+            sig.update_from_stream(rel)
+        # Delete the first 300 tuples of relation 1 via a signed batch.
+        gone, counts = np.unique(rels[1][:300], return_counts=True)
+        sigs[1].update_from_frequencies(gone, -counts)
+        remaining = [rels[0], rels[1][300:], rels[2]]
+        exact = multiway_join_size(remaining)
+        est = fam.join_estimate(sigs)
+        assert est == pytest.approx(exact, rel=0.5)

@@ -10,7 +10,12 @@ from repro.relational.catalog import (
     SignatureCatalog,
     UnknownRelationError,
 )
-from repro.relational.optimizer import JoinPlan, choose_join_order, plan_cost
+from repro.relational.optimizer import (
+    JoinPlan,
+    UnknownRelationSizeError,
+    choose_join_order,
+    plan_cost,
+)
 from repro.relational.relation import Relation
 
 
@@ -259,11 +264,80 @@ class TestOptimizer:
         with pytest.raises(ValueError, match="two relations"):
             choose_join_order(["A"], {"A": 10}, oracle)
 
-    def test_requires_sizes(self, relations):
-        oracle = _ExactOracle(relations)
-        with pytest.raises(KeyError, match="size"):
-            choose_join_order(["A", "B"], {"A": 10}, oracle)
-
     def test_plan_cost_requires_two(self):
         with pytest.raises(ValueError):
             plan_cost(["A"], {"A": 1}, lambda a, b: 0.0)
+
+
+class TestOptimizerTypedErrors:
+    """ISSUE 3 satellite: no bare KeyError / assert deaths in the optimizer."""
+
+    def make_oracle(self, rng):
+        return _ExactOracle({
+            "A": Relation("A", rng.integers(0, 20, size=100)),
+            "B": Relation("B", rng.integers(0, 20, size=100)),
+        })
+
+    def test_missing_size_is_typed_not_keyerror(self, rng):
+        oracle = self.make_oracle(rng)
+        with pytest.raises(UnknownRelationSizeError) as excinfo:
+            choose_join_order(["A", "B"], {"A": 100}, oracle)
+        assert not isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, LookupError)
+        # The message is actionable: names the relation, lists what is
+        # recorded, and says what to supply.
+        message = str(excinfo.value)
+        assert "'B'" in message and "sizes recorded for: A" in message
+        assert excinfo.value.name == "B" and excinfo.value.recorded == ["A"]
+
+    def test_missing_size_with_nothing_recorded(self, rng):
+        oracle = self.make_oracle(rng)
+        with pytest.raises(UnknownRelationSizeError, match="<none>"):
+            choose_join_order(["A", "B"], {}, oracle)
+
+    def test_plan_cost_missing_size_is_typed(self):
+        with pytest.raises(UnknownRelationSizeError, match="'B'"):
+            plan_cost(["A", "B"], {"A": 1}, lambda a, b: 0.0)
+
+    def test_plan_cost_rejects_duplicate_order(self):
+        # An explicit order repeating a relation is a caller error;
+        # silently deduplicating would score a different plan.
+        with pytest.raises(ValueError, match="repeats a relation"):
+            plan_cost(["A", "B", "A"], {"A": 1, "B": 1}, lambda a, b: 1.0)
+
+    def test_negative_size_rejected(self, rng):
+        oracle = self.make_oracle(rng)
+        with pytest.raises(ValueError, match="negative size"):
+            choose_join_order(["A", "B"], {"A": 100, "B": -1}, oracle)
+
+    def test_nan_estimate_rejected_with_pair_named(self):
+        class _NaNCatalog:
+            def join_estimate(self, left, right):
+                return float("nan")
+
+        with pytest.raises(ValueError, match=r"non-finite.*'A'.*'B'"):
+            choose_join_order(["A", "B"], {"A": 10, "B": 10}, _NaNCatalog())
+
+    def test_inf_estimate_rejected_in_plan_cost(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            plan_cost(
+                ["A", "B"], {"A": 1, "B": 1}, lambda a, b: float("inf")
+            )
+
+    def test_empty_relations_is_valueerror_not_assert(self, rng):
+        # The old implementation could only fail an `assert` here
+        # (which vanishes under python -O); degenerate inputs now raise
+        # a real ValueError.
+        oracle = self.make_oracle(rng)
+        with pytest.raises(ValueError, match="two relations"):
+            choose_join_order([], {}, oracle)
+        with pytest.raises(ValueError, match="two relations"):
+            choose_join_order(["A", "A"], {"A": 10}, oracle)  # dupes collapse
+
+    def test_catalog_exceptions_propagate_untouched(self, rng):
+        class _Broken:
+            def join_estimate(self, left, right):
+                raise RuntimeError("backend down")
+
+        with pytest.raises(RuntimeError, match="backend down"):
+            choose_join_order(["A", "B"], {"A": 1, "B": 1}, _Broken())
