@@ -19,7 +19,13 @@ Measures, on one synthetic Zipf stream:
    :class:`repro.service.SketchService`: cold (merge-on-query) vs
    cached merged-window estimate latency (p50/p99), then query
    throughput under multi-threaded ingest+query churn, with the final
-   concurrent state checked **bit-identical** against a serial replay.
+   concurrent state checked **bit-identical** against a serial replay;
+6. **query planner** — DP enumeration scaling over chain/star/clique
+   join graphs up to n = 12 relations (must stay sub-second, with
+   bit-identical plans across repeated runs), and plan-quality regret
+   of the sketch and bound-aware estimator policies against exact
+   statistics on a seeded star workload (the DP must beat the greedy
+   heuristic's true cost).
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
@@ -28,15 +34,23 @@ windowed bar: merge-on-query over any bucket range must equal the
 monolithic build bit for bit.  ISSUE 3 adds the serving bar: cached
 merged-window queries at least 10x lower latency than cold
 merge-on-query, and concurrent ingest+query ending bit-identical to a
-serial replay.  The script exits non-zero if any check fails.
+serial replay.  ISSUE 4 adds the planner bar: sub-second deterministic
+DP enumeration at n = 12 and a strict DP-beats-greedy win on the star
+workload.  The script exits non-zero if any check fails.
 
-Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
-      PYTHONPATH=src python benchmarks/bench_engine.py --smoke   # service only
+``--json PATH`` additionally writes a machine-readable summary
+(per-section latency percentiles and throughput) so the performance
+trajectory is tracked across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--json PATH]
+      PYTHONPATH=src python benchmarks/bench_engine.py --smoke --json PATH
+      # --smoke: service + planner sections only, CI-sized
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import threading
 import time
@@ -47,6 +61,16 @@ from repro.core.naivesampling import NaiveSamplingEstimator
 from repro.core.samplecount import SampleCountSketch
 from repro.core.tugofwar import TugOfWarSketch
 from repro.engine import sharded_build
+from repro.planner import (
+    BoundAwareCardinalities,
+    ExactCardinalities,
+    JoinGraph,
+    SketchCardinalities,
+    enumerate_dp,
+    enumerate_greedy,
+    evaluate_plan,
+)
+from repro.relational import Relation, SignatureCatalog
 from repro.service import SketchService
 from repro.store import SketchSpec, WindowedSketchStore
 
@@ -65,11 +89,11 @@ def throughput(n: int, seconds: float) -> str:
     return f"{n / seconds / 1e6:8.2f} M elem/s"
 
 
-def service_section(args, n: int) -> list[str]:
+def service_section(args, n: int) -> tuple[list[str], dict]:
     """Section 5: the estimation-service load generator.
 
     Self-contained (builds its own stream and store) so ``--smoke``
-    can run it alone.  Returns the list of failed acceptance checks.
+    can run it alone.  Returns (failed acceptance checks, metrics).
     """
     failures: list[str] = []
     rng = np.random.default_rng(args.seed)
@@ -195,7 +219,153 @@ def service_section(args, n: int) -> list[str]:
     stats = service.stats()
     print(f"  cache: hits={stats['hits']:,} misses={stats['misses']:,} "
           f"coalesced={stats['coalesced']:,} invalidated={stats['invalidated']:,}")
-    return failures
+    metrics = {
+        "cold_p50_ms": cold_p50,
+        "cold_p99_ms": cold_p99,
+        "cached_p50_ms": hot_p50,
+        "cached_p99_ms": hot_p99,
+        "cached_speedup": ratio,
+        "churn_p50_ms": churn_p50,
+        "churn_p99_ms": churn_p99,
+        "churn_queries_per_s": qps,
+    }
+    return failures, metrics
+
+
+class _SeededSelectivities:
+    """A deterministic synthetic estimator for enumeration timing.
+
+    Per-edge selectivities are drawn once from a seeded RNG, so the
+    scaling runs measure pure enumeration work (no sketch math) and
+    repeated enumerations see identical inputs.
+    """
+
+    def __init__(self, graph: JoinGraph, seed: int):
+        self._graph = graph
+        self._rng = np.random.default_rng(seed)
+        self._sel: dict[tuple[str, str], float] = {}
+
+    def join_estimate(self, left: str, right: str) -> float:
+        key = (left, right) if left <= right else (right, left)
+        sel = self._sel.get(key)
+        if sel is None:
+            sel = float(self._rng.uniform(5e-4, 2e-2))
+            self._sel[key] = sel
+        return sel * self._graph.size(left) * self._graph.size(right)
+
+
+def _shape_graph(shape: str, n: int) -> JoinGraph:
+    sizes = {f"R{i}": 1_000 + 37 * i for i in range(n)}
+    if shape == "chain":
+        return JoinGraph.chain(sizes)
+    if shape == "clique":
+        return JoinGraph.clique(sizes)
+    items = list(sizes.items())
+    return JoinGraph.star(items[0][0], items[0][1], dict(items[1:]))
+
+
+def planner_section(args) -> tuple[list[str], dict]:
+    """Section 6: DP enumeration scaling and plan-quality regret."""
+    failures: list[str] = []
+    metrics: dict = {"enumeration_ms": {}, "quality": {}}
+
+    # -- enumeration scaling: chain/star/clique up to n = 12 ------------
+    print("query planner: DP enumeration scaling")
+    repeats = 3
+    for shape in ("chain", "star", "clique"):
+        for n in (8, 12):
+            graph = _shape_graph(shape, n)
+            estimator = _SeededSelectivities(graph, seed=args.seed)
+            for mode in ("left-deep", "bushy"):
+                runs = []
+                plans = []
+                for _ in range(repeats):
+                    t, plan = timed(
+                        lambda: enumerate_dp(graph, estimator, mode=mode)
+                    )
+                    runs.append(t)
+                    plans.append(plan)
+                p50 = float(np.percentile(np.asarray(runs) * 1e3, 50))
+                identical = all(
+                    p.structure() == plans[0].structure()
+                    and p.cost == plans[0].cost
+                    for p in plans[1:]
+                )
+                print(f"  {shape:6s} n={n:2d} {mode:9s}  p50 {p50:8.2f} ms"
+                      f"   bit-identical across runs: {identical}")
+                metrics["enumeration_ms"][f"{shape}/n{n}/{mode}"] = p50
+                if not identical:
+                    failures.append(
+                        f"planner: {shape} n={n} {mode} plans differ "
+                        "across repeated runs"
+                    )
+                if n == 12 and min(runs) >= 1.0:
+                    failures.append(
+                        f"planner: {shape} n=12 {mode} enumeration took "
+                        f"{min(runs):.2f} s (sub-second bar)"
+                    )
+
+    # -- plan quality: greedy vs DP, sketch vs exact vs bound-aware -----
+    # A star workload where the classic small-dimension cross-product
+    # trick pays off: every dimension covers the fact domain, so each
+    # fact join keeps the intermediate near |F|, while crossing the
+    # tiny dimensions first costs |D1| * |D2|.  Left-deep greedy cannot
+    # see that; bushy DP (cross products allowed) must find it.
+    rng = np.random.default_rng(args.seed)
+    domain = 64
+    fact_n = 50_000 if args.quick or args.smoke else 200_000
+    relations = {
+        "F": Relation("F", (rng.zipf(1.4, size=fact_n) % domain).astype(np.int64))
+    }
+    for i, dim_n in enumerate((60, 70, 80), start=1):
+        relations[f"D{i}"] = Relation(
+            f"D{i}", rng.integers(0, domain, size=dim_n).astype(np.int64)
+        )
+    graph = JoinGraph.star(
+        "F", relations["F"].size,
+        {name: rel.size for name, rel in relations.items() if name != "F"},
+    )
+    exact = ExactCardinalities(relations)
+    catalog = SignatureCatalog(k=1024, seed=args.seed)
+    for name, rel in relations.items():
+        catalog.register(name, rel.values_array())
+    policies = {
+        "exact": exact,
+        "sketch": SketchCardinalities(catalog),
+        "bound": BoundAwareCardinalities(catalog),
+    }
+
+    greedy = enumerate_greedy(graph, exact)
+    greedy_true = evaluate_plan(greedy, graph, exact).cost
+    dp = enumerate_dp(graph, exact, mode="bushy", allow_cross_products=True)
+    dp_true = evaluate_plan(dp, graph, exact).cost
+    print(f"\nquery planner: plan quality (star, |F|={relations['F'].size:,})")
+    print(f"  greedy left-deep      true cost {greedy_true:14,.0f}")
+    print(f"  DP bushy (+cross)     true cost {dp_true:14,.0f}"
+          f"   ({greedy_true / dp_true:.2f}x cheaper)")
+    metrics["quality"]["greedy_true_cost"] = greedy_true
+    metrics["quality"]["dp_true_cost"] = dp_true
+    if not dp_true < greedy_true:
+        failures.append(
+            f"planner: DP true cost {dp_true:,.0f} does not beat greedy "
+            f"{greedy_true:,.0f} on the star workload"
+        )
+
+    best_true = dp_true
+    for name, estimator in policies.items():
+        plan = enumerate_dp(
+            graph, estimator, mode="bushy", allow_cross_products=True
+        )
+        true_cost = evaluate_plan(plan, graph, exact).cost
+        regret = true_cost / best_true if best_true else float("inf")
+        print(f"  policy {name:6s} DP     true cost {true_cost:14,.0f}"
+              f"   regret {regret:7.3f}x")
+        metrics["quality"][f"{name}_regret"] = regret
+        if regret > 5.0:
+            failures.append(
+                f"planner: {name} policy regret {regret:.2f}x above the 5x bar"
+            )
+    return failures, metrics
 
 
 def main(argv=None) -> int:
@@ -209,7 +379,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run only the estimation-service section, CI-sized",
+        help="run only the estimation-service and planner sections, CI-sized",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable summary (per-section percentiles "
+        "and throughput) to this file",
     )
     parser.add_argument("--s1", type=int, default=256)
     parser.add_argument("--s2", type=int, default=5)
@@ -217,15 +395,34 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=4)
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        failures = service_section(args, n=100_000)
-        print()
+    summary: dict = {
+        "mode": "smoke" if args.smoke else ("quick" if args.quick else "full"),
+        "seed": args.seed,
+        "sections": {},
+    }
+
+    def finish(failures: list[str], ok_message: str) -> int:
+        if args.json_path:
+            summary["failures"] = failures
+            with open(args.json_path, "w") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+            print(f"wrote benchmark summary to {args.json_path}")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print("service benchmark checks passed")
+        print(ok_message)
         return 0
+
+    if args.smoke:
+        failures, summary["sections"]["service"] = service_section(
+            args, n=100_000
+        )
+        print()
+        planner_failures, summary["sections"]["planner"] = planner_section(args)
+        failures.extend(planner_failures)
+        print()
+        return finish(failures, "service and planner benchmark checks passed")
 
     n = 100_000 if args.quick else 1_000_000
     rng = np.random.default_rng(args.seed)
@@ -282,6 +479,13 @@ def main(argv=None) -> int:
         failures.append(
             f"tug-of-war: batched speedup {speedup:.1f}x below the 10x bar"
         )
+    summary["sections"]["tugofwar"] = {
+        "loop_s": t_loop,
+        "batched_s": t_batch,
+        "batched_speedup": speedup,
+        "batched_meps": n / t_batch / 1e6 if t_batch else float("inf"),
+        "sharded_threaded_s": t_shard_mt,
+    }
 
     # ------------------------------------------------------------------
     # 2. sample-count: per-element vs vectorised segment walker
@@ -302,6 +506,12 @@ def main(argv=None) -> int:
           f"   ({sc_speedup:.1f}x)")
     if sc_loop.estimate() != sc_batch.estimate():
         failures.append("sample-count: batched estimate != per-element estimate")
+    summary["sections"]["samplecount"] = {
+        "loop_s": t_sc_loop,
+        "batched_s": t_sc_batch,
+        "batched_speedup": sc_speedup,
+        "batched_meps": n / t_sc_batch / 1e6 if t_sc_batch else float("inf"),
+    }
 
     # ------------------------------------------------------------------
     # 3. naive-sampling: per-element offers vs skip-jump bulk offers
@@ -322,6 +532,12 @@ def main(argv=None) -> int:
           f"   ({ns_speedup:.1f}x)")
     if ns_loop.estimate() != ns_batch.estimate():
         failures.append("naive-sampling: batched estimate != per-element estimate")
+    summary["sections"]["naivesampling"] = {
+        "loop_s": t_ns_loop,
+        "batched_s": t_ns_batch,
+        "batched_speedup": ns_speedup,
+        "batched_meps": n / t_ns_batch / 1e6 if t_ns_batch else float("inf"),
+    }
 
     # ------------------------------------------------------------------
     # 4. windowed store: bucketed ingest + merge-on-query vs monolithic
@@ -351,12 +567,14 @@ def main(argv=None) -> int:
     print(f"  bucketed ingest x{args.shards} {t_store_mt:7.3f} s  "
           f"{throughput(n, t_store_mt)}")
 
+    query_latencies: dict[str, float] = {}
     for b0, b1 in ((0, 1), (16, 48), (0, num_buckets)):
         repeats = 5
         start = time.perf_counter()
         for _ in range(repeats):
             window = store.query(b0, b1)
         latency_ms = (time.perf_counter() - start) / repeats * 1e3
+        query_latencies[f"[{b0},{b1})"] = latency_ms
         mono = tw()
         mono.update_from_stream(stream[(timestamps >= b0) & (timestamps < b1)])
         identical = np.array_equal(window.counters, mono.counters)
@@ -366,6 +584,12 @@ def main(argv=None) -> int:
             failures.append(
                 f"windowed store: query [{b0}, {b1}) != monolithic sketch"
             )
+    summary["sections"]["windowed_store"] = {
+        "ingest_s": t_store,
+        "ingest_meps": n / t_store / 1e6 if t_store else float("inf"),
+        "ingest_threaded_s": t_store_mt,
+        "query_latency_ms": query_latencies,
+    }
     if not np.array_equal(
         store_mt.query(0, num_buckets).counters,
         store.query(0, num_buckets).counters,
@@ -376,15 +600,18 @@ def main(argv=None) -> int:
     # 5. estimation service: cold vs cached, then ingest+query churn
     # ------------------------------------------------------------------
     print()
-    failures.extend(service_section(args, n=n))
+    service_failures, summary["sections"]["service"] = service_section(args, n=n)
+    failures.extend(service_failures)
+
+    # ------------------------------------------------------------------
+    # 6. query planner: DP enumeration scaling + plan-quality regret
+    # ------------------------------------------------------------------
+    print()
+    planner_failures, summary["sections"]["planner"] = planner_section(args)
+    failures.extend(planner_failures)
 
     print()
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("all engine benchmark checks passed")
-    return 0
+    return finish(failures, "all engine benchmark checks passed")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,12 @@ join-size estimates between relations.  The **service** layer
 snapshot isolation, a merged-window LRU cache with per-dirty-bucket
 invalidation, and request coalescing, and
 :class:`SketchServiceServer` (the ``repro serve`` command) exposes it
-all as line-delimited JSON over TCP.
+all as line-delimited JSON over TCP.  The **planner** layer
+(:mod:`repro.planner`) closes the paper's motivating loop: join-graph
+plan enumeration (greedy and DPsize-style dynamic programming, the
+``repro plan`` command) over pluggable cardinality policies — exact
+statistics, tug-of-war sketch estimates, or sketch estimates inflated
+by the Lemma 4.4 error bound for pessimistic planning.
 
 Quick start::
 
@@ -83,6 +88,19 @@ from .engine import (
     sharded_build,
     sketch_kinds,
 )
+from .planner import (
+    BoundAwareCardinalities,
+    CrossProductError,
+    ExactCardinalities,
+    JoinGraph,
+    PlanNode,
+    SketchCardinalities,
+    enumerate_dp,
+    enumerate_greedy,
+    evaluate_plan,
+    plan_join,
+    render_plan,
+)
 from .relational import (
     Relation,
     SampleCatalog,
@@ -91,6 +109,7 @@ from .relational import (
     UnknownRelationSizeError,
     WindowedSignatureCatalog,
     choose_join_order,
+    plan_cost,
 )
 from .service import CatalogService, SketchService, SketchServiceServer
 from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
@@ -165,6 +184,19 @@ __all__ = [
     "UnknownRelationError",
     "UnknownRelationSizeError",
     "choose_join_order",
+    "plan_cost",
+    # planner: join graphs, enumerators, estimator policies
+    "JoinGraph",
+    "PlanNode",
+    "render_plan",
+    "evaluate_plan",
+    "plan_join",
+    "enumerate_greedy",
+    "enumerate_dp",
+    "ExactCardinalities",
+    "SketchCardinalities",
+    "BoundAwareCardinalities",
+    "CrossProductError",
     # windowed store
     "SketchSpec",
     "WindowedSketchStore",

@@ -33,6 +33,12 @@ The estimation service (line-delimited JSON over TCP)::
     python -m repro serve st.json --port 7099
     echo '{"op": "estimate", "from": 0, "until": 1000}' | nc 127.0.0.1 7099
 
+The query planner (join-graph enumeration over estimator policies)::
+
+    python -m repro plan --shape chain --relations 6 --policy all
+    python -m repro plan --shape star --relations 5 --enumerator dp-bushy \
+        --allow-cross-products
+
 Every reproduction subcommand prints the same rows/series the
 corresponding paper artifact reports.  Heavy runs scale down with
 ``--scale`` (fraction of the paper's stream lengths).  User-level
@@ -206,6 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_st_info = store_sub.add_parser("info", help="inspect a store file")
     p_st_info.add_argument("path")
+
+    p_plan = sub.add_parser(
+        "plan", help="enumerate join plans over a seeded workload and "
+        "compare estimator policies"
+    )
+    p_plan.add_argument("--shape", choices=("chain", "star", "clique"),
+                        default="chain",
+                        help="join-graph topology of the workload")
+    p_plan.add_argument("--relations", type=int, default=6,
+                        help="number of relations in the workload")
+    p_plan.add_argument("--rows", type=int, default=4000,
+                        help="base relation cardinality (the fact table of a "
+                        "star is 20x this)")
+    p_plan.add_argument("--policy",
+                        choices=("exact", "sketch", "bound", "all"),
+                        default="all",
+                        help="cardinality-estimation backend(s) to plan under")
+    p_plan.add_argument("--enumerator",
+                        choices=("greedy", "dp-leftdeep", "dp-bushy"),
+                        default="dp-bushy",
+                        help="plan-enumeration algorithm")
+    p_plan.add_argument("--k", type=int, default=1024,
+                        help="signature words per relation (sketch/bound "
+                        "policies)")
+    p_plan.add_argument("--confidence", type=float, default=1.0,
+                        help="error-bound multiplier of the bound-aware "
+                        "policy (standard errors added to each estimate)")
+    p_plan.add_argument("--allow-cross-products", action="store_true",
+                        help="let plans join unconnected relation sets "
+                        "(costed as cartesian products)")
+    p_plan.add_argument("--seed", type=int, default=0)
 
     p_serve = sub.add_parser(
         "serve", help="serve windowed estimates over line-delimited JSON/TCP"
@@ -528,6 +565,150 @@ def _store_main(args) -> int:
     )  # pragma: no cover
 
 
+def _plan_workload(shape: str, n: int, rows: int, seed: int):
+    """A seeded planning workload: (join graph, materialized relations).
+
+    Deterministic in ``(shape, n, rows, seed)``.  Relations share one
+    joining attribute (the paper's footnote-2 model); the *graph*
+    restricts which pairs a query joins:
+
+    * ``chain`` — overlapping half-window domains, so adjacent
+      relations join and non-adjacent ones are (truly) disjoint;
+    * ``star`` — one large skewed fact table, small dimensions over
+      subdomains of varying width (so edge selectivities differ);
+    * ``clique`` — everything over one shared domain with varying
+      sizes and skew (the old all-pairs setting, made explicit).
+    """
+    import numpy as np
+
+    from .planner import JoinGraph
+    from .relational import Relation
+
+    if n < 2:
+        raise CliError(f"--relations must be at least 2, got {n}")
+    if rows < 1:
+        raise CliError(f"--rows must be positive, got {rows}")
+    try:
+        rng = np.random.default_rng(seed)
+    except ValueError as exc:
+        raise CliError(f"--seed: {exc}") from exc
+    relations: dict[str, Relation] = {}
+
+    if shape == "star":
+        dims = [f"D{i}" for i in range(1, n)]
+        domain = max(4 * rows, 16)
+        fact_values = (rng.zipf(1.3, size=20 * rows) % domain).astype(np.int64)
+        relations["F"] = Relation("F", fact_values)
+        dim_sizes: dict[str, int] = {}
+        for i, dim in enumerate(dims):
+            width = max(int(domain * rng.uniform(0.05, 0.6)), 4)
+            size = max(rows // (i + 2), 20)
+            relations[dim] = Relation(
+                dim, rng.integers(0, width, size=size).astype(np.int64)
+            )
+            dim_sizes[dim] = relations[dim].size
+        graph = JoinGraph.star("F", relations["F"].size, dim_sizes)
+        return graph, relations
+
+    names = [f"R{i}" for i in range(n)]
+    if shape == "chain":
+        width = max(rows, 16)
+        for i, name in enumerate(names):
+            size = max(int(rows * rng.uniform(0.5, 1.5)), 10)
+            lo = i * (width // 2)
+            relations[name] = Relation(
+                name, rng.integers(lo, lo + width, size=size).astype(np.int64)
+            )
+        graph = JoinGraph.chain({m: relations[m].size for m in names})
+        return graph, relations
+
+    if shape == "clique":
+        domain = max(rows // 2, 16)
+        for name in names:
+            size = max(int(rows * rng.uniform(0.4, 1.6)), 10)
+            exponent = float(rng.uniform(1.2, 1.9))
+            relations[name] = Relation(
+                name, (rng.zipf(exponent, size=size) % domain).astype(np.int64)
+            )
+        graph = JoinGraph.clique({m: relations[m].size for m in names})
+        return graph, relations
+
+    raise CliError(f"unknown workload shape: {shape!r}")
+
+
+def _plan_main(args) -> int:
+    """The `plan` command: enumerate and compare join plans."""
+    from .planner import (
+        BoundAwareCardinalities,
+        CrossProductError,
+        ExactCardinalities,
+        SketchCardinalities,
+        evaluate_plan,
+        plan_join,
+        render_plan,
+    )
+    from .relational import SignatureCatalog
+
+    graph, relations = _plan_workload(
+        args.shape, args.relations, args.rows, args.seed
+    )
+    exact = ExactCardinalities(relations)
+    policies: dict[str, object] = {"exact": exact}
+    selected = (
+        ["exact", "sketch", "bound"] if args.policy == "all" else [args.policy]
+    )
+    if "sketch" in selected or "bound" in selected:
+        try:
+            catalog = SignatureCatalog(k=args.k, seed=args.seed)
+        except ValueError as exc:
+            raise CliError(f"--k: {exc}") from exc
+        for name, rel in relations.items():
+            catalog.register(name, rel.values_array())
+        if "sketch" in selected:
+            policies["sketch"] = SketchCardinalities(catalog)
+        if "bound" in selected:
+            try:
+                policies["bound"] = BoundAwareCardinalities(
+                    catalog, confidence=args.confidence
+                )
+            except ValueError as exc:
+                raise CliError(str(exc)) from exc
+
+    def enumerate_policy(estimator):
+        try:
+            return plan_join(
+                graph,
+                estimator,
+                args.enumerator,
+                allow_cross_products=args.allow_cross_products,
+            )
+        except CrossProductError as exc:
+            raise CliError(f"{exc} (or pass --allow-cross-products)") from exc
+
+    sizes = ", ".join(f"{m}={graph.size(m):,}" for m in graph.relations)
+    print(
+        f"workload: shape={args.shape}, relations={len(graph)}, "
+        f"edges={len(graph.edges)}, seed={args.seed}"
+    )
+    print(f"cardinalities: {sizes}")
+    print(f"enumerator: {args.enumerator}"
+          + (" (cross products allowed)" if args.allow_cross_products else ""))
+
+    exact_tree = enumerate_policy(exact)
+    baseline = evaluate_plan(exact_tree, graph, exact).cost
+    for policy in selected:
+        tree = exact_tree if policy == "exact" else enumerate_policy(policies[policy])
+        true_cost = evaluate_plan(tree, graph, exact).cost
+        regret = true_cost / baseline if baseline > 0 else 1.0
+        print(f"\npolicy={policy}")
+        print(render_plan(tree))
+        print(
+            f"  estimated cost {tree.cost:,.6g}   true cost "
+            f"{true_cost:,.6g}   regret vs exact-policy plan {regret:.3f}x"
+        )
+    return 0
+
+
 def _serve_main(args) -> int:
     """The `serve` command: expose a store as a line-delimited JSON service."""
     from .service import SketchService, SketchServiceServer
@@ -580,6 +761,8 @@ def _dispatch(args) -> int:
         return _sketch_main(args)
     if args.command == "store":
         return _store_main(args)
+    if args.command == "plan":
+        return _plan_main(args)
     if args.command == "serve":
         return _serve_main(args)
 

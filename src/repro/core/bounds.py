@@ -11,6 +11,7 @@ harness can print the paper's analytic tables:
 * Theorem 2.2 — tug-of-war error bound ``4 / sqrt(s1)``.
 * Lemma 2.3  — naive-sampling needs Omega(sqrt n) samples.
 * Lemma 4.2  — sample join signatures need ~ c n^2 / B words.
+* Lemma 4.4  — k-TW join-estimate standard error sqrt(2 SJ(F) SJ(G) / k).
 * Theorem 4.3 — any signature scheme needs >= (n - sqrt(B))^2 / B bits.
 * Theorem 4.5 — k-TW needs k = c SJ(F) SJ(G) / B1^2 words.
 * Section 4.4 — k-TW beats sampling iff C < n sqrt(B); the B threshold
@@ -31,6 +32,7 @@ __all__ = [
     "success_probability",
     "naive_sampling_required_size",
     "sample_signature_words",
+    "ktw_join_error_bound",
     "signature_lower_bound_bits",
     "ktw_signature_words",
     "ktw_beats_sampling",
@@ -116,6 +118,22 @@ def sample_signature_words(n: int, sanity_bound: float, c: float = 3.0) -> float
     """
     _check_sanity_bound(n, sanity_bound)
     return c * n * n / sanity_bound
+
+
+def ktw_join_error_bound(sj_left: float, sj_right: float, k: int) -> float:
+    """Lemma 4.4 standard error: sqrt(2 SJ(F) SJ(G) / k).
+
+    ``Var[S(F) S(G)] <= 2 SJ(F) SJ(G)`` per counter pair, so the mean
+    of k products estimates ``|F join G|`` within this one-sigma
+    error.  The one shared formula behind every error-bound surface in
+    the system — catalog ``join_error_bound``, windowed estimates, and
+    the planner's bound-aware (pessimistic) costing policy.
+    """
+    if sj_left < 0 or sj_right < 0:
+        raise ValueError("self-join sizes must be non-negative")
+    if k < 1:
+        raise ValueError(f"signature size k must be >= 1, got {k}")
+    return math.sqrt(2.0 * sj_left * sj_right / k)
 
 
 def signature_lower_bound_bits(n: int, sanity_bound: float) -> float:

@@ -37,6 +37,7 @@ from typing import Iterable
 import numpy as np
 
 from ..engine.protocol import as_histogram
+from .bounds import ktw_join_error_bound
 from .estimators import median_of_means
 from .hashing import SignHashFamily
 
@@ -132,9 +133,7 @@ class TugOfWarJoinSignature:
 
     def error_bound(self, sj_self: float, sj_other: float) -> float:
         """Lemma 4.4 standard error: sqrt(2 SJ(F) SJ(G) / k)."""
-        if sj_self < 0 or sj_other < 0:
-            raise ValueError("self-join sizes must be non-negative")
-        return float(np.sqrt(2.0 * sj_self * sj_other / self._z.size))
+        return ktw_join_error_bound(sj_self, sj_other, self._z.size)
 
     def _check_compatible(self, other: "TugOfWarJoinSignature") -> None:
         if not isinstance(other, TugOfWarJoinSignature):

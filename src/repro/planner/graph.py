@@ -1,0 +1,255 @@
+"""The join-graph model: relations, cardinalities, equi-join edges.
+
+The paper restricts attention to equality joins (footnote 2), and the
+original optimizer demo went one step further: it silently assumed
+*every* relation pair was joinable — a flat size map with an all-pairs
+estimate oracle.  Real schemas are sparse: a star schema joins each
+dimension to the fact table and nothing else, and a plan that pairs two
+dimensions is a cross product, usually a mistake.  Following the
+PostBOUND architecture (plan enumeration decoupled from the estimation
+policy), :class:`JoinGraph` makes the join structure explicit: named
+relations with exact cardinalities as vertices, equi-join edges between
+the pairs a query actually joins.
+
+Internally each relation gets a bit position (insertion order, which
+also fixes every enumerator's deterministic tie-breaking order), so the
+enumeration layer can manipulate relation *sets* as integer bitmasks —
+subset connectivity, neighbourhoods, and complement splits are single
+bitwise operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "JoinGraph",
+    "UnknownGraphRelationError",
+    "CrossProductError",
+]
+
+
+class UnknownGraphRelationError(LookupError):
+    """A graph operation named a relation that was never added.
+
+    Deliberately *not* a ``KeyError`` (the same policy as the catalogs'
+    ``UnknownRelationError``): the message names the relation, lists
+    what the graph does contain, and says how to add it.
+    """
+
+    def __init__(self, name: str, known: Iterable[str]):
+        self.name = name
+        self.known = sorted(known)
+        listed = ", ".join(self.known) or "<none>"
+        super().__init__(
+            f"relation {name!r} is not in this join graph (relations: "
+            f"{listed}); call add_relation({name!r}, size) first"
+        )
+
+
+class CrossProductError(ValueError):
+    """A plan step would join two relation sets with no connecting edge.
+
+    Cross products are rejected by default — they are almost always a
+    query-authoring mistake, and silently costing one as a cartesian
+    blow-up buries the mistake inside a huge cost number.  Callers that
+    genuinely want cross products (e.g. the classic small-dimensions
+    trick in star schemas) pass ``allow_cross_products=True``.
+    """
+
+    def __init__(self, left: Sequence[str], right: Sequence[str]):
+        self.left = tuple(left)
+        self.right = tuple(right)
+        super().__init__(
+            f"joining {{{', '.join(sorted(self.left))}}} with "
+            f"{{{', '.join(sorted(self.right))}}} is a cross product (no "
+            "join edge connects the two sides); add the missing edge to "
+            "the JoinGraph or pass allow_cross_products=True"
+        )
+
+
+class JoinGraph:
+    """Relations with cardinalities plus the equi-join edges between them.
+
+    Relations keep their insertion order; every enumerator iterates in
+    that order, which is what makes repeated runs produce bit-identical
+    plans (deterministic tie-breaking: the first minimum in insertion
+    order wins).
+
+    Parameters
+    ----------
+    sizes:
+        Optional mapping of initial relations to cardinalities.
+    edges:
+        Optional iterable of ``(left, right)`` name pairs.
+    """
+
+    def __init__(
+        self,
+        sizes: Mapping[str, int] | None = None,
+        edges: Iterable[tuple[str, str]] | None = None,
+    ):
+        self._index: dict[str, int] = {}
+        self._sizes: list[int] = []
+        self._adjacency: list[int] = []  # bitmask of neighbours per relation
+        if sizes is not None:
+            for name, size in sizes.items():
+                self.add_relation(name, size)
+        if edges is not None:
+            for left, right in edges:
+                self.add_edge(left, right)
+
+    # -- construction ------------------------------------------------------
+    def add_relation(self, name: str, size: int) -> None:
+        """Add a named relation with exact cardinality ``|R|``."""
+        name = str(name)
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        if name in self._index:
+            raise KeyError(f"relation {name!r} already in the join graph")
+        if int(size) < 0:
+            raise ValueError(f"relation {name!r} has negative size {size}")
+        self._index[name] = len(self._sizes)
+        self._sizes.append(int(size))
+        self._adjacency.append(0)
+
+    def add_edge(self, left: str, right: str) -> None:
+        """Declare ``left`` and ``right`` joinable (an equi-join edge)."""
+        i, j = self.index(left), self.index(right)
+        if i == j:
+            raise ValueError(
+                f"self-edge {left!r} -- {right!r}: a relation cannot join "
+                "itself in the join graph (self-joins are a rename away)"
+            )
+        self._adjacency[i] |= 1 << j
+        self._adjacency[j] |= 1 << i
+
+    # -- factory shapes ----------------------------------------------------
+    @classmethod
+    def chain(cls, sizes: Mapping[str, int]) -> "JoinGraph":
+        """A chain query: consecutive relations joined in given order."""
+        graph = cls(sizes)
+        names = list(sizes)
+        for a, b in zip(names, names[1:]):
+            graph.add_edge(a, b)
+        return graph
+
+    @classmethod
+    def star(cls, fact: str, fact_size: int, dims: Mapping[str, int]) -> "JoinGraph":
+        """A star query: one fact table joined to every dimension."""
+        graph = cls({fact: fact_size, **{d: s for d, s in dims.items()}})
+        for dim in dims:
+            graph.add_edge(fact, dim)
+        return graph
+
+    @classmethod
+    def clique(cls, sizes: Mapping[str, int]) -> "JoinGraph":
+        """A clique query: every relation pair joinable (the old
+        optimizer's implicit all-pairs assumption, made explicit)."""
+        graph = cls(sizes)
+        names = list(sizes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                graph.add_edge(a, b)
+        return graph
+
+    # -- lookups -----------------------------------------------------------
+    def index(self, name: str) -> int:
+        """The bit position of one relation."""
+        idx = self._index.get(str(name))
+        if idx is None:
+            raise UnknownGraphRelationError(str(name), self._index)
+        return idx
+
+    def size(self, name: str) -> int:
+        """Exact cardinality of one relation."""
+        return self._sizes[self.index(name)]
+
+    def has_edge(self, left: str, right: str) -> bool:
+        """Whether an equi-join edge connects the two relations."""
+        return bool(self._adjacency[self.index(left)] >> self.index(right) & 1)
+
+    def neighbors(self, name: str) -> list[str]:
+        """Relations sharing an edge with ``name`` (insertion order)."""
+        mask = self._adjacency[self.index(name)]
+        return [n for n, i in self._index.items() if mask >> i & 1]
+
+    @property
+    def relations(self) -> list[str]:
+        """Relation names in insertion (= tie-breaking) order."""
+        return list(self._index)
+
+    @property
+    def sizes(self) -> dict[str, int]:
+        """Name -> exact cardinality, in insertion order."""
+        return {name: self._sizes[i] for name, i in self._index.items()}
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """Edges as name pairs, each once, in insertion order."""
+        names = self.relations
+        return [
+            (names[i], names[j])
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+            if self._adjacency[i] >> j & 1
+        ]
+
+    # -- bitmask internals (used by the enumerators) -----------------------
+    def adjacency_mask(self, index: int) -> int:
+        """Neighbour bitmask of the relation at one bit position."""
+        return self._adjacency[index]
+
+    def subset_mask(self, names: Iterable[str]) -> int:
+        """The bitmask of a set of relation names."""
+        mask = 0
+        for name in names:
+            mask |= 1 << self.index(name)
+        return mask
+
+    def mask_names(self, mask: int) -> list[str]:
+        """The relation names of a bitmask, in insertion order."""
+        return [name for name, i in self._index.items() if mask >> i & 1]
+
+    def is_connected(self, names: Iterable[str] | None = None) -> bool:
+        """Whether the (sub)graph over ``names`` is connected.
+
+        ``None`` means the whole graph.  Empty and singleton sets count
+        as connected.
+        """
+        mask = (
+            (1 << len(self._sizes)) - 1
+            if names is None
+            else self.subset_mask(names)
+        )
+        if mask == 0:
+            return True
+        start = mask & -mask  # lowest set bit
+        reached = start
+        frontier = start
+        while frontier:
+            grown = reached
+            i = 0
+            rest = frontier
+            while rest:
+                if rest & 1:
+                    grown |= self._adjacency[i] & mask
+                rest >>= 1
+                i += 1
+            frontier = grown & ~reached
+            reached = grown
+        return reached == mask
+
+    def __contains__(self, name: str) -> bool:
+        return str(name) in self._index
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinGraph(relations={len(self)}, edges={len(self.edges)})"
+        )

@@ -16,14 +16,18 @@ way a database would:
   same signature scheme with a time axis: per-relation windowed sketch
   stores (see :mod:`repro.store`) answering join estimates restricted
   to any bucket-aligned time window;
-* :class:`~repro.relational.optimizer.choose_join_order` — a toy
-  greedy left-deep join-order chooser driven by any size-estimating
-  catalog, used to demonstrate end-to-end that better estimates pick
+* :func:`~repro.relational.optimizer.choose_join_order` /
+  :func:`~repro.relational.optimizer.plan_cost` — the legacy greedy
+  join-ordering surface, now a thin adapter over the
+  :mod:`repro.planner` subsystem (join graphs, greedy + DP
+  enumerators, pluggable exact / sketch / bound-aware estimator
+  policies), used to demonstrate end-to-end that better estimates pick
   better plans.
 """
 
 from .catalog import SampleCatalog, SignatureCatalog, UnknownRelationError
 from .optimizer import (
+    CrossProductError,
     JoinPlan,
     UnknownRelationSizeError,
     choose_join_order,
@@ -39,6 +43,7 @@ __all__ = [
     "WindowedSignatureCatalog",
     "UnknownRelationError",
     "UnknownRelationSizeError",
+    "CrossProductError",
     "JoinPlan",
     "choose_join_order",
     "plan_cost",

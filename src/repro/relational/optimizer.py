@@ -1,15 +1,21 @@
-"""A toy greedy join-order chooser driven by size estimates.
+"""The legacy join-ordering API, as a thin adapter over :mod:`repro.planner`.
 
 The paper's motivation: "Query optimizers rely on fast, high-quality
 estimates of join sizes in order to select between various join plans."
-This module closes that loop with the smallest useful optimizer — a
-greedy left-deep join-order chooser whose only input is a
-``join_estimate(left, right)`` oracle, so it runs identically on exact
-statistics, a :class:`~repro.relational.catalog.SignatureCatalog`, or a
-:class:`~repro.relational.catalog.SampleCatalog`.  The join-estimation
-example and benchmark use it to show that k-TW estimates select the
-same (or nearly the same) plan as exact statistics while the sample
-catalog at equal storage often does not.
+The first version of this module closed that loop with the smallest
+useful optimizer — a greedy left-deep chooser over a flat size map that
+implicitly treated *every* relation pair as joinable.  Plan enumeration
+now lives in :mod:`repro.planner` (join graphs, greedy and
+dynamic-programming enumerators, pluggable estimator policies); this
+module keeps the original :func:`choose_join_order` / :func:`plan_cost`
+surface for existing callers, delegating to the planner:
+
+* with no ``edges`` argument the old all-pairs behaviour is preserved
+  bit for bit (the planner runs over a clique graph);
+* passing ``edges`` makes the join structure explicit — orders that
+  would form a cross product are rejected with a typed
+  :class:`~repro.planner.graph.CrossProductError` unless
+  ``allow_cross_products=True``.
 
 Cost model: the classic sum of intermediate result sizes.  Estimating
 the size of a multi-way intermediate from pairwise signatures uses the
@@ -19,25 +25,27 @@ which is exactly what real optimizers do with pairwise statistics.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, Mapping, Protocol, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from ..planner.enumerators import enumerate_greedy
+from ..planner.estimators import CardinalityEstimator as EstimatingCatalog
+from ..planner.estimators import checked_estimate as _checked_estimate
+from ..planner.graph import (
+    CrossProductError,
+    JoinGraph,
+    UnknownGraphRelationError,
+)
+from ..planner.plan import PlanNode, render_plan
 
 __all__ = [
     "JoinPlan",
     "choose_join_order",
     "plan_cost",
     "EstimatingCatalog",
+    "CrossProductError",
     "UnknownRelationSizeError",
 ]
-
-
-class EstimatingCatalog(Protocol):
-    """Anything that can estimate pairwise join sizes by relation name."""
-
-    def join_estimate(self, left: str, right: str) -> float:
-        """Estimated |left join right| for two registered relations."""
-        ...
 
 
 class UnknownRelationSizeError(LookupError):
@@ -91,56 +99,55 @@ def _checked_names(
     return names
 
 
-def _checked_estimate(estimate: float, left: str, right: str) -> float:
-    """A pairwise estimate clamped to >= 0, rejecting NaN/inf.
+def _build_graph(
+    names: Sequence[str],
+    sizes: Mapping[str, int],
+    edges: Iterable[tuple[str, str]] | None,
+) -> JoinGraph:
+    """The planner graph behind one legacy call.
 
-    A degenerate (non-finite) estimate would silently poison every
-    comparison in the greedy loop — NaN compares false against
-    everything — so it is rejected here with the offending pair named
-    rather than surfacing later as a nonsensical plan.
+    ``edges=None`` reproduces the historical all-pairs assumption as an
+    explicit clique; an edge list restricts joinability to exactly the
+    declared pairs (unknown endpoints raise the graph's typed error).
     """
-    est = float(estimate)
-    if not math.isfinite(est):
-        raise ValueError(
-            f"catalog returned a non-finite join estimate for "
-            f"({left!r}, {right!r}): {est!r}"
-        )
-    return max(0.0, est)
+    ordered = {name: int(sizes[name]) for name in names}
+    if edges is None:
+        return JoinGraph.clique(ordered)
+    return JoinGraph(ordered, edges)
 
 
 @dataclass(frozen=True)
 class JoinPlan:
-    """A left-deep join order with its estimated cost."""
+    """A chosen join order with its estimated cost.
+
+    ``tree`` carries the planner's annotated :class:`PlanNode` when the
+    plan came from an enumerator; hand-built instances may omit it.
+    """
 
     order: tuple[str, ...]
     estimated_cost: float
+    tree: Optional[PlanNode] = field(default=None, compare=False, repr=False)
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
+        if self.tree is not None:
+            return render_plan(self.tree)
         return " ⋈ ".join(self.order) + f"  (est. cost {self.estimated_cost:.3g})"
-
-
-def _pairwise_selectivity(
-    catalog: EstimatingCatalog, sizes: Mapping[str, int], left: str, right: str
-) -> float:
-    """Estimated join selectivity: |L join R| / (|L| |R|), clamped to >= 0."""
-    denom = sizes[left] * sizes[right]
-    if denom == 0:
-        return 0.0
-    return _checked_estimate(catalog.join_estimate(left, right), left, right) / denom
 
 
 def choose_join_order(
     relations: Sequence[str],
     sizes: Mapping[str, int],
     catalog: EstimatingCatalog,
+    edges: Iterable[tuple[str, str]] | None = None,
+    allow_cross_products: bool = False,
 ) -> JoinPlan:
     """Greedy left-deep join ordering from pairwise estimates.
 
-    Starts from the pair with the smallest estimated join size, then
-    repeatedly appends the relation minimising the estimated size of
-    the next intermediate (independence heuristic: intermediate
+    Starts from the joinable pair with the smallest estimated join
+    size, then repeatedly appends the relation minimising the estimated
+    size of the next intermediate (independence heuristic: intermediate
     cardinality times the product of the new relation's selectivities
-    against every relation already joined).
+    against every joined relation it shares an edge with).
 
     Parameters
     ----------
@@ -151,81 +158,98 @@ def choose_join_order(
         cheap to track exactly (one counter), as the paper assumes.
     catalog:
         Pairwise join-size estimator.
+    edges:
+        Equi-join edges as ``(left, right)`` name pairs.  ``None``
+        (the default) keeps the historical behaviour of treating every
+        pair as joinable.
+    allow_cross_products:
+        With ``edges`` given, whether steps that join unconnected
+        relation sets are allowed (costed as cartesian products) or
+        rejected with :class:`CrossProductError`.
 
     Returns
     -------
     JoinPlan
-        The chosen order and its estimated cost (sum of estimated
-        intermediate sizes).
+        The chosen order, its estimated cost (sum of estimated
+        intermediate sizes), and the annotated plan tree.
 
     Raises
     ------
     UnknownRelationSizeError
         If a relation has no entry in ``sizes``.
+    CrossProductError
+        If ``edges`` leaves no cross-product-free way to join
+        everything and ``allow_cross_products`` is False.
     ValueError
         For degenerate inputs: fewer than two distinct relations, a
         negative size, or a catalog producing non-finite estimates.
     """
     names = _checked_names(relations, sizes, "choose_join_order")
-
-    # Seed: cheapest pair.  Every estimate is validated finite, so the
-    # minimum always exists (no assert needed — the previous assert
-    # here could only fire on a degenerate catalog, and vanished
-    # entirely under `python -O`).
-    best_pair = names[0], names[1]
-    best_size = None
-    for i, a in enumerate(names):
-        for b in names[i + 1 :]:
-            est = _checked_estimate(catalog.join_estimate(a, b), a, b)
-            if best_size is None or est < best_size:
-                best_size = est
-                best_pair = (a, b)
-    order = [best_pair[0], best_pair[1]]
-    remaining = [n for n in names if n not in order]
-    intermediate = best_size
-    cost = intermediate
-
-    while remaining:
-        best_next = remaining[0]
-        best_next_size = None
-        for cand in remaining:
-            sel = 1.0
-            for joined in order:
-                sel *= _pairwise_selectivity(catalog, sizes, joined, cand)
-            next_size = intermediate * sizes[cand] * sel
-            if best_next_size is None or next_size < best_next_size:
-                best_next_size = next_size
-                best_next = cand
-        order.append(best_next)
-        remaining.remove(best_next)
-        intermediate = best_next_size
-        cost += intermediate
-
-    return JoinPlan(order=tuple(order), estimated_cost=cost)
+    graph = _build_graph(names, sizes, edges)
+    tree = enumerate_greedy(
+        graph, catalog, allow_cross_products=allow_cross_products
+    )
+    return JoinPlan(order=tree.order(), estimated_cost=tree.cost, tree=tree)
 
 
 def plan_cost(
     order: Sequence[str],
     sizes: Mapping[str, int],
     join_size: Callable[[str, str], float],
+    edges: Iterable[tuple[str, str]] | None = None,
+    allow_cross_products: bool = False,
 ) -> float:
     """Evaluate a left-deep order under the sum-of-intermediates model.
 
     ``join_size`` supplies *true* pairwise join sizes (the independence
     heuristic is applied for deeper intermediates, so plans chosen from
-    estimates and from exact statistics are scored consistently).
+    estimates and from exact statistics are scored consistently).  With
+    ``edges`` given, only declared edges contribute selectivities, and
+    a step joining a relation with no edge into the joined prefix
+    raises :class:`CrossProductError` unless ``allow_cross_products``
+    is True (the step then grows the intermediate cartesianly).
 
     Raises :class:`UnknownRelationSizeError` for a relation missing
     from ``sizes`` and ``ValueError`` for degenerate inputs, exactly
     as :func:`choose_join_order` does.
     """
     names = _checked_names(order, sizes, "plan_cost", dedupe=False)
-    intermediate = _checked_estimate(join_size(names[0], names[1]), names[0], names[1])
+    if edges is None:
+        joinable = None
+    else:
+        # The same validation choose_join_order gets from its graph: a
+        # typo'd endpoint must raise, not silently become "no edge"
+        # (which would score a different plan than the one declared).
+        known = set(names)
+        joinable = {frozenset(pair) for pair in edges}
+        for pair in joinable:
+            if len(pair) != 2:
+                raise ValueError(
+                    f"join edges must name two distinct relations, got "
+                    f"{sorted(pair)}"
+                )
+            for endpoint in pair:
+                if endpoint not in known:
+                    raise UnknownGraphRelationError(endpoint, known)
+
+    def has_edge(a: str, b: str) -> bool:
+        return joinable is None or frozenset((a, b)) in joinable
+
+    first, second = names[0], names[1]
+    if has_edge(first, second):
+        intermediate = _checked_estimate(join_size(first, second), first, second)
+    elif allow_cross_products:
+        intermediate = float(sizes[first]) * float(sizes[second])
+    else:
+        raise CrossProductError([first], [second])
     cost = intermediate
-    joined = [names[0], names[1]]
+    joined = [first, second]
     for cand in names[2:]:
+        contributing = [j for j in joined if has_edge(j, cand)]
+        if joinable is not None and not contributing and not allow_cross_products:
+            raise CrossProductError(joined, [cand])
         sel = 1.0
-        for j in joined:
+        for j in contributing:
             denom = sizes[j] * sizes[cand]
             sel *= (
                 (_checked_estimate(join_size(j, cand), j, cand) / denom)

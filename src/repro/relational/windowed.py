@@ -22,6 +22,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..core.bounds import ktw_join_error_bound
 from ..core.tugofwar import TugOfWarSketch
 from ..store.spec import SketchSpec
 from ..store.windowed import WindowedSketchStore
@@ -174,7 +175,7 @@ class WindowedSignatureCatalog:
         lo, hi = self.window_bounds(t0, t1, names=(left, right), align=align)
         sj_l = max(0.0, self.self_join_estimate(left, lo, hi, "outer"))
         sj_r = max(0.0, self.self_join_estimate(right, lo, hi, "outer"))
-        return float(np.sqrt(2.0 * sj_l * sj_r / self.k))
+        return ktw_join_error_bound(sj_l, sj_r, self.k)
 
     def _window_sketch(
         self, name: str, t0: int, t1: int, align: str

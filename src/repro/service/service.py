@@ -332,6 +332,18 @@ class _WindowView:
             name, self._t0, self._t1, align=self._align
         )
 
+    def join_error_bound(self, left: str, right: str) -> float:
+        """Lemma 4.4 standard error over this view's window (cached).
+
+        Makes the view a full bound-aware estimation backend: the
+        planner's pessimistic policy
+        (:class:`~repro.planner.estimators.BoundAwareCardinalities`)
+        can plan over live windowed data straight from the service.
+        """
+        return self._service.join_error_bound(
+            left, right, self._t0, self._t1, align=self._align
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"_WindowView([{self._t0}, {self._t1}), align={self._align!r}, "
@@ -447,11 +459,39 @@ class CatalogService:
 
         return self._cache.get(key, compute)
 
+    def join_error_bound(
+        self, left: str, right: str, t0: int, t1: int, align: str = "strict"
+    ) -> float:
+        """Lemma 4.4 standard error over ``[t0, t1)`` (cached).
+
+        The key is order-normalised like :meth:`join_estimate`; the
+        entry is tagged with both relations so ingesting into either
+        invalidates it over the dirtied spans.
+        """
+        a, b = sorted((str(left), str(right)))
+        key = ("bound", a, b, int(t0), int(t1), str(align))
+
+        def compute() -> tuple[float, list]:
+            with self._rw.read():
+                lo, hi = self._catalog.window_bounds(
+                    t0, t1, names=(left, right), align=align
+                )
+                value = float(
+                    self._catalog.join_error_bound(left, right, t0, t1, align=align)
+                )
+            b0, b1 = self._bucket_range(lo, hi)
+            return value, [(a, b0, b1), (b, b0, b1)]
+
+        return self._cache.get(key, compute)
+
     def at_window(self, t0: int, t1: int, align: str = "strict"):
         """A fixed-window view usable anywhere an
         :class:`~repro.relational.optimizer.EstimatingCatalog` is —
         e.g. ``choose_join_order(names, sizes, service.at_window(0, 3600))``
-        picks a join order from cached windowed estimates.
+        picks a join order from cached windowed estimates.  The view
+        also answers ``join_error_bound``, so it satisfies the
+        planner's bound-aware backend protocol
+        (:class:`~repro.planner.estimators.ErrorBoundedCatalog`).
         """
         return _WindowView(self, t0, t1, align)
 

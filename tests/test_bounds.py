@@ -167,3 +167,30 @@ class TestSection44:
             bounds.ktw_advantage(100, 0.0, 100.0)
         with pytest.raises(ValueError):
             bounds.ktw_break_even_sanity_bound(0, 1.0)
+
+
+class TestLemma44:
+    def test_formula(self):
+        assert bounds.ktw_join_error_bound(50.0, 200.0, 100) == pytest.approx(
+            np.sqrt(2.0 * 50.0 * 200.0 / 100)
+        )
+
+    def test_zero_self_join_gives_zero_error(self):
+        assert bounds.ktw_join_error_bound(0.0, 1000.0, 64) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bounds.ktw_join_error_bound(-1.0, 1.0, 8)
+        with pytest.raises(ValueError, match="k must be"):
+            bounds.ktw_join_error_bound(1.0, 1.0, 0)
+
+    def test_matches_signature_error_bound(self, rng):
+        # The shared formula is the one the signature family reports.
+        from repro.core.join import JoinSignatureFamily
+
+        family = JoinSignatureFamily(128, seed=0)
+        sig = family.signature()
+        sig.update_from_stream(rng.integers(0, 20, size=500))
+        assert sig.error_bound(10.0, 20.0) == pytest.approx(
+            bounds.ktw_join_error_bound(10.0, 20.0, 128)
+        )

@@ -488,3 +488,76 @@ class TestServeCommand:
             json.loads(Path(store_file).read_text())
         ).estimate(0, 100)
         assert responses[-1]["estimate"] == expected
+
+
+class TestPlanCommand:
+    """ISSUE 4: the `repro plan` command over seeded workloads."""
+
+    def test_plan_chain_all_policies(self, capsys):
+        assert main(
+            ["plan", "--shape", "chain", "--relations", "4", "--rows", "300",
+             "--policy", "all", "--k", "256", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        for policy in ("exact", "sketch", "bound"):
+            assert f"policy={policy}" in out
+        assert "⋈" in out  # render_plan output
+        assert "regret vs exact-policy plan" in out
+        assert "shape=chain" in out and "edges=3" in out
+
+    def test_plan_single_policy_star_greedy(self, capsys):
+        assert main(
+            ["plan", "--shape", "star", "--relations", "4", "--rows", "300",
+             "--policy", "exact", "--enumerator", "greedy", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy=exact" in out and "policy=sketch" not in out
+
+    def test_plan_deterministic_output(self, capsys):
+        argv = ["plan", "--shape", "clique", "--relations", "3", "--rows",
+                "200", "--policy", "sketch", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_plan_too_few_relations_clear_error(self, capsys):
+        assert main(["plan", "--relations", "1"]) == 2
+        assert "--relations" in capsys.readouterr().err
+
+    def test_plan_bad_rows_clear_error(self, capsys):
+        assert main(["plan", "--rows", "0"]) == 2
+        assert "--rows" in capsys.readouterr().err
+
+    def test_plan_unknown_choices_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--shape", "snowflake"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--enumerator", "exhaustive"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--policy", "psychic"])
+
+    def test_plan_bad_confidence_clear_error(self, capsys):
+        assert main(
+            ["plan", "--relations", "3", "--rows", "100", "--policy", "bound",
+             "--confidence", "-2"]
+        ) == 2
+        assert "confidence" in capsys.readouterr().err
+
+    def test_plan_confidence_ignored_by_unrelated_policy(self, capsys):
+        # --confidence only parameterises the bound policy; a sketch-only
+        # run must not reject (or even build) the bound backend.
+        assert main(
+            ["plan", "--relations", "3", "--rows", "100", "--policy",
+             "sketch", "--confidence", "-2"]
+        ) == 0
+        assert "policy=sketch" in capsys.readouterr().out
+
+    def test_plan_bad_k_and_seed_clear_errors(self, capsys):
+        assert main(
+            ["plan", "--relations", "3", "--rows", "100", "--policy",
+             "sketch", "--k", "0"]
+        ) == 2
+        assert "--k" in capsys.readouterr().err
+        assert main(["plan", "--relations", "3", "--seed", "-1"]) == 2
+        assert "--seed" in capsys.readouterr().err
