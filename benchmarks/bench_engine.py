@@ -25,7 +25,15 @@ Measures, on one synthetic Zipf stream:
    bit-identical plans across repeated runs), and plan-quality regret
    of the sketch and bound-aware estimator policies against exact
    statistics on a seeded star workload (the DP must beat the greedy
-   heuristic's true cost).
+   heuristic's true cost);
+7. **cluster scale-out** — the first measured multi-process scaling
+   curve: ingest throughput and scatter–gather query p50/p99 against
+   real spawned shard-worker fleets at 1/2/4/8 shards, with every
+   cluster estimate checked **bit-identical** against a monolithic
+   store of the same stream.  The 2x 4-shard bar is enforced when the
+   host has >= 4 usable cores (one per worker); on smaller hosts the
+   curve is still measured and reported, but a wall-clock speedup bar
+   is physically meaningless there, so it is skipped with a notice.
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
@@ -36,7 +44,10 @@ merged-window queries at least 10x lower latency than cold
 merge-on-query, and concurrent ingest+query ending bit-identical to a
 serial replay.  ISSUE 4 adds the planner bar: sub-second deterministic
 DP enumeration at n = 12 and a strict DP-beats-greedy win on the star
-workload.  The script exits non-zero if any check fails.
+workload.  ISSUE 5 adds the cluster bar: 4-shard over-the-wire ingest
+throughput at least 2x the single-process (1-shard) serving pipeline,
+with bit-identical scatter–gather answers.  The script exits non-zero
+if any check fails.
 
 ``--json PATH`` additionally writes a machine-readable summary
 (per-section latency percentiles and throughput) so the performance
@@ -44,13 +55,14 @@ trajectory is tracked across PRs.
 
 Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--json PATH]
       PYTHONPATH=src python benchmarks/bench_engine.py --smoke --json PATH
-      # --smoke: service + planner sections only, CI-sized
+      # --smoke: service + planner + cluster sections only, CI-sized
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -232,6 +244,123 @@ def service_section(args, n: int) -> tuple[list[str], dict]:
     return failures, metrics
 
 
+def cluster_section(args, n: int) -> tuple[list[str], dict]:
+    """Section 7: multi-process scale-out — the cluster scaling curve.
+
+    Spawns a real :class:`repro.cluster.LocalCluster` worker fleet per
+    shard count, drives it through :class:`repro.cluster.
+    ClusterService` (value-hash routing, scatter–gather merge), and
+    measures over-the-wire ingest throughput plus query latency.  Two
+    client threads keep batches in flight so JSON encoding on the
+    client overlaps decode+ingest on the workers — the same pipelining
+    a real front end does.  Every configuration's estimates must be
+    bit-identical to a monolithic store of the same stream, and the
+    4-shard ingest throughput must be at least 2x the 1-shard
+    (single-process) serving pipeline.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.cluster import ClusterService, LocalCluster, store_config
+
+    failures: list[str] = []
+    rng = np.random.default_rng(args.seed)
+    stream = (rng.zipf(1.2, size=n) % (n // 10)).astype(np.int64)
+    num_buckets = 64
+    timestamps = (np.arange(n, dtype=np.int64) * num_buckets) // n
+    spec = SketchSpec(
+        "tugofwar", {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    )
+    mono = WindowedSketchStore(spec, bucket_width=1)
+    t_direct, _ = timed(lambda: mono.ingest(timestamps, stream))
+
+    windows = [
+        (b0, b0 + width)
+        for width in (8, 16, 32, 64)
+        for b0 in range(0, num_buckets - width + 1, 16)
+    ]
+    batch = max(n // 40, 1)
+    batches = [
+        (timestamps[i:i + batch], stream[i:i + batch])
+        for i in range(0, n, batch)
+    ]
+
+    print(f"cluster scale-out ({n:,} events, {num_buckets} buckets, "
+          f"{len(batches)} wire batches)")
+    print(f"  direct in-process ingest      {t_direct:8.3f} s  "
+          f"{throughput(n, t_direct)}   (no wire, reference)")
+
+    metrics: dict = {
+        "direct_ingest_s": t_direct,
+        "direct_ingest_meps": n / t_direct / 1e6 if t_direct else float("inf"),
+        "shards": {},
+    }
+    ingest_tput: dict[int, float] = {}
+    for num_shards in (1, 2, 4, 8):
+        config = store_config(WindowedSketchStore(spec, bucket_width=1))
+        with LocalCluster(config, num_shards) as cluster, \
+                ClusterService(cluster.clients()) as service:
+            # Two client threads keep the wire full: encode of batch
+            # k+1 overlaps the workers' decode+ingest of batch k.
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                t_ingest, _ = timed(lambda: list(
+                    pool.map(lambda b: service.ingest(*b), batches)
+                ))
+            latencies = []
+            for _ in range(3):
+                for window in windows:
+                    t, _ = timed(lambda w=window: service.estimate(*w))
+                    latencies.append(t * 1e3)
+            p50 = float(np.percentile(latencies, 50))
+            p99 = float(np.percentile(latencies, 99))
+            identical = all(
+                service.estimate(*w) == mono.estimate(*w)
+                and np.array_equal(
+                    service.query(*w).counters, mono.query(*w).counters
+                )
+                for w in ((0, num_buckets), (0, 8), (16, 48))
+            )
+        tput = n / t_ingest if t_ingest else float("inf")
+        ingest_tput[num_shards] = tput
+        print(f"  {num_shards} shard{'s' if num_shards > 1 else ' '} "
+              f"  wire ingest {t_ingest:8.3f} s  {throughput(n, t_ingest)}"
+              f"   query p50 {p50:7.3f} ms  p99 {p99:7.3f} ms"
+              f"   bit-identical: {identical}")
+        if not identical:
+            failures.append(
+                f"cluster: {num_shards}-shard estimates != monolithic store"
+            )
+        metrics["shards"][str(num_shards)] = {
+            "ingest_s": t_ingest,
+            "ingest_meps": tput / 1e6,
+            "query_p50_ms": p50,
+            "query_p99_ms": p99,
+        }
+    speedup = (
+        ingest_tput[4] / ingest_tput[1] if ingest_tput[1] else float("inf")
+    )
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cores = os.cpu_count() or 1
+    metrics["speedup_4v1"] = speedup
+    metrics["usable_cores"] = cores
+    print(f"  4-shard vs single-process ingest speedup: {speedup:.2f}x "
+          f"({cores} usable cores)")
+    if cores >= 4:
+        if speedup < 2.0:
+            failures.append(
+                f"cluster: 4-shard ingest speedup {speedup:.2f}x below the "
+                "2x bar"
+            )
+    else:
+        # Four workers cannot beat one worker on wall clock without
+        # cores to run on; the curve above is still the scaling
+        # artifact, but the bar would only measure the host.
+        print(f"  NOTE: {cores} usable core(s) < 4 — the 2x wall-clock bar "
+              "is not enforceable on this host; skipped")
+    return failures, metrics
+
+
 class _SeededSelectivities:
     """A deterministic synthetic estimator for enumeration timing.
 
@@ -379,7 +508,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run only the estimation-service and planner sections, CI-sized",
+        help="run only the service, planner, and cluster sections, CI-sized",
     )
     parser.add_argument(
         "--json",
@@ -422,7 +551,14 @@ def main(argv=None) -> int:
         planner_failures, summary["sections"]["planner"] = planner_section(args)
         failures.extend(planner_failures)
         print()
-        return finish(failures, "service and planner benchmark checks passed")
+        cluster_failures, summary["sections"]["cluster"] = cluster_section(
+            args, n=400_000
+        )
+        failures.extend(cluster_failures)
+        print()
+        return finish(
+            failures, "service, planner, and cluster benchmark checks passed"
+        )
 
     n = 100_000 if args.quick else 1_000_000
     rng = np.random.default_rng(args.seed)
@@ -609,6 +745,13 @@ def main(argv=None) -> int:
     print()
     planner_failures, summary["sections"]["planner"] = planner_section(args)
     failures.extend(planner_failures)
+
+    # ------------------------------------------------------------------
+    # 7. cluster scale-out: multi-process sharding curve at 1/2/4/8
+    # ------------------------------------------------------------------
+    print()
+    cluster_failures, summary["sections"]["cluster"] = cluster_section(args, n=n)
+    failures.extend(cluster_failures)
 
     print()
     return finish(failures, "all engine benchmark checks passed")

@@ -22,7 +22,13 @@ join-size estimates between relations.  The **service** layer
 snapshot isolation, a merged-window LRU cache with per-dirty-bucket
 invalidation, and request coalescing, and
 :class:`SketchServiceServer` (the ``repro serve`` command) exposes it
-all as line-delimited JSON over TCP.  The **planner** layer
+all as line-delimited JSON over TCP.  The **cluster** layer
+(:mod:`repro.cluster`) scales that out across processes:
+:class:`LocalCluster` spawns hash-partitioned shard workers and
+:class:`ClusterService` (``repro serve --shards N``) routes ingest by
+stable value-hash and answers windows by scatter–gather merge —
+bit-identical to a monolithic store, because the sketches are linear.
+The **planner** layer
 (:mod:`repro.planner`) closes the paper's motivating loop: join-graph
 plan enumeration (greedy and DPsize-style dynamic programming, the
 ``repro plan`` command) over pluggable cardinality policies — exact
@@ -43,6 +49,15 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 figure/table reproductions.
 """
 
+from .cluster import (
+    ClusterService,
+    LocalCluster,
+    ShardClient,
+    ShardMergeUnsupportedError,
+    ShardUnreachableError,
+    gather_merge,
+    partitioned_build,
+)
 from .core import (
     MERSENNE_PRIME_31,
     FrequencyMomentTracker,
@@ -72,7 +87,10 @@ from .core import (
     split_parameters,
 )
 from .engine import (
+    ContiguousPartitioner,
+    HashPartitioner,
     MergeUnsupportedError,
+    Partitioner,
     Sketch,
     SketchPayloadError,
     UnknownSketchKindError,
@@ -176,6 +194,17 @@ __all__ = [
     "shard_stream",
     "merge_sketches",
     "sharded_build",
+    "Partitioner",
+    "ContiguousPartitioner",
+    "HashPartitioner",
+    # cluster: hash-partitioned shard workers, scatter–gather serving
+    "ClusterService",
+    "LocalCluster",
+    "ShardClient",
+    "ShardMergeUnsupportedError",
+    "ShardUnreachableError",
+    "gather_merge",
+    "partitioned_build",
     # relational layer
     "Relation",
     "SignatureCatalog",

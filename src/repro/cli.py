@@ -33,6 +33,16 @@ The estimation service (line-delimited JSON over TCP)::
     python -m repro serve st.json --port 7099
     echo '{"op": "estimate", "from": 0, "until": 1000}' | nc 127.0.0.1 7099
 
+The scale-out cluster (hash-partitioned shard workers behind one
+cluster-aware front end speaking the same wire protocol)::
+
+    python -m repro serve st.json --shards 4 --port 7099
+    python -m repro cluster info --connect 127.0.0.1:7099
+    python -m repro cluster estimate --connect 127.0.0.1:7099 \
+        --from 0 --until 1000
+    python -m repro cluster ingest-bench --connect 127.0.0.1:7099 \
+        --events 100000
+
 The query planner (join-graph enumeration over estimator policies)::
 
     python -m repro plan --shape chain --relations 6 --policy all
@@ -256,6 +266,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-requests", type=int, default=None,
                          help="exit after serving this many requests "
                          "(bounded smoke runs)")
+    p_serve.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="serve a scale-out cluster: spawn N shard "
+                         "worker processes on ephemeral ports (the store "
+                         "file is the config template and must be empty; "
+                         "ingest is value-hash routed, queries are "
+                         "scatter-gathered)")
+    p_serve.add_argument("--read-timeout", type=float, default=300.0,
+                         help="per-connection read timeout in seconds "
+                         "(0 disables); stalled clients cannot pin "
+                         "handler threads")
+
+    p_cluster = sub.add_parser(
+        "cluster", help="scale-out cluster: shard workers and wire tools"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    p_cw = cluster_sub.add_parser(
+        "worker", help="run one shard worker (spawned by `serve --shards`; "
+        "announces a JSON ready line with its bound port)"
+    )
+    p_cw.add_argument("--config-json", required=True,
+                      help="store template JSON: "
+                      '{"spec": {...}, "bucket_width": ..., "origin": ...}')
+    p_cw.add_argument("--host", default="127.0.0.1")
+    p_cw.add_argument("--port", type=int, default=0,
+                      help="TCP port (0 = pick an ephemeral port)")
+    p_cw.add_argument("--cache-entries", type=int, default=256)
+    p_cw.add_argument("--read-timeout", type=float, default=300.0,
+                      help="per-connection read timeout in seconds "
+                      "(0 disables)")
+    p_cw.add_argument("--max-requests", type=int, default=None)
+
+    def add_connect(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="address of a serving front end or shard worker")
+
+    p_ci = cluster_sub.add_parser(
+        "info", help="one-line summary of a running cluster or worker"
+    )
+    add_connect(p_ci)
+
+    p_ce = cluster_sub.add_parser(
+        "estimate", help="windowed estimate over the wire"
+    )
+    add_connect(p_ce)
+    p_ce.add_argument("--from", dest="t0", type=int, required=True,
+                      help="window start (inclusive)")
+    p_ce.add_argument("--until", dest="t1", type=int, required=True,
+                      help="window end (exclusive)")
+    p_ce.add_argument("--align", choices=("strict", "outer"), default="strict")
+
+    p_cb = cluster_sub.add_parser(
+        "ingest-bench", help="synthetic ingest load over the wire, with "
+        "throughput report"
+    )
+    add_connect(p_cb)
+    p_cb.add_argument("--events", type=int, default=100_000,
+                      help="total synthetic events to ingest")
+    p_cb.add_argument("--batch", type=int, default=10_000,
+                      help="events per ingest request")
+    p_cb.add_argument("--buckets", type=int, default=64,
+                      help="spread timestamps over this many buckets")
+    p_cb.add_argument("--values", type=int, default=10_000,
+                      help="value domain size")
+    p_cb.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -709,17 +784,41 @@ def _plan_main(args) -> int:
     return 0
 
 
+def _read_timeout_of(args) -> float | None:
+    """The server read timeout from the CLI knob (0 disables)."""
+    timeout = getattr(args, "read_timeout", 300.0)
+    if timeout is None or timeout == 0:
+        return None
+    if timeout < 0:
+        raise CliError(f"--read-timeout must be >= 0, got {timeout}")
+    return float(timeout)
+
+
 def _serve_main(args) -> int:
-    """The `serve` command: expose a store as a line-delimited JSON service."""
+    """The `serve` command: expose a store as a line-delimited JSON service.
+
+    Without ``--shards`` the store file is loaded into one in-process
+    :class:`~repro.service.service.SketchService`.  With ``--shards N``
+    the file is a *config template*: N shard worker processes are
+    spawned on ephemeral ports, and the front end serves the same wire
+    protocol through a scatter–gather
+    :class:`~repro.cluster.service.ClusterService`.
+    """
     from .service import SketchService, SketchServiceServer
 
     store = _load_store_file(args.path)
+    read_timeout = _read_timeout_of(args)
+
+    if args.shards is not None:
+        return _serve_cluster(args, store, read_timeout)
+
     try:
         service = SketchService(store, cache_entries=args.cache_entries)
         server = SketchServiceServer(
             service,
             address=(args.host, args.port),
             max_requests=args.max_requests,
+            read_timeout=read_timeout,
         )
     except (ValueError, OSError) as exc:
         # Bad cache size or an unbindable host/port are user errors.
@@ -744,6 +843,191 @@ def _serve_main(args) -> int:
     return 0
 
 
+def _serve_cluster(args, store, read_timeout) -> int:
+    """`serve --shards N`: spawn the fleet, front it, tear it down."""
+    from .cluster import (
+        ClusterService,
+        LocalCluster,
+        ShardMergeUnsupportedError,
+        ShardUnreachableError,
+        store_config,
+    )
+    from .service import SketchServiceServer
+
+    if args.shards < 1:
+        raise CliError(f"--shards must be >= 1, got {args.shards}")
+    if store.span_count:
+        raise CliError(
+            f"{args.path} already holds {store.span_count} spans; a cluster "
+            "shards future ingest by value-hash and cannot split existing "
+            "sketches — start from an empty store (`repro store init`)"
+        )
+    try:
+        cluster = LocalCluster(
+            store_config(store), args.shards, read_timeout=read_timeout
+        )
+    except ShardUnreachableError as exc:
+        raise CliError(f"cannot spawn shard workers: {exc}") from exc
+    service = server = None
+    try:
+        try:
+            service = ClusterService(cluster.clients())
+            server = SketchServiceServer(
+                service,
+                address=(args.host, args.port),
+                max_requests=args.max_requests,
+                read_timeout=read_timeout,
+            )
+        except (ValueError, OSError, ShardMergeUnsupportedError) as exc:
+            # Unbindable host/port, unreachable or inconsistent shards,
+            # and non-mergeable kinds are all user-correctable.
+            raise CliError(str(exc)) from exc
+        host, port = server.server_address[:2]
+        print(
+            f"serving {args.path} on {host}:{port} "
+            f"(kind={store.spec.kind}, shards={cluster.num_shards}: "
+            f"{', '.join(cluster.addresses)})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.server_close()
+        try:
+            stats = service.stats()
+            print(
+                f"served: cache hits={stats['hits']}, "
+                f"misses={stats['misses']}, shards={stats['shards']}"
+            )
+        except (OSError, ValueError):  # pragma: no cover - workers died
+            pass
+        return 0
+    finally:
+        if service is not None:
+            service.close()
+        cluster.shutdown()
+
+
+def _parse_connect(text: str) -> tuple[str, int]:
+    """Split HOST:PORT under the one-line error contract."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise CliError(f"--connect must be HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cluster_main(args) -> int:
+    """The `cluster` subcommand group: worker / info / estimate / ingest-bench."""
+    import json
+
+    from .cluster import (
+        ClusterConfigError,
+        ShardProtocolError,
+        ShardRequestError,
+        ShardUnreachableError,
+        run_worker,
+    )
+    from .cluster.client import ShardClient
+
+    if args.cluster_command == "worker":
+        try:
+            config = json.loads(args.config_json)
+        except json.JSONDecodeError as exc:
+            raise CliError(f"--config-json is not valid JSON: {exc}") from exc
+        try:
+            return run_worker(
+                config,
+                host=args.host,
+                port=args.port,
+                cache_entries=args.cache_entries,
+                read_timeout=_read_timeout_of(args),
+                max_requests=args.max_requests,
+            )
+        except (ClusterConfigError, ValueError, OSError) as exc:
+            # Corrupt templates, unknown kinds, unbindable ports.
+            raise CliError(str(exc)) from exc
+
+    host, port = _parse_connect(args.connect)
+    wire_errors = (ShardUnreachableError, ShardProtocolError, ShardRequestError)
+
+    if args.cluster_command == "info":
+        with ShardClient(host, port, timeout=10.0) as client:
+            try:
+                info = client.request({"op": "info"})
+            except wire_errors as exc:
+                raise CliError(str(exc)) from exc
+        coverage = info.get("coverage")
+        window = (
+            "empty" if coverage is None else f"[{coverage[0]}, {coverage[1]})"
+        )
+        print(
+            f"{args.connect}: kind={info['kind']}, "
+            f"width={info['bucket_width']}, spans={len(info['spans'])}, "
+            f"coverage={window}, words={info['memory_words']:,}"
+        )
+        return 0
+
+    if args.cluster_command == "estimate":
+        with ShardClient(host, port, timeout=30.0) as client:
+            try:
+                response = client.request({
+                    "op": "estimate",
+                    "from": args.t0,
+                    "until": args.t1,
+                    "align": args.align,
+                })
+            except wire_errors as exc:
+                raise CliError(str(exc)) from exc
+        lo, hi = response["window"]
+        print(f"window [{lo}, {hi}): estimate={response['estimate']:.6g}")
+        return 0
+
+    if args.cluster_command == "ingest-bench":
+        import time
+
+        import numpy as np
+
+        if args.events < 1 or args.batch < 1 or args.buckets < 1:
+            raise CliError(
+                "--events, --batch, and --buckets must all be positive"
+            )
+        rng = np.random.default_rng(args.seed)
+        with ShardClient(host, port, timeout=60.0) as client:
+            try:
+                info = client.request({"op": "info"})
+                width = int(info["bucket_width"])
+                origin = int(info["origin"])
+                sent = 0
+                start = time.perf_counter()
+                while sent < args.events:
+                    size = min(args.batch, args.events - sent)
+                    timestamps = origin + rng.integers(
+                        0, args.buckets * width, size=size
+                    )
+                    values = rng.integers(0, args.values, size=size)
+                    client.request({
+                        "op": "ingest",
+                        "timestamps": timestamps.tolist(),
+                        "values": values.tolist(),
+                    })
+                    sent += size
+                elapsed = time.perf_counter() - start
+            except wire_errors as exc:
+                raise CliError(str(exc)) from exc
+        rate = sent / elapsed if elapsed else float("inf")
+        print(
+            f"ingested {sent:,} events in {elapsed:.3f} s "
+            f"({rate / 1e6:.2f} M events/s) over {args.connect}"
+        )
+        return 0
+
+    raise AssertionError(
+        f"unhandled cluster command {args.cluster_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -765,6 +1049,8 @@ def _dispatch(args) -> int:
         return _plan_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "cluster":
+        return _cluster_main(args)
 
     # Imports deferred so `--help` stays instant.
     from .experiments import figures, tables

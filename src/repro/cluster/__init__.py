@@ -1,0 +1,56 @@
+"""The scale-out cluster layer: hash-partitioned shard workers.
+
+The paper's sketches are *linear*: a tug-of-war sketch of a
+value-partitioned stream is the elementwise sum of per-partition
+sketches built from the same seed.  Horizontal scale-out is therefore
+mathematically free, and this package cashes it in:
+
+* :mod:`repro.cluster.partitioned` — the socket-free algebra:
+  value-hash partition → per-shard build → gather-merge, bit-identical
+  to the monolithic sketch for every mergeable kind (property-tested
+  over shard counts and signed streams);
+* :mod:`repro.cluster.worker` — a shard worker: one empty windowed
+  store from the cluster-wide spec, served by the same generalized
+  line-delimited JSON server as single-node ``repro serve``;
+* :mod:`repro.cluster.local` — :class:`LocalCluster`, spawning N
+  worker processes on ephemeral ports with clean shutdown;
+* :mod:`repro.cluster.client` — :class:`ShardClient`, the persistent
+  thread-safe wire conversation with one worker;
+* :mod:`repro.cluster.service` — :class:`ClusterService`, the
+  cluster-aware facade satisfying the same estimate / sketch / ingest
+  / info surface as :class:`~repro.service.service.SketchService`, so
+  the wire dispatch table and the CLI serve a fleet unchanged;
+* :mod:`repro.cluster.errors` — the typed failure surface
+  (:class:`ShardMergeUnsupportedError`, :class:`ShardUnreachableError`,
+  :class:`ShardProtocolError`, :class:`ClusterConfigError`).
+"""
+
+from .client import ShardClient, ShardRequestError
+from .errors import (
+    ClusterConfigError,
+    ShardMergeUnsupportedError,
+    ShardProtocolError,
+    ShardUnreachableError,
+)
+from .local import LocalCluster, WorkerProcess
+from .partitioned import gather_merge, partitioned_build, scatter_build
+from .service import ClusterService
+from .worker import build_store, run_worker, store_config
+
+__all__ = [
+    "ClusterService",
+    "LocalCluster",
+    "WorkerProcess",
+    "ShardClient",
+    "ShardRequestError",
+    "ShardMergeUnsupportedError",
+    "ShardUnreachableError",
+    "ShardProtocolError",
+    "ClusterConfigError",
+    "scatter_build",
+    "gather_merge",
+    "partitioned_build",
+    "store_config",
+    "build_store",
+    "run_worker",
+]

@@ -1,0 +1,158 @@
+"""The shard-side wire client: one line-delimited JSON conversation.
+
+:class:`ShardClient` is the cluster's view of one worker: a persistent
+TCP connection speaking the :mod:`repro.service.server` protocol, with
+
+* **thread safety** — the scatter–gather facade is itself served by a
+  threaded front end, so each client serialises its socket behind a
+  lock (requests to *different* shards still run concurrently);
+* **lazy connect + one reconnect** — the first request dials the
+  worker; a connection that died between requests (worker restart,
+  idle timeout) is re-dialled once before the failure surfaces;
+* **typed failures** — transport problems raise
+  :class:`~repro.cluster.errors.ShardUnreachableError`, malformed
+  answers raise :class:`~repro.cluster.errors.ShardProtocolError`,
+  and a well-formed ``{"ok": false}`` response raises
+  :class:`ShardRequestError` carrying the worker's one-line message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Mapping
+
+from .errors import ShardProtocolError, ShardUnreachableError
+
+__all__ = ["ShardClient", "ShardRequestError"]
+
+
+class ShardRequestError(ValueError):
+    """The worker processed the request and refused it (``ok: false``)."""
+
+
+class ShardClient:
+    """A persistent, thread-safe client for one shard worker.
+
+    Parameters
+    ----------
+    host, port:
+        The worker's listening address.
+    timeout:
+        Seconds to wait for connect and for each response line.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ShardUnreachableError(
+                f"shard {self.address} unreachable: {exc}"
+            ) from exc
+        self._rfile = self._sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Drop the connection (the next request would re-dial)."""
+        with self._lock:
+            self._teardown()
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(self, payload: Mapping) -> dict:
+        """Send one op; return the decoded ``ok: true`` response.
+
+        Retries exactly once on a dead connection (the worker may have
+        dropped an idle socket between requests); a failure on a fresh
+        connection is final and raises
+        :class:`~repro.cluster.errors.ShardUnreachableError`.
+        """
+        line = (json.dumps(dict(payload)) + "\n").encode("utf-8")
+        with self._lock:
+            fresh = self._sock is None
+            if fresh:
+                self._connect()
+            try:
+                raw = self._exchange(line)
+            except (OSError, EOFError) as exc:
+                self._teardown()
+                if fresh:
+                    raise ShardUnreachableError(
+                        f"shard {self.address} died mid-request: {exc}"
+                    ) from exc
+                self._connect()  # one reconnect for a stale socket
+                try:
+                    raw = self._exchange(line)
+                except (OSError, EOFError) as exc2:
+                    self._teardown()
+                    raise ShardUnreachableError(
+                        f"shard {self.address} died mid-request: {exc2}"
+                    ) from exc2
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ShardProtocolError(
+                f"shard {self.address} sent invalid JSON: {raw[:80]!r}"
+            ) from exc
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ShardProtocolError(
+                f"shard {self.address} sent a non-protocol response: "
+                f"{raw[:80]!r}"
+            )
+        if not response["ok"]:
+            raise ShardRequestError(
+                f"shard {self.address}: {response.get('error', 'request refused')}"
+            )
+        return response
+
+    def _exchange(self, line: bytes) -> bytes:
+        """Write one request line, read one response line (lock held)."""
+        assert self._sock is not None and self._rfile is not None
+        self._sock.sendall(line)
+        raw = self._rfile.readline()
+        if not raw:
+            raise EOFError("connection closed before a response line")
+        return raw
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self._sock is not None else "idle"
+        return f"ShardClient({self.address}, {state})"

@@ -1,0 +1,227 @@
+"""Spawn and supervise a local shard-worker fleet.
+
+:class:`LocalCluster` turns ``N`` into ``N`` worker *processes*: each
+one ``python -m repro cluster worker`` on an ephemeral port, announced
+through a JSON ready line on its stdout.  This is the piece that takes
+the scale-out layer past the GIL — every worker is a separate
+interpreter, so per-shard ingestion and merge-on-query run truly in
+parallel on separate cores.
+
+Lifecycle contract:
+
+* **spawn** — workers that fail to announce readiness within the
+  timeout are killed and reported as
+  :class:`~repro.cluster.errors.ShardUnreachableError`, with their
+  stderr attached (a silent zombie fleet is worse than a loud error);
+* **shutdown** — the wire ``shutdown`` op first (clean: the worker
+  acks, drains, exits 0), ``terminate``/``kill`` as escalating
+  fallbacks, so ``with LocalCluster(...)`` can never leak processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Mapping
+
+from .client import ShardClient
+from .errors import ShardUnreachableError
+
+__all__ = ["LocalCluster", "WorkerProcess"]
+
+
+def _worker_env() -> dict:
+    """The child environment, with this ``repro`` importable.
+
+    The spawner may itself run from a source tree never installed into
+    site-packages; prepending the package parent to ``PYTHONPATH``
+    guarantees the child resolves the same code the parent runs.
+    """
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+class WorkerProcess:
+    """One spawned shard worker: its process, address, and client."""
+
+    def __init__(self, process: subprocess.Popen, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+        self.client = ShardClient(host, port)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkerProcess(pid={self.process.pid}, {self.address})"
+
+
+def _read_ready_line(process: subprocess.Popen, timeout: float) -> dict:
+    """Parse the worker's JSON ready line, with a hard deadline."""
+    result: list = []
+
+    def read() -> None:
+        result.append(process.stdout.readline())
+
+    reader = threading.Thread(target=read, daemon=True)
+    reader.start()
+    reader.join(timeout)
+    if not result or not result[0]:
+        raise ShardUnreachableError(
+            "worker did not announce readiness "
+            f"within {timeout:.0f}s"
+        )
+    try:
+        ready = json.loads(result[0])
+    except json.JSONDecodeError as exc:
+        raise ShardUnreachableError(
+            f"worker announced garbage instead of a ready line: "
+            f"{result[0][:120]!r}"
+        ) from exc
+    if not isinstance(ready, dict) or not ready.get("ready"):
+        raise ShardUnreachableError(
+            f"worker announced a non-ready line: {ready!r}"
+        )
+    return ready
+
+
+class LocalCluster:
+    """``num_shards`` worker processes on ephemeral local ports.
+
+    Parameters
+    ----------
+    config:
+        The cluster-wide store template (see
+        :func:`~repro.cluster.worker.store_config`): spec, bucket
+        width, origin, retention.  Every worker gets the same one.
+    num_shards:
+        Number of worker processes to spawn.
+    host:
+        Interface the workers bind (loopback by default).
+    read_timeout:
+        Per-connection read timeout passed to each worker.
+    spawn_timeout:
+        Seconds each worker gets to announce readiness.
+
+    Use as a context manager — ``__exit__`` always shuts the fleet
+    down, clean-first::
+
+        with LocalCluster(config, num_shards=4) as cluster:
+            service = ClusterService(cluster.clients())
+            ...
+    """
+
+    def __init__(
+        self,
+        config: Mapping,
+        num_shards: int,
+        host: str = "127.0.0.1",
+        read_timeout: float | None = None,
+        spawn_timeout: float = 30.0,
+    ):
+        if int(num_shards) < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.config = dict(config)
+        self.workers: list[WorkerProcess] = []
+        command = [
+            sys.executable, "-m", "repro", "cluster", "worker",
+            "--config-json", json.dumps(self.config),
+            "--host", host, "--port", "0",
+        ]
+        if read_timeout is not None:
+            command += ["--read-timeout", str(float(read_timeout))]
+        env = _worker_env()
+        try:
+            for _ in range(int(num_shards)):
+                process = subprocess.Popen(
+                    command,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+                try:
+                    ready = _read_ready_line(process, spawn_timeout)
+                except ShardUnreachableError as exc:
+                    raise ShardUnreachableError(
+                        f"{exc}; worker stderr:\n{self._drain(process)}"
+                    ) from exc
+                self.workers.append(
+                    WorkerProcess(process, str(ready["host"]), int(ready["port"]))
+                )
+        except BaseException:
+            self.shutdown()
+            raise
+
+    @staticmethod
+    def _drain(process: subprocess.Popen) -> str:
+        """Kill a half-started worker and return its stderr tail."""
+        process.kill()
+        try:
+            _, stderr = process.communicate(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill failed
+            return "<worker did not exit>"
+        return (stderr or "").strip()[-2000:] or "<empty>"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [worker.address for worker in self.workers]
+
+    def clients(self) -> list[ShardClient]:
+        """The per-worker wire clients, in shard order."""
+        return [worker.client for worker in self.workers]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker: wire ``shutdown`` first, signals as fallback."""
+        for worker in self.workers:
+            try:
+                worker.client.request({"op": "shutdown"})
+            except (OSError, ValueError):
+                pass  # already dead or unreachable; signals below
+            worker.client.close()
+        for worker in self.workers:
+            process = worker.process
+            try:
+                process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait()
+            for stream in (process.stdout, process.stderr):
+                if stream is not None:
+                    stream.close()
+        self.workers = []
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalCluster(shards={self.addresses})"

@@ -1,0 +1,105 @@
+"""Value-partitioned build and gather-merge: the cluster's algebra.
+
+The mathematical heart of the scale-out layer, kept free of sockets so
+it can be property-tested exhaustively: a linear sketch of a stream is
+the elementwise sum of same-seed sketches of any *value partition* of
+that stream.  :func:`scatter_build` builds the per-shard sketches a
+cluster's workers would hold; :func:`gather_merge` recombines them —
+bit-identical to the monolithic build for every mergeable kind, and a
+typed :class:`~repro.cluster.errors.ShardMergeUnsupportedError` for
+the sampler kinds whose state is not a function of the multiset.
+
+:class:`~repro.cluster.service.ClusterService` is exactly this module
+with the per-shard builds living in worker processes behind the JSON
+wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..engine.partition import HashPartitioner, Partitioner
+from ..engine.protocol import MergeUnsupportedError, Sketch
+from ..engine.sharded import merge_sketches
+from ..store.spec import SketchSpec
+from .errors import ShardMergeUnsupportedError
+
+__all__ = ["scatter_build", "gather_merge", "partitioned_build"]
+
+
+def _require_mergeable(spec: SketchSpec) -> None:
+    if not spec.is_mergeable:
+        raise ShardMergeUnsupportedError(
+            f"sketch kind {spec.kind!r} cannot be served by scatter–gather: "
+            "its state is not a function of the union multiset, so "
+            "per-shard sketches do not combine into the monolithic sketch"
+        )
+
+
+def scatter_build(
+    spec: SketchSpec,
+    values: np.ndarray | Iterable[int],
+    partitioner: Partitioner,
+    counts: np.ndarray | Iterable[int] | None = None,
+) -> List[Sketch]:
+    """One sketch per shard over the value partition of ``(values, counts)``.
+
+    Every shard sketch is built from the same :class:`~repro.store.
+    spec.SketchSpec` (hence the same seed — the merge precondition).
+    With ``counts`` given, entry ``i`` applies ``counts[i]`` signed
+    occurrences of ``values[i]``; because a :class:`~repro.engine.
+    partition.HashPartitioner` routes by value, a deletion always
+    lands on the shard holding the inserts it retracts.
+    """
+    _require_mergeable(spec)
+    vals = np.asarray(values, dtype=np.int64)
+    cnts = None if counts is None else np.asarray(counts, dtype=np.int64)
+    sketches: List[Sketch] = []
+    for idx in partitioner.split(vals):
+        sketch = spec.build()
+        part = vals[idx]
+        if cnts is None:
+            sketch.update_from_stream(part)
+        else:
+            sketch.update_from_frequencies(part, cnts[idx])
+        sketches.append(sketch)
+    return sketches
+
+
+def gather_merge(sketches: Sequence[Sketch]) -> Sketch:
+    """Balanced-tree merge of per-shard sketches into the global answer.
+
+    The scatter–gather counterpart of :func:`~repro.engine.sharded.
+    merge_sketches`, with the cluster's typed error: a kind that
+    cannot merge surfaces as
+    :class:`~repro.cluster.errors.ShardMergeUnsupportedError`.
+    """
+    try:
+        return merge_sketches(sketches)
+    except ShardMergeUnsupportedError:
+        raise
+    except MergeUnsupportedError as exc:
+        raise ShardMergeUnsupportedError(str(exc)) from exc
+
+
+def partitioned_build(
+    spec: SketchSpec,
+    values: np.ndarray | Iterable[int],
+    num_shards: int,
+    seed: int = 0,
+    counts: np.ndarray | Iterable[int] | None = None,
+) -> Sketch:
+    """Value-hash partition → per-shard build → gather-merge, in process.
+
+    The whole cluster pipeline without the wire: bit-identical to
+    ``spec.build()`` loaded with the full stream for every mergeable
+    kind (the property-based tests sweep shard counts and signed
+    streams), and :class:`~repro.cluster.errors.
+    ShardMergeUnsupportedError` for sampler kinds — even at one shard,
+    because the cluster contract is the value-partition algebra, not
+    the shard count.
+    """
+    partitioner = HashPartitioner(num_shards, seed=seed)
+    return gather_merge(scatter_build(spec, values, partitioner, counts=counts))

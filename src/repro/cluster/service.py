@@ -1,0 +1,448 @@
+"""The cluster-aware serving facade: route, scatter, gather, merge.
+
+:class:`ClusterService` satisfies the same estimate / sketch / ingest
+/ info surface as :class:`~repro.service.service.SketchService`, so
+everything written against the single-node service — the generalized
+wire dispatch table, ``CatalogService.at_window``-style consumers, the
+CLI — works unchanged against a fleet of shard workers:
+
+* **Ingest** routes each batch by the stable value-hash partitioner
+  (:class:`~repro.engine.partition.HashPartitioner`) and scatters the
+  per-shard slices concurrently.  Routing by *value* (never by time
+  or round-robin) is the invariant that makes everything else true:
+  per-shard sub-streams are a value partition of the global stream,
+  and a deletion reaches the shard holding the inserts it retracts.
+* **Queries** scatter the window to every shard, gather the per-shard
+  merged sketches over the wire, and
+  :func:`~repro.cluster.partitioned.gather_merge` them — for every
+  mergeable kind the result is **bit-identical** to a monolithic
+  :class:`~repro.store.windowed.WindowedSketchStore` over the same
+  stream (linearity: elementwise integer sums commute with the
+  partition).  Non-mergeable sampler kinds are refused at
+  construction with a typed
+  :class:`~repro.cluster.errors.ShardMergeUnsupportedError`.
+* **Windows** are resolved to a common fixpoint: under
+  ``align="outer"`` shards may expand a window differently (their
+  compacted spans differ because they hold different values), so the
+  gather loop re-scatters the union hull until every shard agrees —
+  the reported window always describes the returned sketch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..engine.partition import HashPartitioner
+from ..engine.protocol import Sketch
+from ..engine.registry import load_sketch
+from ..service.service import WindowEstimate
+from ..store.spec import SketchSpec
+from .client import ShardClient
+from .errors import ClusterConfigError, ShardMergeUnsupportedError
+from .partitioned import gather_merge
+
+__all__ = ["ClusterService"]
+
+#: Outer-alignment gather rounds before declaring divergence a bug.
+_MAX_ALIGN_ROUNDS = 32
+
+
+class ClusterService:
+    """Scatter–gather serving over hash-partitioned shard workers.
+
+    Parameters
+    ----------
+    clients:
+        One :class:`~repro.cluster.client.ShardClient` per shard, in
+        shard order — the order **is** the partition map, so it must
+        match the order ingest has always used against these workers.
+    partition_seed:
+        Seed of the value-hash partitioner.  Defaults to the sketch
+        spec's own seed, so a front end restarted against the same
+        workers routes identically without extra coordination.
+
+    Raises
+    ------
+    ClusterConfigError:
+        No shards, unreachable shards at construction, or workers
+        whose spec / bucket geometry disagree.
+    ShardMergeUnsupportedError:
+        The workers hold a sampler kind that cannot be gather-merged.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[ShardClient],
+        partition_seed: int | None = None,
+    ):
+        if not clients:
+            raise ClusterConfigError("a cluster needs at least one shard")
+        self._clients = list(clients)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._clients),
+            thread_name_prefix="cluster-scatter",
+        )
+        try:
+            infos = self._scatter({"op": "info"})
+            reference = infos[0]
+            for client, info in zip(self._clients[1:], infos[1:]):
+                for field in ("spec", "bucket_width", "origin"):
+                    if info.get(field) != reference.get(field):
+                        raise ClusterConfigError(
+                            f"shard {client.address} disagrees on {field}: "
+                            f"{info.get(field)!r} != {reference.get(field)!r} "
+                            f"(shard {self._clients[0].address})"
+                        )
+            if "spec" not in reference:
+                raise ClusterConfigError(
+                    f"shard {self._clients[0].address} reported no sketch "
+                    "spec; workers must run this repo's generalized server"
+                )
+            self._spec = SketchSpec.from_dict(reference["spec"])
+            if not self._spec.is_mergeable:
+                raise ShardMergeUnsupportedError(
+                    f"sketch kind {self._spec.kind!r} cannot be served by "
+                    "scatter–gather: per-shard sketches do not combine into "
+                    "the monolithic sketch (position-based sampling)"
+                )
+        except BaseException:
+            # A failed construction must not leak scatter threads: the
+            # caller has no handle to close a half-built service.
+            self._pool.shutdown(wait=True)
+            raise
+        self._bucket_width = int(reference["bucket_width"])
+        self._origin = int(reference["origin"])
+        if partition_seed is None:
+            partition_seed = int(self._spec.params.get("seed", 0))
+        self._partitioner = HashPartitioner(
+            len(self._clients), seed=partition_seed
+        )
+
+    # ------------------------------------------------------------------
+    # Scatter plumbing
+    # ------------------------------------------------------------------
+    def _scatter(
+        self, payload: Mapping, only: Sequence[int] | None = None
+    ) -> list[dict]:
+        """One request to every shard (or ``only`` these), concurrently.
+
+        Responses come back in shard order; the first failure
+        propagates after all in-flight requests finish, so a partial
+        scatter never leaves orphaned futures behind.
+        """
+        targets = (
+            self._clients if only is None else [self._clients[i] for i in only]
+        )
+        futures = [
+            self._pool.submit(client.request, dict(payload))
+            for client in targets
+        ]
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        timestamps: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[int],
+        counts: np.ndarray | Iterable[int] | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        """Value-hash route one timestamped batch across the shards.
+
+        Shards receive their slices concurrently; each worker applies
+        its slice atomically under its own service's write lock.
+        Atomicity is therefore **per shard, not per batch**: there is
+        no cross-shard transaction, so a concurrent reader can observe
+        shard 0 after its slice landed and shard 1 before — a torn
+        state the single-node :class:`~repro.service.service.
+        SketchService` (one write lock) can never expose.  Callers who
+        need batch-level read isolation must serialise their own
+        queries behind their ingests; once this call returns, every
+        later query observes the whole batch.  ``max_workers`` is
+        accepted for surface compatibility — the cluster's parallelism
+        is the worker processes themselves.  A shard failure
+        propagates after all sends settle; as with a rejected store
+        batch, treat a failed cluster batch as a reason to restore
+        from the last snapshot (other shards may already have applied
+        their slices).
+        """
+        ts = np.asarray(timestamps, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if ts.ndim != 1 or vals.ndim != 1 or ts.shape != vals.shape:
+            raise ValueError(
+                f"timestamps {ts.shape} and values {vals.shape} must be "
+                "equal-length 1-D arrays"
+            )
+        cnts = None
+        if counts is not None:
+            cnts = np.asarray(counts, dtype=np.int64)
+            if cnts.shape != vals.shape:
+                raise ValueError(
+                    f"counts {cnts.shape} must match values {vals.shape}"
+                )
+        if vals.size == 0:
+            return
+        futures = []
+        for shard, idx in enumerate(self._partitioner.split(vals)):
+            if idx.size == 0:
+                continue
+            payload: dict = {
+                "op": "ingest",
+                "timestamps": ts[idx].tolist(),
+                "values": vals[idx].tolist(),
+            }
+            if cnts is not None:
+                payload["counts"] = cnts[idx].tolist()
+            futures.append(
+                self._pool.submit(self._clients[shard].request, payload)
+            )
+        first_error = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def compact(self, before: int | None = None) -> int:
+        """Fold old spans on every shard; returns total spans folded."""
+        payload: dict = {"op": "compact"}
+        if before is not None:
+            payload["before"] = int(before)
+        return sum(r["folded"] for r in self._scatter(payload))
+
+    def evict(self, before: int) -> int:
+        """Forget old spans on every shard; returns total spans dropped."""
+        responses = self._scatter({"op": "evict", "before": int(before)})
+        return sum(r["evicted"] for r in responses)
+
+    # ------------------------------------------------------------------
+    # Queries (scatter–gather merge-on-query)
+    # ------------------------------------------------------------------
+    def _gather_window(
+        self, t0: int, t1: int, align: str
+    ) -> tuple[Sketch, int, int]:
+        """Fetch and merge per-shard window sketches at a common window.
+
+        Shards answer strict windows identically (bucket arithmetic is
+        global); outer windows can differ when compaction folded
+        different spans per shard, so the hull is re-scattered until
+        every shard resolves the same range — monotone, hence finite.
+        """
+        lo, hi = int(t0), int(t1)
+        for _ in range(_MAX_ALIGN_ROUNDS):
+            responses = self._scatter(
+                {"op": "sketch", "from": lo, "until": hi, "align": align}
+            )
+            windows = {tuple(r["window"]) for r in responses}
+            if len(windows) == 1:
+                (window,) = windows
+                merged = gather_merge(
+                    [load_sketch(r["sketch"]) for r in responses]
+                )
+                return merged, int(window[0]), int(window[1])
+            if align != "outer":  # pragma: no cover - defensive
+                raise ClusterConfigError(
+                    f"shards resolved strict window [{lo}, {hi}) "
+                    f"differently: {sorted(windows)}"
+                )
+            lo = min(w[0] for w in windows)
+            hi = max(w[1] for w in windows)
+        raise ClusterConfigError(  # pragma: no cover - defensive
+            f"window resolution did not converge after "
+            f"{_MAX_ALIGN_ROUNDS} rounds"
+        )
+
+    def query(self, t0: int, t1: int, align: str = "strict") -> Sketch:
+        """The merged sketch of the window across every shard."""
+        sketch, _, _ = self._gather_window(t0, t1, align)
+        return sketch
+
+    def estimate(self, t0: int, t1: int, align: str = "strict") -> float:
+        """Self-join estimate over the window (scatter–gather merge)."""
+        sketch, _, _ = self._gather_window(t0, t1, align)
+        return float(sketch.estimate())
+
+    def estimate_window(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> WindowEstimate:
+        """The estimate together with the window it actually covers."""
+        sketch, lo, hi = self._gather_window(t0, t1, align)
+        return WindowEstimate(float(sketch.estimate()), lo, hi)
+
+    def sketch_window(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> tuple[Sketch, int, int]:
+        """The merged window sketch plus its resolved bounds."""
+        return self._gather_window(t0, t1, align)
+
+    def window_bounds(
+        self, t0: int, t1: int, align: str = "strict"
+    ) -> tuple[int, int]:
+        """The timestamp window a query would actually cover."""
+        _, lo, hi = self._gather_window(t0, t1, align)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._clients)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [client.address for client in self._clients]
+
+    @property
+    def spec(self) -> SketchSpec:
+        """The cluster-wide sketch spec (identical on every shard)."""
+        return self._spec
+
+    @property
+    def bucket_width(self) -> int:
+        return self._bucket_width
+
+    @property
+    def origin(self) -> int:
+        return self._origin
+
+    @staticmethod
+    def _merged_spans(infos: Sequence[Mapping]) -> list[tuple[int, int]]:
+        """Union of shard span ranges, coalesced into disjoint intervals.
+
+        Shards hold different values, so their span lists differ; the
+        cluster-level view is the merged cover — the ranges where *some*
+        shard holds data.
+        """
+        intervals = sorted(
+            (int(a), int(b)) for info in infos for a, b in info["spans"]
+        )
+        merged: list[tuple[int, int]] = []
+        for a, b in intervals:
+            if merged and a <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+            else:
+                merged.append((a, b))
+        return merged
+
+    @staticmethod
+    def _coverage_hull(infos: Sequence[Mapping]) -> tuple[int, int] | None:
+        """Hull from the oldest to the newest span across shards."""
+        covered = [i["coverage"] for i in infos if i["coverage"] is not None]
+        if not covered:
+            return None
+        return min(int(c[0]) for c in covered), max(int(c[1]) for c in covered)
+
+    def info(self) -> dict:
+        """The cluster-level summary, from one scatter to the fleet.
+
+        A single ``info`` round-trip per shard answers every field —
+        the wire ``info`` op against a front end costs N shard
+        requests, not one per summary field.
+        """
+        infos = self._scatter({"op": "info"})
+        coverage = self._coverage_hull(infos)
+        return {
+            "kind": self._spec.kind,
+            "spec": self._spec.to_dict(),
+            "bucket_width": self._bucket_width,
+            "origin": self._origin,
+            "spans": [list(span) for span in self._merged_spans(infos)],
+            "coverage": None if coverage is None else list(coverage),
+            "memory_words": sum(int(i["memory_words"]) for i in infos),
+        }
+
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """Merged shard span cover (see :meth:`_merged_spans`)."""
+        return self._merged_spans(self._scatter({"op": "info"}))
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def coverage(self) -> tuple[int, int] | None:
+        """Hull from the oldest to the newest span across shards."""
+        return self._coverage_hull(self._scatter({"op": "info"}))
+
+    @property
+    def memory_words(self) -> int:
+        """Total storage across every shard's bucket sketches."""
+        return sum(
+            int(info["memory_words"]) for info in self._scatter({"op": "info"})
+        )
+
+    def snapshot(self) -> dict:
+        """Per-shard checkpoints plus the partition map that routed them.
+
+        The partitioner config is part of the snapshot because the
+        shard stores are only meaningful under the assignment that
+        filled them — restoring onto a different shard count or seed
+        would break the value-partition invariant.
+        """
+        responses = self._scatter({"op": "snapshot"})
+        return {
+            "kind": "cluster-snapshot",
+            "partitioner": self._partitioner.to_dict(),
+            "shards": [r["snapshot"] for r in responses],
+        }
+
+    def stats(self) -> dict:
+        """Shard cache statistics, summed, plus the shard count."""
+        totals: dict = {}
+        for response in self._scatter({"op": "stats"}):
+            for key, value in response["cache"].items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        totals["shards"] = self.num_shards
+        return totals
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown_workers(self) -> int:
+        """Send the wire ``shutdown`` op to every shard; count the acks."""
+        acked = 0
+        for client in self._clients:
+            try:
+                client.request({"op": "shutdown"})
+                acked += 1
+            except (OSError, ValueError):
+                pass  # already gone; the spawner's signals handle the rest
+        return acked
+
+    def close(self) -> None:
+        """Release the scatter pool and every shard connection."""
+        self._pool.shutdown(wait=True)
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterService(shards={self.addresses}, "
+            f"kind={self._spec.kind!r}, width={self._bucket_width})"
+        )

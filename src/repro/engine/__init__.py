@@ -12,6 +12,9 @@ This package is the system layer above the individual algorithms of
 * :mod:`repro.engine.ingest` — vectorised bulk ingestion: operation
   coalescing into signed histograms and the batched ``replay`` used by
   the streams, relational, and experiment layers;
+* :mod:`repro.engine.partition` — stream partitioners (contiguous and
+  stable value-hash), the one split policy shared by the in-process
+  sharded build and the multi-process cluster router;
 * :mod:`repro.engine.sharded` — partition / build-per-shard / merge
   construction for mergeable sketches, serial or thread-parallel.
 """
@@ -21,6 +24,13 @@ from .ingest import (
     ingest_operations,
     ingest_stream,
     replay_batched,
+)
+from .partition import (
+    ContiguousPartitioner,
+    HashPartitioner,
+    Partitioner,
+    partitioner_from_dict,
+    stable_hash64,
 )
 from .protocol import MergeUnsupportedError, Sketch
 from .registry import (
@@ -55,4 +65,9 @@ __all__ = [
     "shard_stream",
     "merge_sketches",
     "sharded_build",
+    "Partitioner",
+    "ContiguousPartitioner",
+    "HashPartitioner",
+    "stable_hash64",
+    "partitioner_from_dict",
 ]

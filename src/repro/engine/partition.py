@@ -1,0 +1,188 @@
+"""Stream partitioners: one tested path for every scale-out split.
+
+Two layers of the system split streams across workers: the in-process
+sharded build (:func:`repro.engine.sharded.sharded_build`) and the
+multi-process cluster router (:mod:`repro.cluster`).  Both need the
+same contract — assign every element of a stream to exactly one of
+``num_shards`` partitions, deterministically — but with different
+policies:
+
+* :class:`ContiguousPartitioner` splits by *position*: shard ``i``
+  gets the ``i``-th contiguous piece, sizes differing by at most one.
+  Order-preserving and single-pass; the right choice when any shard
+  may hold any element (a one-shot parallel build of a linear sketch).
+* :class:`HashPartitioner` splits by *value*: every occurrence of a
+  value lands on the shard chosen by a seeded stable 64-bit mix of the
+  value itself.  This is the cluster invariant — a deletion routes to
+  the shard that holds the inserts it retracts, and re-partitioning a
+  stream on another host (or another day) gives the same assignment,
+  because the hash depends only on ``(value, seed, num_shards)``,
+  never on Python's per-process hash randomisation.
+
+Both produce *index* partitions (``split``), so callers can slice any
+set of parallel arrays (values, timestamps, signed counts) with one
+assignment, and the concatenation of the slices is a permutation of
+the input — nothing dropped, nothing duplicated (property-tested).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = [
+    "Partitioner",
+    "ContiguousPartitioner",
+    "HashPartitioner",
+    "stable_hash64",
+    "partitioner_from_dict",
+]
+
+
+def _as_stream(values: np.ndarray | Iterable[int]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+class Partitioner(abc.ABC):
+    """Deterministic assignment of stream elements to ``num_shards`` parts."""
+
+    def __init__(self, num_shards: int):
+        self.num_shards = int(num_shards)
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+
+    @abc.abstractmethod
+    def assign(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
+        """The shard index of every element, as an int64 array in
+        ``[0, num_shards)`` of the same length as ``values``."""
+
+    def split(self, values: np.ndarray | Iterable[int]) -> List[np.ndarray]:
+        """Per-shard index arrays into ``values`` (order-preserving).
+
+        ``split(v)[i]`` indexes the elements assigned to shard ``i``,
+        in their original stream order, so parallel arrays (values,
+        timestamps, counts) can all be sliced with one assignment.
+        """
+        arr = _as_stream(values)
+        shards = self.assign(arr)
+        return [
+            np.flatnonzero(shards == i) for i in range(self.num_shards)
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible configuration (enough to rebuild the policy)."""
+        return {"policy": self.policy, "num_shards": self.num_shards}
+
+    policy: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class ContiguousPartitioner(Partitioner):
+    """Position-based split into contiguous, near-equal pieces.
+
+    Matches ``np.array_split`` semantics: the first ``n % num_shards``
+    shards get one extra element.  Preserves stream order within each
+    shard and costs one pass.
+    """
+
+    policy = "contiguous"
+
+    def assign(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Shard indices by position: the i-th near-equal run is shard i."""
+        arr = _as_stream(values)
+        n = arr.size
+        base, extra = divmod(n, self.num_shards)
+        sizes = np.full(self.num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return np.repeat(np.arange(self.num_shards, dtype=np.int64), sizes)
+
+    def split(self, values: np.ndarray | Iterable[int]) -> List[np.ndarray]:
+        """Contiguous index ranges — equivalent to ``np.array_split``."""
+        arr = _as_stream(values)
+        base, extra = divmod(arr.size, self.num_shards)
+        sizes = np.full(self.num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        return [
+            np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+            for i in range(self.num_shards)
+        ]
+
+
+#: splitmix64 finalizer constants (Steele et al.): a full-avalanche
+#: 64-bit mix, so consecutive values scatter uniformly across shards.
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def stable_hash64(
+    values: np.ndarray | Iterable[int], seed: int = 0
+) -> np.ndarray:
+    """A process-independent 64-bit hash of each int64 value.
+
+    The splitmix64 finalizer over ``value + (seed + 1) * gamma``:
+    deterministic in ``(value, seed)`` alone, vectorised, and
+    avalanche-complete (every input bit flips ~half the output bits),
+    unlike Python's ``hash`` which is salted per process for strings
+    and the identity for small ints.
+    """
+    arr = _as_stream(values)
+    with np.errstate(over="ignore"):  # wraparound is the point
+        z = arr.view(np.uint64)  # same itemsize: a reinterpret, not a copy
+        z = z + np.uint64((int(seed) + 1) & 0xFFFFFFFFFFFFFFFF) * _SPLITMIX_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_M1
+        z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_M2
+        return z ^ (z >> np.uint64(31))
+
+
+class HashPartitioner(Partitioner):
+    """Stable value-hash split: all occurrences of a value share a shard.
+
+    The cluster-routing invariant: because assignment depends only on
+    ``(value, seed, num_shards)``, per-shard sub-streams are a
+    *value partition* of the whole stream — so per-shard linear
+    sketches sum to the monolithic sketch, and a retraction routes to
+    the shard holding the inserts it reverses.
+    """
+
+    policy = "hash"
+
+    def __init__(self, num_shards: int, seed: int = 0):
+        super().__init__(num_shards)
+        self.seed = int(seed)
+
+    def assign(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Shard indices by stable value hash: ``mix(v, seed) % shards``."""
+        hashed = stable_hash64(values, seed=self.seed)
+        return (hashed % np.uint64(self.num_shards)).astype(np.int64)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible configuration, including the hash seed."""
+        payload = super().to_dict()
+        payload["seed"] = self.seed
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashPartitioner(num_shards={self.num_shards}, seed={self.seed})"
+        )
+
+
+def partitioner_from_dict(payload: dict) -> Partitioner:
+    """Rebuild a partitioner from :meth:`Partitioner.to_dict` output."""
+    policy = payload.get("policy")
+    if policy == "contiguous":
+        return ContiguousPartitioner(int(payload["num_shards"]))
+    if policy == "hash":
+        return HashPartitioner(
+            int(payload["num_shards"]), seed=int(payload.get("seed", 0))
+        )
+    raise ValueError(f"unknown partitioner policy: {policy!r}")

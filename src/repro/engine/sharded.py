@@ -8,6 +8,14 @@ sketch per shard, and :meth:`~repro.engine.protocol.Sketch.merge` the
 results.  The merged sketch is **bit-identical** to a single-shot
 build, which the test suite and ``benchmarks/bench_engine.py`` verify.
 
+How the stream is split is a policy, factored out as
+:class:`~repro.engine.partition.Partitioner`: the default contiguous
+split is right for a one-shot parallel build, while the stable
+value-hash split is the invariant the multi-process cluster layer
+(:mod:`repro.cluster`) routes on.  Both give bit-identical merged
+results for linear sketches — a value partition and a position
+partition of the same multiset sum to the same counters.
+
 Shard workers run either serially (each shard still takes the
 vectorised bulk path, so this is already far faster than per-element
 ingestion) or on a :class:`concurrent.futures.ThreadPoolExecutor` —
@@ -18,11 +26,11 @@ threads scale without the pickling constraints of process pools.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from functools import reduce
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
 import numpy as np
 
+from .partition import Partitioner
 from .protocol import Sketch
 
 __all__ = ["shard_stream", "merge_sketches", "sharded_build"]
@@ -46,14 +54,36 @@ def shard_stream(
     arr = np.asarray(values, dtype=np.int64)
     if arr.ndim != 1:
         raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+    # np.array_split is the zero-copy fast path for the contiguous
+    # policy; the partitioner tests assert it slices identically to
+    # ContiguousPartitioner.split, so the semantics live in one place.
     return [np.ascontiguousarray(piece) for piece in np.array_split(arr, num_shards)]
 
 
 def merge_sketches(sketches: Sequence[S]) -> S:
-    """Left-fold a non-empty sequence of same-seed sketches with ``merge``."""
+    """Combine a non-empty sequence of same-seed sketches with ``merge``.
+
+    The combination is a *balanced tree*, not a left fold: adjacent
+    pairs merge, then pairs of pairs, so ``n`` inputs take ``ceil(log2
+    n)`` rounds of depth instead of ``n - 1`` sequential merges.  Wide
+    scatter–gather merges (one sketch per cluster shard) therefore do
+    not degrade to O(n) sequential work chains.  Merging is associative
+    for every mergeable kind (integer counter addition / histogram
+    union), so the result is bit-identical to the old left fold — the
+    engine tests assert exactly that.
+    """
     if not sketches:
         raise ValueError("cannot merge an empty sequence of sketches")
-    return reduce(lambda acc, sk: acc.merge(sk), sketches)
+    level: List[S] = list(sketches)
+    while len(level) > 1:
+        paired = [
+            level[i].merge(level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
 
 
 def sharded_build(
@@ -61,6 +91,7 @@ def sharded_build(
     values: np.ndarray | Iterable[int],
     num_shards: int = 4,
     max_workers: int | None = None,
+    partitioner: Partitioner | None = None,
 ) -> S:
     """Build a sketch of ``values`` by sharding, bulk-loading, merging.
 
@@ -74,16 +105,32 @@ def sharded_build(
         The insertion-only stream to sketch.
     num_shards:
         Number of partitions (also the number of worker sketches).
+        Ignored when an explicit ``partitioner`` is given.
     max_workers:
         ``None`` builds the shards serially (each still vectorised);
         a positive integer uses that many threads.
+    partitioner:
+        The split policy; defaults to a
+        :class:`~repro.engine.partition.ContiguousPartitioner` over
+        ``num_shards``.  Pass a
+        :class:`~repro.engine.partition.HashPartitioner` to build under
+        the cluster's value-partition invariant — for linear sketches
+        the merged result is bit-identical either way.
 
     Returns
     -------
     The merged sketch — bit-identical to ``factory()`` bulk-loaded with
     the whole stream, for any linear sketch.
     """
-    shards = shard_stream(values, num_shards)
+    if partitioner is None:
+        shards = shard_stream(values, num_shards)
+    else:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
+        shards = [
+            np.ascontiguousarray(arr[idx]) for idx in partitioner.split(arr)
+        ]
 
     def build_one(shard: np.ndarray) -> S:
         sketch = factory()

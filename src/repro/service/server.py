@@ -17,28 +17,64 @@ Supported operations::
     {"op": "evict",    "before": 300}
     {"op": "info"}
     {"op": "stats"}
+    {"op": "snapshot"}                                # whole-store checkpoint
+    {"op": "shutdown"}                                # ack, then stop serving
+
+The dispatch table is deliberately *service-agnostic*: every handler
+touches only the estimate / sketch / ingest / info surface that
+:class:`~repro.service.service.SketchService` defines, so the same
+server class fronts a single-node service, a cluster shard worker
+(``repro cluster worker`` — ``shutdown``/``snapshot`` give the worker
+a clean lifecycle), and the cluster scatter–gather facade
+(:class:`~repro.cluster.service.ClusterService`) without a line of
+per-deployment wire code.
 
 The server is a ``ThreadingTCPServer``: one thread per connection, any
 number of requests per connection, with all correctness delegated to
-:class:`~repro.service.service.SketchService` (snapshot isolation,
-merged-window caching, request coalescing).  Ingested state lives in
-memory; snapshot the service (``{"op": "info"}`` reports coverage,
-:meth:`SketchService.snapshot` from the owning process persists) if
-durability is needed.
+the service (snapshot isolation, merged-window caching, request
+coalescing).  Each connection carries a read timeout (default 300 s):
+a dead client that holds its socket open without ever sending a
+complete line has its handler thread reclaimed instead of pinned
+forever.  Ingested state lives in memory; snapshot the service
+(``{"op": "snapshot"}`` over the wire, or :meth:`SketchService.
+snapshot` from the owning process) if durability is needed.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 from typing import Callable, Mapping
 
 from ..engine.protocol import MergeUnsupportedError
 from ..engine.registry import dump_sketch
-from .service import SketchService
 
-__all__ = ["SketchServiceServer", "handle_request"]
+__all__ = ["SketchServiceServer", "handle_request", "DEFAULT_READ_TIMEOUT"]
+
+#: Seconds a connection may sit idle mid-request before it is dropped.
+DEFAULT_READ_TIMEOUT = 300.0
+
+#: The attributes a service object must answer for the dispatch table.
+#: Structural, not nominal: SketchService and ClusterService both
+#: qualify, and anything else that does is servable by construction.
+_SERVICE_SURFACE = (
+    "estimate_window",
+    "sketch_window",
+    "ingest",
+    "compact",
+    "evict",
+    "info",
+    "snapshot",
+    "stats",
+    "spec",
+    "bucket_width",
+    "origin",
+    "spans",
+    "coverage",
+    "memory_words",
+)
 
 
 def _window(request: Mapping) -> tuple[int, int, str]:
@@ -49,11 +85,11 @@ def _window(request: Mapping) -> tuple[int, int, str]:
     return int(request["from"]), int(request["until"]), str(align)
 
 
-def _op_ping(service: SketchService, request: Mapping) -> dict:
+def _op_ping(service, request: Mapping) -> dict:
     return {"pong": True}
 
 
-def _op_estimate(service: SketchService, request: Mapping) -> dict:
+def _op_estimate(service, request: Mapping) -> dict:
     t0, t1, align = _window(request)
     result = service.estimate_window(t0, t1, align=align)
     return {
@@ -62,13 +98,13 @@ def _op_estimate(service: SketchService, request: Mapping) -> dict:
     }
 
 
-def _op_sketch(service: SketchService, request: Mapping) -> dict:
+def _op_sketch(service, request: Mapping) -> dict:
     t0, t1, align = _window(request)
     sketch, lo, hi = service.sketch_window(t0, t1, align=align)
     return {"window": [lo, hi], "sketch": dump_sketch(sketch)}
 
 
-def _op_ingest(service: SketchService, request: Mapping) -> dict:
+def _op_ingest(service, request: Mapping) -> dict:
     timestamps = request.get("timestamps")
     values = request.get("values")
     if not isinstance(timestamps, list) or not isinstance(values, list):
@@ -80,34 +116,40 @@ def _op_ingest(service: SketchService, request: Mapping) -> dict:
     return {"ingested": len(values)}
 
 
-def _op_compact(service: SketchService, request: Mapping) -> dict:
+def _op_compact(service, request: Mapping) -> dict:
     before = request.get("before")
     return {"folded": service.compact(None if before is None else int(before))}
 
 
-def _op_evict(service: SketchService, request: Mapping) -> dict:
+def _op_evict(service, request: Mapping) -> dict:
     if "before" not in request:
         raise ValueError("evict needs a 'before' bucket boundary")
     return {"evicted": service.evict(int(request["before"]))}
 
 
-def _op_info(service: SketchService, request: Mapping) -> dict:
-    coverage = service.coverage
-    return {
-        "kind": service.spec.kind,
-        "bucket_width": service.bucket_width,
-        "origin": service.origin,
-        "spans": [list(span) for span in service.spans],
-        "coverage": None if coverage is None else list(coverage),
-        "memory_words": service.memory_words,
-    }
+def _op_info(service, request: Mapping) -> dict:
+    # One service call, not one per field: the service assembles a
+    # consistent summary (and a cluster facade answers it with a
+    # single scatter instead of one per property).
+    return service.info()
 
 
-def _op_stats(service: SketchService, request: Mapping) -> dict:
+def _op_stats(service, request: Mapping) -> dict:
     return {"cache": service.stats()}
 
 
-_OPS: dict[str, Callable[[SketchService, Mapping], dict]] = {
+def _op_snapshot(service, request: Mapping) -> dict:
+    return {"snapshot": service.snapshot()}
+
+
+def _op_shutdown(service, request: Mapping) -> dict:
+    # The ack is written before the server stops (the TCP handler
+    # triggers the actual shutdown after responding), so the peer that
+    # asked always learns the request was honoured.
+    return {"stopping": True}
+
+
+_OPS: dict[str, Callable[[object, Mapping], dict]] = {
     "ping": _op_ping,
     "estimate": _op_estimate,
     "sketch": _op_sketch,
@@ -116,15 +158,20 @@ _OPS: dict[str, Callable[[SketchService, Mapping], dict]] = {
     "evict": _op_evict,
     "info": _op_info,
     "stats": _op_stats,
+    "snapshot": _op_snapshot,
+    "shutdown": _op_shutdown,
 }
 
 
-def handle_request(service: SketchService, line: str | bytes) -> dict:
+def handle_request(service, line: str | bytes) -> dict:
     """Serve one request line; never raises (errors become responses).
 
     The single entry point behind both the TCP handler and any
     in-process driver (tests call it directly), so wire behaviour and
-    error wording have exactly one definition.
+    error wording have exactly one definition.  ``service`` is
+    anything satisfying the estimate/sketch/ingest/info surface —
+    a :class:`~repro.service.service.SketchService` or a
+    :class:`~repro.cluster.service.ClusterService`.
     """
     try:
         request = json.loads(line)
@@ -146,34 +193,62 @@ def handle_request(service: SketchService, line: str | bytes) -> dict:
         LookupError,
         NotImplementedError,  # deletion counts on insertion-only kinds
         MergeUnsupportedError,
+        ConnectionError,  # a cluster front end's shard became unreachable
         OverflowError,
     ) as exc:
         return {"ok": False, "error": str(exc)}
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
-    """One connection: serve request lines until the peer hangs up."""
+    """One connection: serve request lines until the peer hangs up.
+
+    The connection socket carries the server's ``read_timeout``: a
+    peer that stops mid-line (dead client, half-open TCP session)
+    trips the timeout and the handler thread exits instead of sitting
+    in ``readline`` forever — so a stalled connection can never pin a
+    thread past shutdown.
+    """
+
+    def setup(self) -> None:  # pragma: no cover - exercised over sockets
+        if self.server.read_timeout is not None:
+            self.request.settimeout(self.server.read_timeout)
+        super().setup()
 
     def handle(self) -> None:  # pragma: no cover - exercised over sockets
-        for raw in self.rfile:
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except (socket.timeout, TimeoutError, OSError):
+                return  # stalled or torn connection: reclaim the thread
+            if not raw:
+                return  # orderly EOF
             line = raw.strip()
             if not line:
                 continue
             response = handle_request(self.server.service, line)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
-            if self.server.count_request():
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return
+            stopping = response.get("ok") and response.get("op") == "shutdown"
+            if self.server.count_request() or stopping:
+                # shutdown() only signals the serve_forever loop; it is
+                # safe to call from a handler thread.
                 self.server.shutdown()
                 return
 
 
 class SketchServiceServer(socketserver.ThreadingTCPServer):
-    """Threaded TCP server exposing one :class:`SketchService`.
+    """Threaded TCP server exposing one estimation service.
 
     Parameters
     ----------
     service:
         The service to expose (all concurrency control lives there).
+        Anything satisfying the estimate/sketch/ingest/info surface:
+        a :class:`~repro.service.service.SketchService`, or the
+        cluster facade :class:`~repro.cluster.service.ClusterService`.
     address:
         ``(host, port)``; port 0 binds an ephemeral port, readable from
         :attr:`server_address` after construction.
@@ -181,6 +256,10 @@ class SketchServiceServer(socketserver.ThreadingTCPServer):
         If set, the server shuts itself down after serving this many
         requests — the hook smoke tests and the CI service job use to
         get a bounded run without process signalling.
+    read_timeout:
+        Seconds a connection may stall mid-request before it is
+        dropped (None disables).  Keeps dead clients from pinning
+        handler threads.
     """
 
     allow_reuse_address = True
@@ -188,16 +267,26 @@ class SketchServiceServer(socketserver.ThreadingTCPServer):
 
     def __init__(
         self,
-        service: SketchService,
+        service,
         address: tuple[str, int] = ("127.0.0.1", 0),
         max_requests: int | None = None,
+        read_timeout: float | None = DEFAULT_READ_TIMEOUT,
     ):
-        if not isinstance(service, SketchService):
+        missing = [
+            attr for attr in _SERVICE_SURFACE if not hasattr(service, attr)
+        ]
+        if missing:
             raise TypeError(
-                f"service must be a SketchService, got {type(service).__name__}"
+                f"service {type(service).__name__} does not satisfy the "
+                f"serving surface; missing {', '.join(missing)}"
             )
         self.service = service
         self.max_requests = None if max_requests is None else int(max_requests)
+        if read_timeout is not None and float(read_timeout) <= 0:
+            raise ValueError(
+                f"read_timeout must be positive or None, got {read_timeout}"
+            )
+        self.read_timeout = None if read_timeout is None else float(read_timeout)
         self._served = 0
         self._served_lock = threading.Lock()
         super().__init__(tuple(address), _RequestHandler)

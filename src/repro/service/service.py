@@ -296,6 +296,27 @@ class SketchService:
         with self._rw.read():
             return self._store.memory_words
 
+    def info(self) -> dict:
+        """A consistent one-shot summary of the served store.
+
+        All fields come from a single read-lock acquisition, so the
+        spans, coverage, and memory accounting always describe one
+        store state — unlike reading the properties individually,
+        which could interleave with a mutation.  This is the payload
+        behind the wire ``info`` op.
+        """
+        with self._rw.read():
+            coverage = self._store.coverage
+            return {
+                "kind": self._store.spec.kind,
+                "spec": self._store.spec.to_dict(),
+                "bucket_width": self._store.bucket_width,
+                "origin": self._store.origin,
+                "spans": [list(span) for span in self._store.spans],
+                "coverage": None if coverage is None else list(coverage),
+                "memory_words": self._store.memory_words,
+            }
+
     def snapshot(self) -> dict:
         """A consistent whole-store checkpoint (no mutation mid-dump)."""
         with self._rw.read():

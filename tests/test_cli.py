@@ -490,6 +490,129 @@ class TestServeCommand:
         assert responses[-1]["estimate"] == expected
 
 
+class TestClusterCommand:
+    """ISSUE 5: `serve --shards` and the `repro cluster` tool group."""
+
+    @pytest.fixture()
+    def empty_store(self, tmp_path):
+        path = str(tmp_path / "cluster_store.json")
+        assert main(
+            ["store", "init", "--kind", "tugofwar", "--bucket-width", "10",
+             "--s1", "32", "--s2", "3", "--seed", "5", "--out", path]
+        ) == 0
+        return path
+
+    def test_worker_rejects_bad_config_json(self, capsys):
+        assert main(["cluster", "worker", "--config-json", "{broken"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_worker_rejects_unknown_kind(self, capsys):
+        config = json.dumps({"spec": {"kind": "warpdrive"}, "bucket_width": 1})
+        assert main(["cluster", "worker", "--config-json", config]) == 2
+        assert "warpdrive" in capsys.readouterr().err
+
+    def test_info_unreachable_shard_clear_error(self, capsys):
+        assert main(["cluster", "info", "--connect", "127.0.0.1:1"]) == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_estimate_malformed_connect_clear_error(self, capsys):
+        assert main(
+            ["cluster", "estimate", "--connect", "nonsense",
+             "--from", "0", "--until", "10"]
+        ) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_ingest_bench_rejects_non_positive_sizes(self, capsys):
+        assert main(
+            ["cluster", "ingest-bench", "--connect", "127.0.0.1:1",
+             "--events", "0"]
+        ) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_shards_rejects_nonempty_store(self, tmp_path, capsys):
+        events = tmp_path / "events.txt"
+        events.write_text("1 5\n15 9\n")
+        path = str(tmp_path / "full_store.json")
+        assert main(
+            ["store", "init", "--kind", "tugofwar", "--bucket-width", "10",
+             "--seed", "3", "--out", path]
+        ) == 0
+        assert main(["store", "ingest", path, "--events-file", str(events)]) == 0
+        assert main(["serve", path, "--shards", "2"]) == 2
+        assert "empty store" in capsys.readouterr().err
+
+    def test_serve_shards_sampler_kind_clear_error(self, tmp_path, capsys):
+        # A non-mergeable kind cannot be gather-merged; the spawn must
+        # unwind into the one-line exit-2 contract, not a traceback.
+        path = str(tmp_path / "sampler_store.json")
+        assert main(
+            ["store", "init", "--kind", "samplecount", "--bucket-width", "10",
+             "--seed", "1", "--out", path]
+        ) == 0
+        assert main(["serve", path, "--shards", "2"]) == 2
+        assert "scatter" in capsys.readouterr().err
+
+    def test_serve_shards_rejects_bad_counts(self, empty_store, capsys):
+        assert main(["serve", empty_store, "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["serve", empty_store, "--read-timeout", "-1"]) == 2
+        assert "--read-timeout" in capsys.readouterr().err
+
+    def test_serve_shards_end_to_end(self, empty_store, capsys):
+        # Spawn a 2-shard cluster through the real CLI entry point,
+        # ingest over the wire, and check the scatter–gather estimate
+        # is bit-identical to a monolithic store of the same events.
+        import socket
+        import threading
+        import time
+
+        import numpy as np
+
+        from repro.store import SketchSpec, WindowedSketchStore
+
+        rng = np.random.default_rng(8)
+        ts = rng.integers(0, 100, size=600).tolist()
+        vals = rng.integers(0, 80, size=600).tolist()
+
+        rc: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc.append(main(
+                ["serve", empty_store, "--shards", "2", "--port", "0",
+                 "--max-requests", "3"]
+            ))
+        )
+        thread.start()
+        port = None
+        for _ in range(400):  # workers take a moment to spawn
+            out = capsys.readouterr().out
+            if " on 127.0.0.1:" in out:
+                port = int(out.split(" on 127.0.0.1:")[1].split()[0])
+                break
+            time.sleep(0.05)
+        assert port is not None, "cluster front end never announced its port"
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+            wire = conn.makefile("rw", encoding="utf-8")
+            requests = [
+                {"op": "ping"},
+                {"op": "ingest", "timestamps": ts, "values": vals},
+                {"op": "estimate", "from": 0, "until": 100},
+            ]
+            responses = []
+            for request in requests:
+                wire.write(json.dumps(request) + "\n")
+                wire.flush()
+                responses.append(json.loads(wire.readline()))
+        thread.join(timeout=30)
+        assert not thread.is_alive() and rc == [0]
+        assert all(r["ok"] for r in responses)
+        mono = WindowedSketchStore(
+            SketchSpec("tugofwar", {"s1": 32, "s2": 3, "seed": 5}),
+            bucket_width=10,
+        )
+        mono.ingest(ts, vals)
+        assert responses[-1]["estimate"] == mono.estimate(0, 100)
+
+
 class TestPlanCommand:
     """ISSUE 4: the `repro plan` command over seeded workloads."""
 

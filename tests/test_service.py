@@ -597,3 +597,62 @@ class TestServerRequests:
         thread.join(timeout=10)
         assert not thread.is_alive()  # serve_forever returned on its own
         server.server_close()
+
+    def test_snapshot_op_round_trips_the_store(self, service):
+        response = self.send(service, {"op": "snapshot"})
+        assert response["ok"]
+        restored = WindowedSketchStore.from_dict(response["snapshot"])
+        assert restored.estimate(0, 100) == service.estimate(0, 100)
+
+    def test_shutdown_op_acks_then_stops_serving(self, service):
+        server = SketchServiceServer(service, ("127.0.0.1", 0))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as conn:
+            wire = conn.makefile("rw", encoding="utf-8")
+            wire.write(json.dumps({"op": "shutdown"}) + "\n")
+            wire.flush()
+            response = json.loads(wire.readline())
+            assert response == {"ok": True, "op": "shutdown", "stopping": True}
+        thread.join(timeout=10)
+        assert not thread.is_alive()  # the ack came before the stop
+        server.server_close()
+
+    def test_rejects_objects_without_the_service_surface(self):
+        with pytest.raises(TypeError, match="serving surface"):
+            SketchServiceServer(object())
+
+    def test_rejects_non_positive_read_timeout(self, service):
+        with pytest.raises(ValueError, match="read_timeout"):
+            SketchServiceServer(service, ("127.0.0.1", 0), read_timeout=0)
+
+    def test_stalled_connection_cannot_block_shutdown(self, service):
+        # A dead client holds a socket open without ever sending a full
+        # line.  The per-connection read timeout must reclaim its
+        # handler thread, so a --max-requests shutdown completes and no
+        # thread outlives the server.
+        server = SketchServiceServer(
+            service, ("127.0.0.1", 0), max_requests=2, read_timeout=0.3
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        stalled = socket.create_connection((host, port), timeout=10)
+        try:
+            stalled.sendall(b'{"op": "ping"')  # half a line, never finished
+            with socket.create_connection((host, port), timeout=10) as conn:
+                wire = conn.makefile("rw", encoding="utf-8")
+                for _ in range(2):
+                    wire.write(json.dumps({"op": "ping"}) + "\n")
+                    wire.flush()
+                    assert json.loads(wire.readline())["ok"]
+            thread.join(timeout=10)
+            assert not thread.is_alive()  # budget shutdown was not blocked
+            # The stalled handler times out and closes the connection:
+            # the dead client sees EOF instead of pinning a thread.
+            stalled.settimeout(10)
+            assert stalled.recv(1) == b""
+        finally:
+            stalled.close()
+            server.server_close()
