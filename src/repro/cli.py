@@ -255,7 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--seed", type=int, default=0)
 
     p_serve = sub.add_parser(
-        "serve", help="serve windowed estimates over line-delimited JSON/TCP"
+        "serve", help="serve windowed estimates over TCP "
+        "(line-JSON and binary frames on one port)"
     )
     p_serve.add_argument("path", help="store JSON file (loaded into memory)")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -276,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-connection read timeout in seconds "
                          "(0 disables); stalled clients cannot pin "
                          "handler threads")
+    p_serve.add_argument("--protocol", choices=("auto", "json", "binary"),
+                         default="auto",
+                         help="wire protocols accepted: 'auto' sniffs each "
+                         "connection's first byte and serves both; 'json' "
+                         "or 'binary' restrict the port to one")
+    p_serve.add_argument("--max-frame-bytes", type=int, default=None,
+                         metavar="N",
+                         help="refuse binary frames with payloads larger "
+                         "than N bytes (default 64 MiB); also bounds a "
+                         "JSON request line")
 
     p_cluster = sub.add_parser(
         "cluster", help="scale-out cluster: shard workers and wire tools"
@@ -297,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-connection read timeout in seconds "
                       "(0 disables)")
     p_cw.add_argument("--max-requests", type=int, default=None)
+    p_cw.add_argument("--max-frame-bytes", type=int, default=None,
+                      metavar="N",
+                      help="refuse binary frames with payloads larger "
+                      "than N bytes (default 64 MiB)")
 
     def add_connect(p: argparse.ArgumentParser) -> None:
         p.add_argument("--connect", required=True, metavar="HOST:PORT",
@@ -794,17 +809,28 @@ def _read_timeout_of(args) -> float | None:
     return float(timeout)
 
 
-def _serve_main(args) -> int:
-    """The `serve` command: expose a store as a line-delimited JSON service.
+def _serve_front_kwargs(args) -> dict:
+    """The protocol/framing knobs shared by both serve front ends."""
+    kwargs = {"protocol": args.protocol}
+    if args.max_frame_bytes is not None:
+        kwargs["max_frame_bytes"] = args.max_frame_bytes
+    return kwargs
 
-    Without ``--shards`` the store file is loaded into one in-process
-    :class:`~repro.service.service.SketchService`.  With ``--shards N``
-    the file is a *config template*: N shard worker processes are
-    spawned on ephemeral ports, and the front end serves the same wire
-    protocol through a scatter–gather
+
+def _serve_main(args) -> int:
+    """The `serve` command: expose a store as an estimation service.
+
+    The front end is the asyncio :class:`~repro.service.aserver.
+    EventLoopServer`: line-JSON and binary-frame clients on one port
+    (``--protocol`` restricts it), pipelined connections, bounded
+    frames.  Without ``--shards`` the store file is loaded into one
+    in-process :class:`~repro.service.service.SketchService`.  With
+    ``--shards N`` the file is a *config template*: N shard worker
+    processes are spawned on ephemeral ports, and the front end serves
+    the same wire protocols through a scatter–gather
     :class:`~repro.cluster.service.ClusterService`.
     """
-    from .service import SketchService, SketchServiceServer
+    from .service import EventLoopServer, SketchService
 
     store = _load_store_file(args.path)
     read_timeout = _read_timeout_of(args)
@@ -814,11 +840,12 @@ def _serve_main(args) -> int:
 
     try:
         service = SketchService(store, cache_entries=args.cache_entries)
-        server = SketchServiceServer(
+        server = EventLoopServer(
             service,
             address=(args.host, args.port),
             max_requests=args.max_requests,
             read_timeout=read_timeout,
+            **_serve_front_kwargs(args),
         )
     except (ValueError, OSError) as exc:
         # Bad cache size or an unbindable host/port are user errors.
@@ -826,7 +853,8 @@ def _serve_main(args) -> int:
     host, port = server.server_address[:2]
     print(
         f"serving {args.path} on {host}:{port} "
-        f"(kind={store.spec.kind}, spans={store.span_count})",
+        f"(kind={store.spec.kind}, spans={store.span_count}, "
+        f"protocol={args.protocol})",
         flush=True,
     )
     try:
@@ -852,7 +880,7 @@ def _serve_cluster(args, store, read_timeout) -> int:
         ShardUnreachableError,
         store_config,
     )
-    from .service import SketchServiceServer
+    from .service import EventLoopServer
 
     if args.shards < 1:
         raise CliError(f"--shards must be >= 1, got {args.shards}")
@@ -872,11 +900,12 @@ def _serve_cluster(args, store, read_timeout) -> int:
     try:
         try:
             service = ClusterService(cluster.clients())
-            server = SketchServiceServer(
+            server = EventLoopServer(
                 service,
                 address=(args.host, args.port),
                 max_requests=args.max_requests,
                 read_timeout=read_timeout,
+                **_serve_front_kwargs(args),
             )
         except (ValueError, OSError, ShardMergeUnsupportedError) as exc:
             # Unbindable host/port, unreachable or inconsistent shards,
@@ -885,7 +914,8 @@ def _serve_cluster(args, store, read_timeout) -> int:
         host, port = server.server_address[:2]
         print(
             f"serving {args.path} on {host}:{port} "
-            f"(kind={store.spec.kind}, shards={cluster.num_shards}: "
+            f"(kind={store.spec.kind}, protocol={args.protocol}, "
+            f"shards={cluster.num_shards}: "
             f"{', '.join(cluster.addresses)})",
             flush=True,
         )
@@ -944,6 +974,7 @@ def _cluster_main(args) -> int:
                 cache_entries=args.cache_entries,
                 read_timeout=_read_timeout_of(args),
                 max_requests=args.max_requests,
+                max_frame_bytes=args.max_frame_bytes,
             )
         except (ClusterConfigError, ValueError, OSError) as exc:
             # Corrupt templates, unknown kinds, unbindable ports.

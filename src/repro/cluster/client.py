@@ -1,31 +1,89 @@
-"""The shard-side wire client: one line-delimited JSON conversation.
+"""The shard-side wire client: line-JSON or binary frames, one socket.
 
 :class:`ShardClient` is the cluster's view of one worker: a persistent
-TCP connection speaking the :mod:`repro.service.server` protocol, with
+TCP connection speaking either of the :mod:`repro.service` protocols,
+with
 
 * **thread safety** — the scatter–gather facade is itself served by a
   threaded front end, so each client serialises its socket behind a
   lock (requests to *different* shards still run concurrently);
-* **lazy connect + one reconnect** — the first request dials the
-  worker; a connection that died between requests (worker restart,
-  idle timeout) is re-dialled once before the failure surfaces;
+* **two protocols** — ``protocol="json"`` speaks the line-delimited
+  JSON the workers have always accepted; ``protocol="binary"`` speaks
+  length-prefixed frames (:mod:`repro.service.wire`): packed ingest
+  batches the worker decodes zero-copy, compact control payloads, and
+  :meth:`ShardClient.ingest_batches` pipelining many batches per
+  round trip;
+* **at-most-once retries** — a connection that died between requests
+  is re-dialled with jittered backoff and the request resent, but
+  *only when non-delivery is provable*: an idempotent op is also
+  resent after an ambiguous failure (repeating it cannot change the
+  outcome), while an ambiguous failure of a non-idempotent op
+  (``ingest`` — signed, cumulative, so a replay corrupts the sketch)
+  surfaces as :class:`~repro.cluster.errors.ShardProtocolError`
+  instead of being silently resent;
 * **typed failures** — transport problems raise
   :class:`~repro.cluster.errors.ShardUnreachableError`, malformed
-  answers raise :class:`~repro.cluster.errors.ShardProtocolError`,
-  and a well-formed ``{"ok": false}`` response raises
+  answers and ambiguous deliveries raise
+  :class:`~repro.cluster.errors.ShardProtocolError`, and a
+  well-formed ``{"ok": false}`` response raises
   :class:`ShardRequestError` carrying the worker's one-line message.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
-from typing import Mapping
+import time
+from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from ..service import wire
+from ..service.surface import OPS
 from .errors import ShardProtocolError, ShardUnreachableError
 
-__all__ = ["ShardClient", "ShardRequestError"]
+__all__ = ["ShardClient", "ShardRequestError", "backoff_delay"]
+
+#: Patchable sleep so tests can observe backoff without waiting it out.
+_sleep = time.sleep
+
+
+def backoff_delay(
+    attempt: int, base: float = 0.05, cap: float = 1.0
+) -> float:
+    """Full-jitter exponential backoff delay for reconnect ``attempt``.
+
+    Doubles the ceiling per attempt (``base * 2**attempt``, capped) and
+    draws uniformly from the upper half of it, so a fleet of clients
+    re-dialling a restarted worker spreads out instead of stampeding
+    in lockstep.
+    """
+    ceiling = min(float(cap), float(base) * (2 ** max(int(attempt), 0)))
+    return ceiling * (0.5 + 0.5 * random.random())
+
+
+def _is_idempotent(op: str) -> bool:
+    spec = OPS.get(op)
+    # Unknown ops are refused server-side without touching state, so
+    # resending one is harmless.
+    return spec.idempotent if spec is not None else True
+
+
+def _json_default(obj):
+    """``json.dumps`` fallback so callers can pass numpy batches."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    raise TypeError(
+        f"Object of type {type(obj).__name__} is not JSON serializable"
+    )
 
 
 class ShardRequestError(ValueError):
@@ -40,13 +98,35 @@ class ShardClient:
     host, port:
         The worker's listening address.
     timeout:
-        Seconds to wait for connect and for each response line.
+        Seconds to wait for connect and for each response.
+    protocol:
+        ``"json"`` (default, the legacy line protocol) or ``"binary"``
+        (length-prefixed frames; required for pipelined ingest).
+    max_frame_bytes:
+        Bound on a single response frame in binary mode.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    #: Reconnect attempts after a provably-undelivered request failed
+    #: on a stale socket (each preceded by :func:`backoff_delay`).
+    RECONNECT_ATTEMPTS = 2
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        protocol: str = "json",
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if protocol not in ("json", "binary"):
+            raise ValueError(
+                f"protocol must be 'json' or 'binary', got {protocol!r}"
+            )
         self.host = str(host)
         self.port = int(port)
         self.timeout = float(timeout)
+        self.protocol = protocol
+        self.max_frame_bytes = int(max_frame_bytes)
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
         self._rfile = None
@@ -96,63 +176,262 @@ class ShardClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _encode(self, payload: Mapping) -> bytes:
+        if self.protocol == "json":
+            return (
+                json.dumps(dict(payload), default=_json_default) + "\n"
+            ).encode("utf-8")
+        op = str(payload.get("op", ""))
+        opcode = wire.OPCODES_BY_NAME.get(op)
+        if opcode is None:
+            raise ShardProtocolError(
+                f"op {op!r} has no binary opcode; known: "
+                f"{sorted(wire.OPCODES_BY_NAME)}"
+            )
+        if opcode == wire.OP_INGEST:
+            body = wire.pack_ingest(
+                payload["timestamps"],
+                payload["values"],
+                counts=payload.get("counts"),
+            )
+        else:
+            body = wire.encode_compact(
+                {k: v for k, v in payload.items() if k != "op"}
+            )
+        return wire.pack_frame(opcode, body)
+
+    def _read_response(self) -> dict:
+        """Read and decode one response (lock held); raises on refusal."""
+        assert self._rfile is not None
+        if self.protocol == "json":
+            raw = self._rfile.readline()
+            if not raw:
+                raise EOFError("connection closed before a response line")
+            try:
+                response = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ShardProtocolError(
+                    f"shard {self.address} sent invalid JSON: {raw[:80]!r}"
+                ) from exc
+        else:
+            try:
+                frame = wire.read_frame(self._rfile, self.max_frame_bytes)
+            except wire.WireError as exc:
+                raise ShardProtocolError(
+                    f"shard {self.address} sent a malformed frame: {exc}"
+                ) from exc
+            if frame is None:
+                raise EOFError("connection closed before a response frame")
+            version, opcode, flags, payload = frame
+            if not flags & wire.FLAG_RESPONSE:
+                raise ShardProtocolError(
+                    f"shard {self.address} sent a non-response frame "
+                    f"(opcode {opcode}, flags 0x{flags:x})"
+                )
+            try:
+                response = wire.decode_compact(payload)
+            except wire.WireError as exc:
+                raise ShardProtocolError(
+                    f"shard {self.address} sent an undecodable response "
+                    f"payload: {exc}"
+                ) from exc
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ShardProtocolError(
+                f"shard {self.address} sent a non-protocol response: "
+                f"{str(response)[:80]!r}"
+            )
+        if not response["ok"]:
+            raise ShardRequestError(
+                f"shard {self.address}: "
+                f"{response.get('error', 'request refused')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
+    def _send_counted(self, data: bytes) -> int:
+        """Send ``data``, returning bytes that made it out on failure.
+
+        The count is what retry classification keys on: 0 bytes sent
+        means the worker cannot have seen the request, so resending is
+        provably safe for any op.
+        """
+        assert self._sock is not None
+        sent = 0
+        view = memoryview(data)
+        while sent < len(view):
+            try:
+                sent += self._sock.send(view[sent:])
+            except OSError:
+                raise _SendFailed(sent)
+        return sent
+
     def request(self, payload: Mapping) -> dict:
         """Send one op; return the decoded ``ok: true`` response.
 
-        Retries exactly once on a dead connection (the worker may have
-        dropped an idle socket between requests); a failure on a fresh
-        connection is final and raises
-        :class:`~repro.cluster.errors.ShardUnreachableError`.
+        Retry policy (at-most-once for non-idempotent ops):
+
+        * failure on a **fresh** connection is final —
+          :class:`~repro.cluster.errors.ShardUnreachableError`;
+        * failure on a **stale** connection with zero bytes written is
+          provably undelivered: re-dial (jittered backoff) and resend,
+          whatever the op;
+        * failure on a stale connection *after* bytes were written is
+          ambiguous — the worker may or may not have applied the op.
+          Idempotent ops resend once (a repeat cannot change the
+          outcome); ``ingest`` raises
+          :class:`~repro.cluster.errors.ShardProtocolError` instead,
+          because replaying a signed cumulative batch corrupts state.
         """
-        line = (json.dumps(dict(payload)) + "\n").encode("utf-8")
+        data = self._encode(payload)
+        op = str(payload.get("op", ""))
         with self._lock:
             fresh = self._sock is None
             if fresh:
                 self._connect()
             try:
-                raw = self._exchange(line)
+                self._send_counted(data)
+                return self._read_response()
+            except _SendFailed as exc:
+                self._teardown()
+                if fresh:
+                    raise ShardUnreachableError(
+                        f"shard {self.address} died mid-request: "
+                        f"send failed after {exc.sent} bytes"
+                    ) from exc
+                if exc.sent and not _is_idempotent(op):
+                    raise ShardProtocolError(
+                        f"shard {self.address}: connection died after "
+                        f"{exc.sent} bytes of a non-idempotent "
+                        f"{op!r} request; delivery is ambiguous and it "
+                        f"will not be resent"
+                    ) from exc
+                return self._resend(data)
             except (OSError, EOFError) as exc:
+                # The request was fully written but no response came
+                # back: delivery is ambiguous.
                 self._teardown()
                 if fresh:
                     raise ShardUnreachableError(
                         f"shard {self.address} died mid-request: {exc}"
                     ) from exc
-                self._connect()  # one reconnect for a stale socket
-                try:
-                    raw = self._exchange(line)
-                except (OSError, EOFError) as exc2:
-                    self._teardown()
-                    raise ShardUnreachableError(
-                        f"shard {self.address} died mid-request: {exc2}"
-                    ) from exc2
-        try:
-            response = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ShardProtocolError(
-                f"shard {self.address} sent invalid JSON: {raw[:80]!r}"
-            ) from exc
-        if not isinstance(response, dict) or "ok" not in response:
-            raise ShardProtocolError(
-                f"shard {self.address} sent a non-protocol response: "
-                f"{raw[:80]!r}"
-            )
-        if not response["ok"]:
-            raise ShardRequestError(
-                f"shard {self.address}: {response.get('error', 'request refused')}"
-            )
-        return response
+                if not _is_idempotent(op):
+                    raise ShardProtocolError(
+                        f"shard {self.address}: connection died awaiting "
+                        f"the response to a non-idempotent {op!r} "
+                        f"request; delivery is ambiguous and it will "
+                        f"not be resent"
+                    ) from exc
+                return self._resend(data)
 
-    def _exchange(self, line: bytes) -> bytes:
-        """Write one request line, read one response line (lock held)."""
-        assert self._sock is not None and self._rfile is not None
-        self._sock.sendall(line)
-        raw = self._rfile.readline()
-        if not raw:
-            raise EOFError("connection closed before a response line")
-        return raw
+    def _resend(self, data: bytes) -> dict:
+        """Re-dial (with backoff) and resend once; lock held."""
+        last: Exception | None = None
+        for attempt in range(self.RECONNECT_ATTEMPTS):
+            _sleep(backoff_delay(attempt))
+            try:
+                self._connect()
+                self._send_counted(data)
+                return self._read_response()
+            except (ShardUnreachableError, _SendFailed, OSError, EOFError) as exc:
+                self._teardown()
+                last = exc
+        raise ShardUnreachableError(
+            f"shard {self.address} died mid-request: {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
+    # Pipelined ingest (binary mode)
+    # ------------------------------------------------------------------
+    def ingest_batches(
+        self,
+        batches: Iterable[tuple],
+        window: int = 8,
+    ) -> int:
+        """Ingest many ``(timestamps, values[, counts])`` batches.
+
+        In binary mode the batches are **pipelined**: up to ``window``
+        request frames are in flight before the first response is
+        read, so the worker's decode of batch *k+1* overlaps the wire
+        transfer of later batches and per-batch round-trip latency is
+        paid once, not per batch.  JSON mode degrades to one request
+        per round trip.
+
+        Any transport failure after the first frame has been written
+        is ambiguous for every in-flight batch, so it surfaces as
+        :class:`~repro.cluster.errors.ShardProtocolError` — the caller
+        must reconcile (e.g. re-check shard stats), never blind-resend.
+        Returns the total number of values the worker acknowledged.
+        """
+        if int(window) < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        total = 0
+        if self.protocol == "json":
+            for batch in batches:
+                payload = self._batch_payload(batch)
+                total += int(self.request(payload).get("ingested", 0))
+            return total
+        frames = (self._encode(self._batch_payload(b)) for b in batches)
+        with self._lock:
+            fresh = self._sock is None
+            if fresh:
+                self._connect()
+            in_flight = 0
+            wrote_any = False
+            try:
+                for frame in frames:
+                    self._send_counted(frame)
+                    wrote_any = True
+                    in_flight += 1
+                    if in_flight >= int(window):
+                        total += int(
+                            self._read_response().get("ingested", 0)
+                        )
+                        in_flight -= 1
+                while in_flight:
+                    total += int(self._read_response().get("ingested", 0))
+                    in_flight -= 1
+            except (_SendFailed, OSError, EOFError) as exc:
+                self._teardown()
+                if fresh and not wrote_any:
+                    raise ShardUnreachableError(
+                        f"shard {self.address} died mid-request: {exc}"
+                    ) from exc
+                raise ShardProtocolError(
+                    f"shard {self.address}: connection died with "
+                    f"{in_flight} pipelined ingest batch(es) in flight; "
+                    f"delivery is ambiguous and they will not be resent"
+                ) from exc
+        return total
+
+    @staticmethod
+    def _batch_payload(batch: Sequence) -> dict:
+        if len(batch) == 2:
+            timestamps, values = batch
+            counts = None
+        elif len(batch) == 3:
+            timestamps, values, counts = batch
+        else:
+            raise ValueError(
+                "each batch must be (timestamps, values) or "
+                "(timestamps, values, counts)"
+            )
+        payload = {"op": "ingest", "timestamps": timestamps, "values": values}
+        if counts is not None:
+            payload["counts"] = counts
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "connected" if self._sock is not None else "idle"
-        return f"ShardClient({self.address}, {state})"
+        return f"ShardClient({self.address}, {self.protocol}, {state})"
+
+
+class _SendFailed(Exception):
+    """Internal: a socket send failed after ``sent`` bytes went out."""
+
+    def __init__(self, sent: int):
+        super().__init__(f"send failed after {sent} bytes")
+        self.sent = sent

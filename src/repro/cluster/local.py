@@ -54,11 +54,17 @@ def _worker_env() -> dict:
 class WorkerProcess:
     """One spawned shard worker: its process, address, and client."""
 
-    def __init__(self, process: subprocess.Popen, host: str, port: int):
+    def __init__(
+        self,
+        process: subprocess.Popen,
+        host: str,
+        port: int,
+        protocol: str = "binary",
+    ):
         self.process = process
         self.host = host
         self.port = port
-        self.client = ShardClient(host, port)
+        self.client = ShardClient(host, port, protocol=protocol)
 
     @property
     def address(self) -> str:
@@ -130,9 +136,14 @@ class LocalCluster:
         host: str = "127.0.0.1",
         read_timeout: float | None = None,
         spawn_timeout: float = 30.0,
+        protocol: str = "binary",
     ):
         if int(num_shards) < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if protocol not in ("json", "binary"):
+            raise ValueError(
+                f"protocol must be 'json' or 'binary', got {protocol!r}"
+            )
         self.config = dict(config)
         self.workers: list[WorkerProcess] = []
         command = [
@@ -159,7 +170,12 @@ class LocalCluster:
                         f"{exc}; worker stderr:\n{self._drain(process)}"
                     ) from exc
                 self.workers.append(
-                    WorkerProcess(process, str(ready["host"]), int(ready["port"]))
+                    WorkerProcess(
+                        process,
+                        str(ready["host"]),
+                        int(ready["port"]),
+                        protocol=protocol,
+                    )
                 )
         except BaseException:
             self.shutdown()

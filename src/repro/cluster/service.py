@@ -200,13 +200,17 @@ class ClusterService:
         for shard, idx in enumerate(self._partitioner.split(vals)):
             if idx.size == 0:
                 continue
+            # Raw arrays, not .tolist(): a binary client packs them
+            # straight onto the wire, and a JSON client serialises
+            # them itself — materialising Python lists here would pay
+            # the conversion even on the zero-copy path.
             payload: dict = {
                 "op": "ingest",
-                "timestamps": ts[idx].tolist(),
-                "values": vals[idx].tolist(),
+                "timestamps": ts[idx],
+                "values": vals[idx],
             }
             if cnts is not None:
-                payload["counts"] = cnts[idx].tolist()
+                payload["counts"] = cnts[idx]
             futures.append(
                 self._pool.submit(self._clients[shard].request, payload)
             )

@@ -74,9 +74,14 @@ def run_worker(
     cache_entries: int = 256,
     read_timeout: float | None = DEFAULT_READ_TIMEOUT,
     max_requests: int | None = None,
+    max_frame_bytes: int | None = None,
     announce: TextIO | None = None,
 ) -> int:
     """Serve one shard until a ``shutdown`` op (or request budget) stops it.
+
+    The server sniffs each connection, so a worker answers line-JSON
+    and binary-frame clients alike; ``max_frame_bytes`` bounds a
+    binary frame's payload (default 64 MiB).
 
     Prints exactly one JSON ready line to ``announce`` (default
     stdout) once the port is bound::
@@ -88,11 +93,15 @@ def run_worker(
     out = sys.stdout if announce is None else announce
     store = build_store(config)
     service = SketchService(store, cache_entries=cache_entries)
+    server_kwargs = {}
+    if max_frame_bytes is not None:
+        server_kwargs["max_frame_bytes"] = int(max_frame_bytes)
     server = SketchServiceServer(
         service,
         address=(host, port),
         max_requests=max_requests,
         read_timeout=read_timeout,
+        **server_kwargs,
     )
     bound_host, bound_port = server.server_address[:2]
     print(

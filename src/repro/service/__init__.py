@@ -15,21 +15,51 @@ layer that actually serves those estimates under concurrent load:
   cached windowed join / self-join estimates, invalidated per relation,
   with :meth:`~repro.service.service.CatalogService.at_window` adapting
   any window to the optimizer's catalog protocol.
-* :class:`~repro.service.server.SketchServiceServer` — line-delimited
-  JSON over TCP (the ``repro serve`` CLI command), errors surfaced as
-  one-line ``{"ok": false, "error": ...}`` responses.
+* :mod:`~repro.service.surface` — the transport-independent op table
+  (op name ⇄ opcode ⇄ handler ⇄ idempotency) every server dispatches
+  through, so each operation is defined exactly once.
+* :mod:`~repro.service.wire` — the length-prefixed binary protocol:
+  struct-packed frame headers, zero-copy packed ingest batches,
+  compact control payloads, HELLO version negotiation.
+* :class:`~repro.service.server.SketchServiceServer` — threaded TCP
+  serving both line-JSON and binary frames on one port (first-byte
+  sniffing), errors surfaced as one-line ``{"ok": false, ...}``
+  responses or error frames.
+* :class:`~repro.service.aserver.EventLoopServer` — the asyncio front
+  end (the ``repro serve`` default): pipelined connections, bounded
+  read-ahead, write backpressure, same two protocols.
 """
 
+from .aserver import EventLoopServer
 from .concurrency import ReadWriteLock, SingleFlightCache
-from .server import SketchServiceServer, handle_request
+from .server import DEFAULT_READ_TIMEOUT, PROTOCOLS, SketchServiceServer
 from .service import CatalogService, SketchService, WindowEstimate, dirty_intervals
+from .surface import OPS, handle_frame, handle_request, validate_service
+from .wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameFormatError,
+    FrameTooLargeError,
+    ProtocolVersionError,
+    WireError,
+)
 
 __all__ = [
     "SketchService",
     "CatalogService",
     "WindowEstimate",
     "SketchServiceServer",
+    "EventLoopServer",
     "handle_request",
+    "handle_frame",
+    "validate_service",
+    "OPS",
+    "PROTOCOLS",
+    "DEFAULT_READ_TIMEOUT",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "WireError",
+    "FrameFormatError",
+    "FrameTooLargeError",
+    "ProtocolVersionError",
     "ReadWriteLock",
     "SingleFlightCache",
     "dirty_intervals",

@@ -1,13 +1,20 @@
-"""Line-delimited JSON estimation server (the wire behind ``repro serve``).
+"""Threaded estimation server: line-JSON and binary frames on one port.
 
-Protocol: one JSON object per line in each direction, over TCP.  Every
-request carries an ``op``; every response carries ``"ok": true`` plus
-op-specific fields, or ``"ok": false`` with a one-line ``error`` (the
-wire twin of the CLI's exit-2 user-error contract — malformed requests
-never take the server down, and internal tracebacks never leak to the
-client).
+Protocol (negotiated per connection by first-byte sniffing):
 
-Supported operations::
+* a first byte of ``{`` (or anything but the binary magic) starts a
+  **line-JSON** conversation — one JSON object per line in each
+  direction, exactly as every prior release spoke;
+* a first byte of ``0xAB`` (the frame magic, which can never begin
+  UTF-8 JSON) starts a **binary** conversation of length-prefixed
+  frames (:mod:`repro.service.wire`): packed ingest batches decoded
+  zero-copy, compact control payloads, HELLO version negotiation.
+
+Every request carries an op; every response carries ``"ok": true``
+plus op-specific fields, or ``"ok": false`` with a one-line ``error``
+(the wire twin of the CLI's exit-2 user-error contract — malformed
+requests never take the server down, and internal tracebacks never
+leak to the client).  Supported operations (JSON spelling)::
 
     {"op": "ping"}
     {"op": "estimate", "from": 0, "until": 600, "align": "outer"}
@@ -20,21 +27,15 @@ Supported operations::
     {"op": "snapshot"}                                # whole-store checkpoint
     {"op": "shutdown"}                                # ack, then stop serving
 
-The dispatch table is deliberately *service-agnostic*: every handler
-touches only the estimate / sketch / ingest / info surface that
-:class:`~repro.service.service.SketchService` defines, so the same
-server class fronts a single-node service, a cluster shard worker
-(``repro cluster worker`` — ``shutdown``/``snapshot`` give the worker
-a clean lifecycle), and the cluster scatter–gather facade
-(:class:`~repro.cluster.service.ClusterService`) without a line of
-per-deployment wire code.
-
-The server is a ``ThreadingTCPServer``: one thread per connection, any
-number of requests per connection, with all correctness delegated to
-the service (snapshot isolation, merged-window caching, request
+Dispatch lives in :mod:`repro.service.surface` — one table shared
+with the event-loop front end (:mod:`repro.service.aserver`), the
+shard worker, and the cluster facade, so this module contributes only
+transport: a ``ThreadingTCPServer``, one thread per connection, any
+number of requests per connection, correctness delegated to the
+service (snapshot isolation, merged-window caching, request
 coalescing).  Each connection carries a read timeout (default 300 s):
 a dead client that holds its socket open without ever sending a
-complete line has its handler thread reclaimed instead of pinned
+complete request has its handler thread reclaimed instead of pinned
 forever.  Ingested state lives in memory; snapshot the service
 (``{"op": "snapshot"}`` over the wire, or :meth:`SketchService.
 snapshot` from the owning process) if durability is needed.
@@ -46,167 +47,33 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Callable, Mapping
 
-from ..engine.protocol import MergeUnsupportedError
-from ..engine.registry import dump_sketch
+from . import wire
+from .surface import handle_frame, handle_request, validate_service
 
-__all__ = ["SketchServiceServer", "handle_request", "DEFAULT_READ_TIMEOUT"]
+__all__ = [
+    "SketchServiceServer",
+    "handle_request",
+    "DEFAULT_READ_TIMEOUT",
+    "PROTOCOLS",
+]
 
 #: Seconds a connection may sit idle mid-request before it is dropped.
 DEFAULT_READ_TIMEOUT = 300.0
 
-#: The attributes a service object must answer for the dispatch table.
-#: Structural, not nominal: SketchService and ClusterService both
-#: qualify, and anything else that does is servable by construction.
-_SERVICE_SURFACE = (
-    "estimate_window",
-    "sketch_window",
-    "ingest",
-    "compact",
-    "evict",
-    "info",
-    "snapshot",
-    "stats",
-    "spec",
-    "bucket_width",
-    "origin",
-    "spans",
-    "coverage",
-    "memory_words",
-)
-
-
-def _window(request: Mapping) -> tuple[int, int, str]:
-    """Extract (t0, t1, align) from a request, validating presence."""
-    if "from" not in request or "until" not in request:
-        raise ValueError("window ops need 'from' and 'until' timestamps")
-    align = request.get("align", "strict")
-    return int(request["from"]), int(request["until"]), str(align)
-
-
-def _op_ping(service, request: Mapping) -> dict:
-    return {"pong": True}
-
-
-def _op_estimate(service, request: Mapping) -> dict:
-    t0, t1, align = _window(request)
-    result = service.estimate_window(t0, t1, align=align)
-    return {
-        "window": [result.t0, result.t1],
-        "estimate": result.estimate,
-    }
-
-
-def _op_sketch(service, request: Mapping) -> dict:
-    t0, t1, align = _window(request)
-    sketch, lo, hi = service.sketch_window(t0, t1, align=align)
-    return {"window": [lo, hi], "sketch": dump_sketch(sketch)}
-
-
-def _op_ingest(service, request: Mapping) -> dict:
-    timestamps = request.get("timestamps")
-    values = request.get("values")
-    if not isinstance(timestamps, list) or not isinstance(values, list):
-        raise ValueError("ingest needs 'timestamps' and 'values' lists")
-    counts = request.get("counts")
-    if counts is not None and not isinstance(counts, list):
-        raise ValueError("'counts' must be a list when present")
-    service.ingest(timestamps, values, counts=counts)
-    return {"ingested": len(values)}
-
-
-def _op_compact(service, request: Mapping) -> dict:
-    before = request.get("before")
-    return {"folded": service.compact(None if before is None else int(before))}
-
-
-def _op_evict(service, request: Mapping) -> dict:
-    if "before" not in request:
-        raise ValueError("evict needs a 'before' bucket boundary")
-    return {"evicted": service.evict(int(request["before"]))}
-
-
-def _op_info(service, request: Mapping) -> dict:
-    # One service call, not one per field: the service assembles a
-    # consistent summary (and a cluster facade answers it with a
-    # single scatter instead of one per property).
-    return service.info()
-
-
-def _op_stats(service, request: Mapping) -> dict:
-    return {"cache": service.stats()}
-
-
-def _op_snapshot(service, request: Mapping) -> dict:
-    return {"snapshot": service.snapshot()}
-
-
-def _op_shutdown(service, request: Mapping) -> dict:
-    # The ack is written before the server stops (the TCP handler
-    # triggers the actual shutdown after responding), so the peer that
-    # asked always learns the request was honoured.
-    return {"stopping": True}
-
-
-_OPS: dict[str, Callable[[object, Mapping], dict]] = {
-    "ping": _op_ping,
-    "estimate": _op_estimate,
-    "sketch": _op_sketch,
-    "ingest": _op_ingest,
-    "compact": _op_compact,
-    "evict": _op_evict,
-    "info": _op_info,
-    "stats": _op_stats,
-    "snapshot": _op_snapshot,
-    "shutdown": _op_shutdown,
-}
-
-
-def handle_request(service, line: str | bytes) -> dict:
-    """Serve one request line; never raises (errors become responses).
-
-    The single entry point behind both the TCP handler and any
-    in-process driver (tests call it directly), so wire behaviour and
-    error wording have exactly one definition.  ``service`` is
-    anything satisfying the estimate/sketch/ingest/info surface —
-    a :class:`~repro.service.service.SketchService` or a
-    :class:`~repro.cluster.service.ClusterService`.
-    """
-    try:
-        request = json.loads(line)
-    except json.JSONDecodeError as exc:
-        return {"ok": False, "error": f"invalid JSON: {exc}"}
-    if not isinstance(request, dict) or "op" not in request:
-        return {"ok": False, "error": "request must be a JSON object with an 'op'"}
-    handler = _OPS.get(str(request["op"]))
-    if handler is None:
-        return {
-            "ok": False,
-            "error": f"unknown op {request['op']!r}; supported: {sorted(_OPS)}",
-        }
-    try:
-        return {"ok": True, "op": request["op"], **handler(service, request)}
-    except (
-        ValueError,  # misaligned/empty windows, bad batches (incl. subclasses)
-        TypeError,
-        LookupError,
-        NotImplementedError,  # deletion counts on insertion-only kinds
-        MergeUnsupportedError,
-        ConnectionError,  # a cluster front end's shard became unreachable
-        OverflowError,
-    ) as exc:
-        return {"ok": False, "error": str(exc)}
+#: Protocols a server may be restricted to (``auto`` sniffs per
+#: connection and accepts both).
+PROTOCOLS = ("auto", "json", "binary")
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
-    """One connection: serve request lines until the peer hangs up.
+    """One connection: sniff the protocol, then serve until hangup.
 
     The connection socket carries the server's ``read_timeout``: a
-    peer that stops mid-line (dead client, half-open TCP session)
+    peer that stops mid-request (dead client, half-open TCP session)
     trips the timeout and the handler thread exits instead of sitting
-    in ``readline`` forever — so a stalled connection can never pin a
-    thread past shutdown.
+    in a blocking read forever — so a stalled connection can never pin
+    a thread past shutdown.
     """
 
     def setup(self) -> None:  # pragma: no cover - exercised over sockets
@@ -215,6 +82,57 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         super().setup()
 
     def handle(self) -> None:  # pragma: no cover - exercised over sockets
+        try:
+            first = self.rfile.peek(1)[:1]
+        except (socket.timeout, TimeoutError, OSError):
+            return
+        if not first:
+            return  # EOF before a single byte
+        binary = first == wire.MAGIC[:1]
+        allowed = self.server.protocol
+        if binary and allowed == "json":
+            self._write(self._refusal_frame("line-JSON"))
+            return
+        if not binary and allowed == "binary":
+            self._write((json.dumps({
+                "ok": False,
+                "error": "this port serves the binary protocol only",
+            }) + "\n").encode("utf-8"))
+            return
+        if binary:
+            self._handle_binary()
+        else:
+            self._handle_json()
+
+    @staticmethod
+    def _refusal_frame(served: str) -> bytes:
+        return wire.pack_frame(
+            wire.OP_HELLO,
+            wire.encode_compact({
+                "ok": False,
+                "error": f"this port serves the {served} protocol only",
+            }),
+            flags=wire.FLAG_RESPONSE | wire.FLAG_ERROR,
+        )
+
+    def _write(self, data: bytes) -> bool:
+        try:
+            self.wfile.write(data)
+            self.wfile.flush()
+            return True
+        except OSError:
+            return False
+
+    def _finish_one(self, stopping: bool) -> bool:
+        """Book-keep one served request; True when serving must stop."""
+        if self.server.count_request() or stopping:
+            # shutdown() only signals the serve_forever loop; it is
+            # safe to call from a handler thread.
+            self.server.shutdown()
+            return True
+        return False
+
+    def _handle_json(self) -> None:
         while True:
             try:
                 raw = self.rfile.readline()
@@ -226,17 +144,46 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             if not line:
                 continue
             response = handle_request(self.server.service, line)
+            if not self._write(
+                (json.dumps(response) + "\n").encode("utf-8")
+            ):
+                return
+            stopping = bool(
+                response.get("ok") and response.get("op") == "shutdown"
+            )
+            if self._finish_one(stopping):
+                return
+
+    def _handle_binary(self) -> None:
+        limit = self.server.max_frame_bytes
+        while True:
             try:
-                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except OSError:
+                frame = wire.read_frame(self.rfile, limit)
+            except (socket.timeout, TimeoutError, OSError):
                 return
-            stopping = response.get("ok") and response.get("op") == "shutdown"
-            if self.server.count_request() or stopping:
-                # shutdown() only signals the serve_forever loop; it is
-                # safe to call from a handler thread.
-                self.server.shutdown()
+            except wire.WireError as exc:
+                # The stream is unsynchronized past a framing error:
+                # answer once, then drop the connection.
+                self._write(self._error_frame(exc))
                 return
+            if frame is None:
+                return  # orderly EOF at a frame boundary
+            version, opcode, flags, payload = frame
+            response, stopping = handle_frame(
+                self.server.service, version, opcode, flags, payload
+            )
+            if not self._write(response):
+                return
+            if self._finish_one(stopping):
+                return
+
+    @staticmethod
+    def _error_frame(exc: wire.WireError) -> bytes:
+        return wire.pack_frame(
+            wire.OP_HELLO,
+            wire.encode_compact({"ok": False, "error": str(exc)}),
+            flags=wire.FLAG_RESPONSE | wire.FLAG_ERROR,
+        )
 
 
 class SketchServiceServer(socketserver.ThreadingTCPServer):
@@ -260,6 +207,15 @@ class SketchServiceServer(socketserver.ThreadingTCPServer):
         Seconds a connection may stall mid-request before it is
         dropped (None disables).  Keeps dead clients from pinning
         handler threads.
+    protocol:
+        ``"auto"`` (default) sniffs each connection's first byte and
+        serves line-JSON and binary clients on the same port;
+        ``"json"`` / ``"binary"`` refuse the other protocol with a
+        one-response explanation.
+    max_frame_bytes:
+        Upper bound on a binary frame payload; oversized or corrupt
+        length fields are refused before allocation
+        (:class:`~repro.service.wire.FrameTooLargeError`).
     """
 
     allow_reuse_address = True
@@ -271,15 +227,10 @@ class SketchServiceServer(socketserver.ThreadingTCPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         max_requests: int | None = None,
         read_timeout: float | None = DEFAULT_READ_TIMEOUT,
+        protocol: str = "auto",
+        max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES,
     ):
-        missing = [
-            attr for attr in _SERVICE_SURFACE if not hasattr(service, attr)
-        ]
-        if missing:
-            raise TypeError(
-                f"service {type(service).__name__} does not satisfy the "
-                f"serving surface; missing {', '.join(missing)}"
-            )
+        validate_service(service)
         self.service = service
         self.max_requests = None if max_requests is None else int(max_requests)
         if read_timeout is not None and float(read_timeout) <= 0:
@@ -287,6 +238,17 @@ class SketchServiceServer(socketserver.ThreadingTCPServer):
                 f"read_timeout must be positive or None, got {read_timeout}"
             )
         self.read_timeout = None if read_timeout is None else float(read_timeout)
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {PROTOCOLS}, got {protocol!r}"
+            )
+        self.protocol = protocol
+        if int(max_frame_bytes) < wire.HEADER_SIZE:
+            raise ValueError(
+                f"max_frame_bytes must be at least {wire.HEADER_SIZE}, "
+                f"got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = int(max_frame_bytes)
         self._served = 0
         self._served_lock = threading.Lock()
         super().__init__(tuple(address), _RequestHandler)

@@ -1,0 +1,636 @@
+"""The length-prefixed binary wire protocol (frames + payload codecs).
+
+The line-JSON protocol spends most of an ingest batch's budget
+materialising and re-parsing Python objects: every value becomes a
+decimal string on the way out and a freshly allocated ``int`` on the
+way in, at every hop.  This module defines the binary twin: fixed
+``struct``-packed frame headers, batched ingest carried as packed
+little-endian int64 arrays decoded zero-copy with ``np.frombuffer``,
+and a compact msgpack-style encoding for small control payloads.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       2     magic    0xAB 0x52  (0xAB can never start UTF-8 JSON,
+                                       so one port can sniff both)
+    2       1     version  protocol version (currently 1)
+    3       1     opcode   operation (see OP_*)
+    4       2     flags    bit 0: response, bit 1: error response
+    6       4     length   payload bytes that follow the header
+
+A request frame carries ``flags == 0``; the response echoes the opcode
+with :data:`FLAG_RESPONSE` set (plus :data:`FLAG_ERROR` when the body
+is a ``{"ok": false, "error": ...}`` refusal).  Control payloads are
+compact-encoded mappings shaped exactly like the line-JSON protocol's
+objects minus the ``"op"`` key (the opcode carries it); the response
+payload is the same mapping a JSON response line would hold.
+
+Ingest payload (opcode :data:`OP_INGEST`)::
+
+    offset  size  field
+    0       1     payload flags  bit 0: counts present,
+                                 bit 1: scalar timestamp
+    1       3     padding
+    4       4     n        number of events (u32)
+    8       8     scalar timestamp (i64; 0 unless bit 1 set)
+    16      8n    values      packed <i8
+    16+8n   8n    timestamps  packed <i8 (absent when scalar)
+    ...     8n    counts      packed <i8 (present when bit 0 set)
+
+Version negotiation: a client may open with :data:`OP_HELLO` carrying
+``{"versions": [...]}``; the server answers with the highest version
+both sides speak or an error frame when there is none.  The header
+layout itself is version-invariant — magic, version, opcode, flags,
+length always parse — so a version-skewed peer gets a readable error
+frame instead of a dropped connection.  Sniffing rule (one port, both
+protocols): a connection whose first byte is ``0xAB`` is binary;
+anything else is treated as a line-JSON conversation (``{`` in the
+common case).
+
+Size guard: frames above ``max_frame_bytes`` (default 64 MiB) raise
+:class:`FrameTooLargeError` before any allocation, so a corrupt or
+hostile length field cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "SUPPORTED_VERSIONS",
+    "HEADER",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FLAG_RESPONSE",
+    "FLAG_ERROR",
+    "OP_HELLO",
+    "OP_PING",
+    "OP_ESTIMATE",
+    "OP_SKETCH",
+    "OP_INGEST",
+    "OP_COMPACT",
+    "OP_EVICT",
+    "OP_INFO",
+    "OP_STATS",
+    "OP_SNAPSHOT",
+    "OP_SHUTDOWN",
+    "OPCODE_NAMES",
+    "OPCODES_BY_NAME",
+    "WireError",
+    "FrameFormatError",
+    "FrameTooLargeError",
+    "ProtocolVersionError",
+    "pack_frame",
+    "unpack_header",
+    "read_frame",
+    "FrameDecoder",
+    "encode_compact",
+    "decode_compact",
+    "pack_ingest",
+    "unpack_ingest",
+    "hello_response",
+]
+
+MAGIC = b"\xabR"
+WIRE_VERSION = 1
+SUPPORTED_VERSIONS = (1,)
+
+HEADER = struct.Struct("<2sBBHI")
+HEADER_SIZE = HEADER.size  # 10 bytes
+
+#: Upper bound on a frame payload unless the server overrides it.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+FLAG_RESPONSE = 0x0001
+FLAG_ERROR = 0x0002
+
+OP_HELLO = 0
+OP_PING = 1
+OP_ESTIMATE = 2
+OP_SKETCH = 3
+OP_INGEST = 4
+OP_COMPACT = 5
+OP_EVICT = 6
+OP_INFO = 7
+OP_STATS = 8
+OP_SNAPSHOT = 9
+OP_SHUTDOWN = 10
+
+OPCODE_NAMES = {
+    OP_HELLO: "hello",
+    OP_PING: "ping",
+    OP_ESTIMATE: "estimate",
+    OP_SKETCH: "sketch",
+    OP_INGEST: "ingest",
+    OP_COMPACT: "compact",
+    OP_EVICT: "evict",
+    OP_INFO: "info",
+    OP_STATS: "stats",
+    OP_SNAPSHOT: "snapshot",
+    OP_SHUTDOWN: "shutdown",
+}
+OPCODES_BY_NAME = {name: code for code, name in OPCODE_NAMES.items()}
+
+
+class WireError(ValueError):
+    """Base class for binary-protocol failures (a :class:`ValueError`:
+    at the serving boundary these are peer-correctable, like bad JSON)."""
+
+
+class FrameFormatError(WireError):
+    """A frame or payload that does not parse (bad magic, truncation,
+    malformed compact data)."""
+
+
+class FrameTooLargeError(WireError):
+    """A frame whose declared payload exceeds the configured maximum."""
+
+
+class ProtocolVersionError(WireError):
+    """The peer speaks a protocol version this side does not."""
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def pack_frame(
+    opcode: int,
+    payload: bytes | bytearray | memoryview = b"",
+    flags: int = 0,
+    version: int = WIRE_VERSION,
+) -> bytes:
+    """One complete frame: packed header followed by the payload."""
+    return HEADER.pack(MAGIC, version, opcode, flags, len(payload)) + bytes(
+        payload
+    )
+
+
+def unpack_header(
+    header: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int, int, int]:
+    """Parse a 10-byte header into ``(version, opcode, flags, length)``.
+
+    Validates the magic and the length bound — *not* the version:
+    the header layout is version-invariant, so dispatch can answer a
+    version-skewed peer with a proper error frame.
+    """
+    if len(header) != HEADER_SIZE:
+        raise FrameFormatError(
+            f"truncated frame header: got {len(header)} of "
+            f"{HEADER_SIZE} bytes"
+        )
+    magic, version, opcode, flags, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameFormatError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return version, opcode, flags, length
+
+
+def read_frame(
+    rfile, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int, int, bytes] | None:
+    """Read one frame from a blocking binary file object.
+
+    Returns ``(version, opcode, flags, payload)``, or ``None`` on a
+    clean EOF at a frame boundary.  EOF anywhere else is a truncation
+    and raises :class:`FrameFormatError`.
+    """
+    header = rfile.read(HEADER_SIZE)
+    if not header:
+        return None
+    version, opcode, flags, length = unpack_header(header, max_frame_bytes)
+    payload = rfile.read(length) if length else b""
+    if len(payload) != length:
+        raise FrameFormatError(
+            f"truncated frame payload: got {len(payload)} of {length} bytes"
+        )
+    return version, opcode, flags, payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk feed.
+
+    ``feed`` bytes as they arrive; iterate :meth:`frames` to drain
+    every complete frame.  Malformed input raises on the *next* drain,
+    leaving previously parsed frames intact — a transport loop can
+    answer them before reporting the error.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+
+    def feed(self, data: bytes | bytearray | memoryview) -> None:
+        """Append a chunk of received bytes to the parse buffer."""
+        self._buf += data
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet drained as complete frames."""
+        return len(self._buf)
+
+    def frames(self):
+        """Yield ``(version, opcode, flags, payload)`` for each
+        complete frame currently buffered."""
+        while len(self._buf) >= HEADER_SIZE:
+            version, opcode, flags, length = unpack_header(
+                bytes(self._buf[:HEADER_SIZE]), self.max_frame_bytes
+            )
+            if len(self._buf) < HEADER_SIZE + length:
+                return
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buf[:HEADER_SIZE + length]
+            yield version, opcode, flags, payload
+
+
+# ----------------------------------------------------------------------
+# Compact control-payload codec (msgpack-style, little-endian)
+# ----------------------------------------------------------------------
+# Type tags.  The shapes follow msgpack's fix/8/16/32 families, but
+# multi-byte values are little-endian like the rest of the protocol
+# (this codec only ever talks to itself across the wire).
+_NIL = 0xC0
+_FALSE = 0xC2
+_TRUE = 0xC3
+_FLOAT64 = 0xCB
+_INT64 = 0xD3
+_STR8 = 0xD9
+_STR16 = 0xDA
+_STR32 = 0xDB
+_ARRAY16 = 0xDC
+_ARRAY32 = 0xDD
+_MAP16 = 0xDE
+_MAP32 = 0xDF
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+#: Nesting bound for both codec directions: a hostile payload of
+#: nothing but array headers must not turn into a RecursionError.
+_MAX_DEPTH = 64
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _encode_key(key) -> str:
+    """Mapping keys, stringified exactly as ``json.dumps`` would.
+
+    Matching JSON's key coercion keeps the two protocols
+    answer-identical: a response that round-trips through either wire
+    decodes to the same mapping.
+    """
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, (int, np.integer)):
+        return str(int(key))
+    if isinstance(key, (float, np.floating)):
+        return repr(float(key))
+    raise FrameFormatError(
+        f"cannot encode mapping key of type {type(key).__name__}"
+    )
+
+
+def _encode_into(out: bytearray, obj, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise FrameFormatError(
+            f"payload nests deeper than {_MAX_DEPTH} levels"
+        )
+    if obj is None:
+        out.append(_NIL)
+    elif obj is True:
+        out.append(_TRUE)
+    elif obj is False:
+        out.append(_FALSE)
+    elif isinstance(obj, np.bool_):
+        out.append(_TRUE if obj else _FALSE)
+    elif isinstance(obj, (int, np.integer)):
+        value = int(obj)
+        if 0 <= value <= 0x7F:
+            out.append(value)
+        elif -32 <= value < 0:
+            out.append(value & 0xFF)
+        elif _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_INT64)
+            out += _I64.pack(value)
+        else:
+            raise FrameFormatError(f"integer {value} exceeds int64 range")
+    elif isinstance(obj, (float, np.floating)):
+        out.append(_FLOAT64)
+        out += _F64.pack(float(obj))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        if len(raw) <= 0xFF:
+            out.append(_STR8)
+            out.append(len(raw))
+        elif len(raw) <= 0xFFFF:
+            out.append(_STR16)
+            out += _U16.pack(len(raw))
+        elif len(raw) <= 0xFFFFFFFF:
+            out.append(_STR32)
+            out += _U32.pack(len(raw))
+        else:
+            raise FrameFormatError("string exceeds 4 GiB")
+        out += raw
+    elif isinstance(obj, (list, tuple)):
+        _encode_length(out, len(obj), _ARRAY16, _ARRAY32, "array")
+        for item in obj:
+            _encode_into(out, item, depth + 1)
+    elif isinstance(obj, np.ndarray):
+        _encode_into(out, obj.tolist(), depth)
+    elif isinstance(obj, Mapping):
+        _encode_length(out, len(obj), _MAP16, _MAP32, "mapping")
+        for key, value in obj.items():
+            _encode_into(out, _encode_key(key), depth + 1)
+            _encode_into(out, value, depth + 1)
+    else:
+        raise FrameFormatError(
+            f"cannot encode object of type {type(obj).__name__}"
+        )
+
+
+def _encode_length(
+    out: bytearray, count: int, tag16: int, tag32: int, what: str
+) -> None:
+    if count <= 0xFFFF:
+        out.append(tag16)
+        out += _U16.pack(count)
+    elif count <= 0xFFFFFFFF:
+        out.append(tag32)
+        out += _U32.pack(count)
+    else:
+        raise FrameFormatError(f"{what} exceeds 2^32 entries")
+
+
+def encode_compact(obj) -> bytes:
+    """Encode a JSON-shaped object (None/bool/int/float/str/list/dict,
+    plus numpy scalars and arrays) to compact bytes."""
+    out = bytearray()
+    _encode_into(out, obj, 0)
+    return bytes(out)
+
+
+class _Reader:
+    __slots__ = ("view", "pos")
+
+    def __init__(self, data):
+        self.view = memoryview(data)
+        self.pos = 0
+
+    def take(self, n: int) -> memoryview:
+        end = self.pos + n
+        if end > len(self.view):
+            raise FrameFormatError(
+                f"compact payload truncated: wanted {n} bytes at offset "
+                f"{self.pos}, have {len(self.view) - self.pos}"
+            )
+        chunk = self.view[self.pos:end]
+        self.pos = end
+        return chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self.view) - self.pos
+
+
+def _decode_count(reader: _Reader, tag: int) -> int:
+    if tag in (_ARRAY16, _MAP16, _STR16):
+        return _U16.unpack(reader.take(2))[0]
+    return _U32.unpack(reader.take(4))[0]
+
+
+def _decode_from(reader: _Reader, depth: int):
+    if depth > _MAX_DEPTH:
+        raise FrameFormatError(
+            f"payload nests deeper than {_MAX_DEPTH} levels"
+        )
+    tag = reader.take(1)[0]
+    if tag <= 0x7F:
+        return tag
+    if tag >= 0xE0:
+        return tag - 0x100
+    if tag == _NIL:
+        return None
+    if tag == _TRUE:
+        return True
+    if tag == _FALSE:
+        return False
+    if tag == _FLOAT64:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _INT64:
+        return _I64.unpack(reader.take(8))[0]
+    if tag == _STR8:
+        length = reader.take(1)[0]
+        return _decode_str(reader, length)
+    if tag in (_STR16, _STR32):
+        return _decode_str(reader, _decode_count(reader, tag))
+    if tag in (_ARRAY16, _ARRAY32):
+        count = _decode_count(reader, tag)
+        if count > reader.remaining:
+            raise FrameFormatError(
+                f"array claims {count} entries with only "
+                f"{reader.remaining} bytes left"
+            )
+        return [_decode_from(reader, depth + 1) for _ in range(count)]
+    if tag in (_MAP16, _MAP32):
+        count = _decode_count(reader, tag)
+        if 2 * count > reader.remaining:
+            raise FrameFormatError(
+                f"mapping claims {count} entries with only "
+                f"{reader.remaining} bytes left"
+            )
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader, depth + 1)
+            if not isinstance(key, str):
+                raise FrameFormatError(
+                    f"mapping key must decode to str, got "
+                    f"{type(key).__name__}"
+                )
+            result[key] = _decode_from(reader, depth + 1)
+        return result
+    raise FrameFormatError(f"unknown compact type tag 0x{tag:02x}")
+
+
+def _decode_str(reader: _Reader, length: int) -> str:
+    try:
+        return str(reader.take(length), "utf-8")
+    except UnicodeDecodeError as exc:
+        raise FrameFormatError(f"invalid UTF-8 in string: {exc}") from exc
+
+
+def decode_compact(data: bytes | bytearray | memoryview):
+    """Decode compact bytes back to the object they encode.
+
+    The whole payload must be one object: trailing bytes are a
+    framing bug and raise :class:`FrameFormatError`.
+    """
+    reader = _Reader(data)
+    obj = _decode_from(reader, 0)
+    if reader.remaining:
+        raise FrameFormatError(
+            f"{reader.remaining} trailing bytes after compact payload"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Ingest payload codec (packed arrays, zero-copy decode)
+# ----------------------------------------------------------------------
+_INGEST_HEADER = struct.Struct("<BxxxIq")
+_INGEST_HEADER_SIZE = _INGEST_HEADER.size  # 16 bytes
+
+_INGEST_HAS_COUNTS = 0x01
+_INGEST_SCALAR_TS = 0x02
+
+
+def _packed_i64(values, what: str) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise WireError(f"{what} must be a 1-D array, got shape {arr.shape}")
+    if arr.size and not (
+        np.issubdtype(arr.dtype, np.integer)
+        or np.issubdtype(arr.dtype, np.bool_)
+    ):
+        raise WireError(f"{what} must be integer-typed, got {arr.dtype}")
+    return arr.astype("<i8", copy=False)
+
+
+def pack_ingest(timestamps, values, counts=None) -> bytes:
+    """Encode one ingest batch as a packed binary payload.
+
+    ``timestamps`` may be a scalar (every event at one time — the
+    arrival-batched common case) or an array; a constant array is
+    detected and sent in scalar form, saving 8 bytes per event.
+    """
+    vals = _packed_i64(values, "values")
+    n = vals.size
+    scalar_ts: int | None = None
+    ts_arr: np.ndarray | None = None
+    if np.ndim(timestamps) == 0:
+        scalar_ts = int(timestamps)
+    else:
+        ts_arr = _packed_i64(timestamps, "timestamps")
+        if ts_arr.shape != vals.shape:
+            raise WireError(
+                f"timestamps {ts_arr.shape} must match values {vals.shape}"
+            )
+        if n and bool((ts_arr == ts_arr[0]).all()):
+            scalar_ts = int(ts_arr[0])
+            ts_arr = None
+    flags = 0
+    parts = [b""]  # placeholder for the header
+    parts.append(vals.tobytes())
+    if scalar_ts is None:
+        flags &= ~_INGEST_SCALAR_TS
+        assert ts_arr is not None
+        parts.append(ts_arr.tobytes())
+    else:
+        flags |= _INGEST_SCALAR_TS
+    if counts is not None:
+        cnts = _packed_i64(counts, "counts")
+        if cnts.shape != vals.shape:
+            raise WireError(
+                f"counts {cnts.shape} must match values {vals.shape}"
+            )
+        flags |= _INGEST_HAS_COUNTS
+        parts.append(cnts.tobytes())
+    parts[0] = _INGEST_HEADER.pack(
+        flags, n, 0 if scalar_ts is None else scalar_ts
+    )
+    return b"".join(parts)
+
+
+def unpack_ingest(
+    payload: bytes | bytearray | memoryview,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Decode an ingest payload to ``(timestamps, values, counts)``.
+
+    The arrays are zero-copy views over the payload buffer
+    (``np.frombuffer``), so they are read-only and alive only as long
+    as the buffer is; the store copies what it keeps, never the batch
+    itself.  A scalar timestamp comes back as a broadcast (stride-0)
+    array of the right length.
+    """
+    view = memoryview(payload)
+    if len(view) < _INGEST_HEADER_SIZE:
+        raise FrameFormatError(
+            f"ingest payload of {len(view)} bytes is shorter than its "
+            f"{_INGEST_HEADER_SIZE}-byte header"
+        )
+    flags, n, scalar_ts = _INGEST_HEADER.unpack(view[:_INGEST_HEADER_SIZE])
+    columns = 1 + (0 if flags & _INGEST_SCALAR_TS else 1)
+    if flags & _INGEST_HAS_COUNTS:
+        columns += 1
+    expected = _INGEST_HEADER_SIZE + 8 * n * columns
+    if len(view) != expected:
+        raise FrameFormatError(
+            f"ingest payload length {len(view)} != {expected} "
+            f"({n} events, {columns} columns)"
+        )
+    offset = _INGEST_HEADER_SIZE
+
+    def column() -> np.ndarray:
+        nonlocal offset
+        arr = np.frombuffer(view, dtype="<i8", count=n, offset=offset)
+        offset += 8 * n
+        return arr
+
+    values = column()
+    if flags & _INGEST_SCALAR_TS:
+        timestamps = np.broadcast_to(np.int64(scalar_ts), (n,))
+    else:
+        timestamps = column()
+    counts = column() if flags & _INGEST_HAS_COUNTS else None
+    return timestamps, values, counts
+
+
+# ----------------------------------------------------------------------
+# Version negotiation
+# ----------------------------------------------------------------------
+def hello_response(request: Mapping | None) -> dict:
+    """Answer a HELLO handshake: pick the newest shared version.
+
+    The request carries ``{"versions": [...]}`` (an absent or empty
+    list means "whatever you speak").
+    """
+    offered: Iterable = (
+        request.get("versions", SUPPORTED_VERSIONS)
+        if isinstance(request, Mapping)
+        else SUPPORTED_VERSIONS
+    )
+    try:
+        offered_set = {int(v) for v in offered}
+    except (TypeError, ValueError) as exc:
+        raise FrameFormatError(
+            f"hello 'versions' must be integers: {exc}"
+        ) from exc
+    if not offered_set:
+        offered_set = set(SUPPORTED_VERSIONS)
+    shared = offered_set & set(SUPPORTED_VERSIONS)
+    if not shared:
+        raise ProtocolVersionError(
+            f"no shared protocol version: peer offers "
+            f"{sorted(offered_set)}, this side speaks "
+            f"{list(SUPPORTED_VERSIONS)}"
+        )
+    return {"version": max(shared)}

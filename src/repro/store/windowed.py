@@ -281,16 +281,23 @@ class WindowedSketchStore:
             return
 
         buckets = (ts - self.origin) // self.bucket_width
-        # Stable sort: groups by bucket while preserving arrival order
-        # within each bucket (order matters for the samplers).
-        order = np.argsort(buckets, kind="stable")
-        buckets = buckets[order]
-        vals = vals[order]
-        if cnts is not None:
-            cnts = cnts[order]
-        cuts = np.flatnonzero(np.diff(buckets)) + 1
-        starts = np.concatenate(([0], cuts))
-        ends = np.concatenate((cuts, [buckets.size]))
+        if bool((buckets == buckets[0]).all()):
+            # Arrival-batched streams routinely land a whole batch in
+            # one bucket; the stable sort below would be the identity
+            # permutation, so skip it (and the fancy-index copies).
+            starts = np.array([0])
+            ends = np.array([buckets.size])
+        else:
+            # Stable sort: groups by bucket while preserving arrival
+            # order within each bucket (order matters for the samplers).
+            order = np.argsort(buckets, kind="stable")
+            buckets = buckets[order]
+            vals = vals[order]
+            if cnts is not None:
+                cnts = cnts[order]
+            cuts = np.flatnonzero(np.diff(buckets)) + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [buckets.size]))
 
         # One job per *span*, not per bucket: several bucket groups can
         # resolve to the same compacted span, and a span must only ever
