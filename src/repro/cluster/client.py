@@ -178,11 +178,18 @@ class ShardClient:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def _encode(self, payload: Mapping) -> bytes:
+    def _encode(self, payload: Mapping) -> tuple[bytes, int | None]:
+        """Encode ``payload``; returns ``(wire bytes, expected opcode)``.
+
+        The opcode is ``None`` in JSON mode (the line protocol has no
+        opcode to pair responses on) and the request's opcode in binary
+        mode, where :meth:`_read_response` uses it to reject mispaired
+        responses.
+        """
         if self.protocol == "json":
             return (
                 json.dumps(dict(payload), default=_json_default) + "\n"
-            ).encode("utf-8")
+            ).encode("utf-8"), None
         op = str(payload.get("op", ""))
         opcode = wire.OPCODES_BY_NAME.get(op)
         if opcode is None:
@@ -200,10 +207,19 @@ class ShardClient:
             body = wire.encode_compact(
                 {k: v for k, v in payload.items() if k != "op"}
             )
-        return wire.pack_frame(opcode, body)
+        return wire.pack_frame(opcode, body), opcode
 
-    def _read_response(self) -> dict:
-        """Read and decode one response (lock held); raises on refusal."""
+    def _read_response(self, expected_opcode: int | None = None) -> dict:
+        """Read and decode one response (lock held); raises on refusal.
+
+        In binary mode the response must echo ``expected_opcode``: a
+        mismatch means the stream is mispaired (e.g. a stale ack from
+        an earlier conversation) and raises
+        :class:`~repro.cluster.errors.ShardProtocolError`.  The one
+        exception is a server-initiated :data:`~repro.service.wire.OP_HELLO`
+        error frame, the stream-level channel for failures (truncated
+        header, bad magic) that have no request opcode to echo.
+        """
         assert self._rfile is not None
         if self.protocol == "json":
             raw = self._rfile.readline()
@@ -229,6 +245,19 @@ class ShardClient:
                 raise ShardProtocolError(
                     f"shard {self.address} sent a non-response frame "
                     f"(opcode {opcode}, flags 0x{flags:x})"
+                )
+            if (
+                expected_opcode is not None
+                and opcode != expected_opcode
+                and not (opcode == wire.OP_HELLO and flags & wire.FLAG_ERROR)
+            ):
+                raise ShardProtocolError(
+                    f"shard {self.address} answered opcode "
+                    f"{expected_opcode} "
+                    f"({wire.OPCODE_NAMES.get(expected_opcode, '?')}) "
+                    f"with a response for opcode {opcode} "
+                    f"({wire.OPCODE_NAMES.get(opcode, '?')}); the "
+                    f"stream is mispaired"
                 )
             try:
                 response = wire.decode_compact(payload)
@@ -286,7 +315,7 @@ class ShardClient:
           :class:`~repro.cluster.errors.ShardProtocolError` instead,
           because replaying a signed cumulative batch corrupts state.
         """
-        data = self._encode(payload)
+        data, expected = self._encode(payload)
         op = str(payload.get("op", ""))
         with self._lock:
             fresh = self._sock is None
@@ -294,7 +323,7 @@ class ShardClient:
                 self._connect()
             try:
                 self._send_counted(data)
-                return self._read_response()
+                return self._read_response(expected)
             except _SendFailed as exc:
                 self._teardown()
                 if fresh:
@@ -309,7 +338,7 @@ class ShardClient:
                         f"{op!r} request; delivery is ambiguous and it "
                         f"will not be resent"
                     ) from exc
-                return self._resend(data)
+                return self._resend(data, expected, op)
             except (OSError, EOFError) as exc:
                 # The request was fully written but no response came
                 # back: delivery is ambiguous.
@@ -325,20 +354,54 @@ class ShardClient:
                         f"request; delivery is ambiguous and it will "
                         f"not be resent"
                     ) from exc
-                return self._resend(data)
+                return self._resend(data, expected, op)
+            except ShardProtocolError:
+                # A malformed or mispaired response leaves the stream
+                # position unknown; never reuse the connection.  (A
+                # ShardRequestError refusal, by contrast, was a whole
+                # well-formed frame — the socket stays usable.)
+                self._teardown()
+                raise
 
-    def _resend(self, data: bytes) -> dict:
-        """Re-dial (with backoff) and resend once; lock held."""
+    def _resend(
+        self, data: bytes, expected_opcode: int | None, op: str
+    ) -> dict:
+        """Re-dial (with backoff) and resend once; lock held.
+
+        Entered only when resending ``data`` is safe (non-delivery is
+        provable, or ``op`` is idempotent).  The same classification
+        governs each retry: a retry of a non-idempotent op that itself
+        fails after bytes went out is ambiguous again and stops the
+        loop instead of resending a second copy.
+        """
         last: Exception | None = None
         for attempt in range(self.RECONNECT_ATTEMPTS):
             _sleep(backoff_delay(attempt))
+            ambiguous = False
             try:
                 self._connect()
                 self._send_counted(data)
-                return self._read_response()
-            except (ShardUnreachableError, _SendFailed, OSError, EOFError) as exc:
-                self._teardown()
+                return self._read_response(expected_opcode)
+            except ShardUnreachableError as exc:
                 last = exc
+            except _SendFailed as exc:
+                self._teardown()
+                ambiguous = exc.sent > 0
+                last = exc
+            except (OSError, EOFError) as exc:
+                self._teardown()
+                ambiguous = True
+                last = exc
+            except ShardProtocolError:
+                self._teardown()
+                raise
+            if ambiguous and not _is_idempotent(op):
+                raise ShardProtocolError(
+                    f"shard {self.address}: connection died after a "
+                    f"retried non-idempotent {op!r} request was "
+                    f"(partially) sent; delivery is ambiguous and it "
+                    f"will not be resent"
+                ) from last
         raise ShardUnreachableError(
             f"shard {self.address} died mid-request: {last}"
         ) from last
@@ -360,8 +423,11 @@ class ShardClient:
         paid once, not per batch.  JSON mode degrades to one request
         per round trip.
 
-        Any transport failure after the first frame has been written
-        is ambiguous for every in-flight batch, so it surfaces as
+        A stale connection that fails before any byte of the first
+        frame goes out is provably undelivered, so it re-dials with
+        backoff like :meth:`request` does.  Any failure after bytes
+        were written is ambiguous for every in-flight batch and
+        surfaces as
         :class:`~repro.cluster.errors.ShardProtocolError` — the caller
         must reconcile (e.g. re-check shard stats), never blind-resend.
         Returns the total number of values the worker acknowledged.
@@ -374,7 +440,7 @@ class ShardClient:
                 payload = self._batch_payload(batch)
                 total += int(self.request(payload).get("ingested", 0))
             return total
-        frames = (self._encode(self._batch_payload(b)) for b in batches)
+        frames = (self._encode(self._batch_payload(b))[0] for b in batches)
         with self._lock:
             fresh = self._sock is None
             if fresh:
@@ -383,17 +449,39 @@ class ShardClient:
             wrote_any = False
             try:
                 for frame in frames:
-                    self._send_counted(frame)
+                    try:
+                        self._send_counted(frame)
+                    except _SendFailed as exc:
+                        if wrote_any or fresh or exc.sent:
+                            raise
+                        # Stale socket, zero bytes out: the worker
+                        # cannot have seen anything, so reconnect and
+                        # restart the pipeline on the fresh socket.
+                        self._teardown()
+                        self._redial_and_send(frame)
+                        fresh = True
                     wrote_any = True
                     in_flight += 1
                     if in_flight >= int(window):
                         total += int(
-                            self._read_response().get("ingested", 0)
+                            self._read_response(wire.OP_INGEST).get(
+                                "ingested", 0
+                            )
                         )
                         in_flight -= 1
                 while in_flight:
-                    total += int(self._read_response().get("ingested", 0))
+                    total += int(
+                        self._read_response(wire.OP_INGEST).get(
+                            "ingested", 0
+                        )
+                    )
                     in_flight -= 1
+            except ShardUnreachableError:
+                # _redial_and_send exhausted its attempts with nothing
+                # delivered; the classification stands.  (Caught first:
+                # it subclasses ConnectionError/OSError.)
+                self._teardown()
+                raise
             except (_SendFailed, OSError, EOFError) as exc:
                 self._teardown()
                 if fresh and not wrote_any:
@@ -405,7 +493,49 @@ class ShardClient:
                     f"{in_flight} pipelined ingest batch(es) in flight; "
                     f"delivery is ambiguous and they will not be resent"
                 ) from exc
+            except BaseException:
+                # Any other failure — a worker refusal
+                # (ShardRequestError), an encode error, a malformed or
+                # mispaired response — leaves unread pipelined acks on
+                # the socket, so a reused connection would pair the
+                # next request with a stale ingest ack.  Never reuse
+                # the stream.
+                self._teardown()
+                raise
         return total
+
+    def _redial_and_send(self, data: bytes) -> None:
+        """Re-dial with backoff and send provably-undelivered bytes.
+
+        Lock held.  Serves the pipelined ingest path when zero bytes
+        of the first frame reached a stale socket.  A retry attempt
+        that itself gets bytes of this non-idempotent frame onto the
+        wire and then dies is ambiguous and raises
+        :class:`~repro.cluster.errors.ShardProtocolError` instead of
+        retrying again.
+        """
+        last: Exception | None = None
+        for attempt in range(self.RECONNECT_ATTEMPTS):
+            _sleep(backoff_delay(attempt))
+            try:
+                self._connect()
+                self._send_counted(data)
+                return
+            except ShardUnreachableError as exc:
+                last = exc
+            except _SendFailed as exc:
+                self._teardown()
+                if exc.sent:
+                    raise ShardProtocolError(
+                        f"shard {self.address}: connection died after "
+                        f"{exc.sent} bytes of a retried ingest frame; "
+                        f"delivery is ambiguous and it will not be "
+                        f"resent"
+                    ) from exc
+                last = exc
+        raise ShardUnreachableError(
+            f"shard {self.address} died mid-request: {last}"
+        ) from last
 
     @staticmethod
     def _batch_payload(batch: Sequence) -> dict:

@@ -27,6 +27,8 @@ __all__ = [
     "distinct_values",
 ]
 
+_INT64_MAX = (1 << 63) - 1
+
 
 def _as_value_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
     arr = np.asarray(values)
@@ -73,7 +75,13 @@ def _dense_or_sorted_histogram(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]
 def _aggregate_histogram(
     vals: np.ndarray, cnts: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sum counts per distinct value (vectorised, exact int64 sums)."""
+    """Sum counts per distinct value (vectorised int64 sums).
+
+    The accumulators are int64 and wrap silently on overflow, so the
+    caller must guarantee the grand total fits — e.g. via the
+    ``size * max`` bound :meth:`FrequencyVector.update_from_frequencies`
+    checks before taking this path.
+    """
     dense = _dense_span(vals)
     if dense is not None:
         lo, span = dense
@@ -191,15 +199,22 @@ class FrequencyVector(Sketch):
         dictionary update per *distinct* value — not one per entry.
         Batches containing deletions keep the per-entry path, because
         the raise-on-negative contract is defined entry by entry in
-        batch order.
+        batch order; batches whose totals could overflow the int64
+        accumulators also fall back to it, keeping the class exact
+        (Python-int arithmetic) at any magnitude.
         """
         vals, cnts = as_histogram(values, counts)
         if vals.size == 0:
             return
-        if int(cnts.min()) >= 0:
+        if int(cnts.min()) >= 0 and int(cnts.max()) <= _INT64_MAX // int(
+            cnts.size
+        ):
             # Aggregation cannot change the outcome of an all-insert
             # batch (counts only grow), so the order-sensitive error
             # contract is vacuous here and the vector path is exact.
+            # The size*max bound proves the grand total — hence every
+            # per-value total and the _n increment — fits int64, so
+            # the int64 accumulators cannot wrap.
             uniq, totals = _aggregate_histogram(vals, cnts)
             for v, c in zip(uniq.tolist(), totals.tolist()):
                 if c:

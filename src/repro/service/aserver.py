@@ -201,7 +201,12 @@ class EventLoopServer:
         try:
             try:
                 first = await self._read(reader.readexactly(1))
-            except (asyncio.IncompleteReadError, TimeoutError, OSError):
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                TimeoutError,
+                OSError,
+            ):
                 return
             binary = first == wire.MAGIC[:1]
             if binary and self.protocol == "json":
@@ -222,8 +227,11 @@ class EventLoopServer:
                 await self._serve_binary(reader, writer, first)
             else:
                 await self._serve_json(reader, writer, first)
-        except (TimeoutError, ConnectionError, OSError):
-            pass  # stalled or torn connection: drop it, keep the loop
+        except (asyncio.TimeoutError, TimeoutError, ConnectionError, OSError):
+            # Stalled or torn connection: drop it, keep the loop.
+            # asyncio.TimeoutError is spelled out because wait_for
+            # raises it on 3.10, where it is not yet the builtin.
+            pass
         except asyncio.CancelledError:
             # Loop teardown cancelled a live connection: finish the
             # task cleanly (re-raising would only produce shutdown
@@ -273,7 +281,9 @@ class EventLoopServer:
                         await queue.put(("line", stripped))
                     if not line.endswith(b"\n"):
                         return  # EOF mid-line: serve what arrived whole
-            except (TimeoutError, ConnectionError, OSError):
+            except (
+                asyncio.TimeoutError, TimeoutError, ConnectionError, OSError
+            ):
                 pass
             finally:
                 await queue.put(None)
@@ -361,7 +371,9 @@ class EventLoopServer:
                     await queue.put(
                         ("frame", version, opcode, flags, payload)
                     )
-            except (TimeoutError, ConnectionError, OSError):
+            except (
+                asyncio.TimeoutError, TimeoutError, ConnectionError, OSError
+            ):
                 pass
             finally:
                 await queue.put(None)

@@ -148,6 +148,31 @@ class TestFrequencyVector:
             fv.delete(int(v))
         assert fv == FrequencyVector()
 
+    def test_update_from_frequencies_no_int64_overflow(self):
+        # Per-value and total sums beyond int64: the vectorised path
+        # must not silently wrap (the class is the exactness ground
+        # truth, so Python-int arithmetic is the contract).
+        fv = FrequencyVector()
+        big = (1 << 62) + 3
+        fv.update_from_frequencies([5, 5, 5], [big, big, big])
+        assert fv.frequency(5) == 3 * big
+        assert fv.total == 3 * big
+        # And the vectorised path still composes with prior state.
+        fv.update_from_frequencies([5, 6], [1, 2])
+        assert fv.frequency(5) == 3 * big + 1
+        assert fv.total == 3 * big + 3
+
+    def test_update_from_frequencies_matches_per_entry_near_bound(self):
+        batch_vals = [1, 2, 1, 2]
+        batch_cnts = [(1 << 62), 7, (1 << 62), 5]
+        fast = FrequencyVector()
+        fast.update_from_frequencies(batch_vals, batch_cnts)
+        slow = FrequencyVector()
+        for v, c in zip(batch_vals, batch_cnts):
+            slow.update(v, c)
+        assert fast == slow
+        assert fast.total == slow.total == 2 * (1 << 62) + 12
+
 
 class TestArrayHelpers:
     def test_self_join_size_manual(self):

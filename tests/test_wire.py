@@ -10,6 +10,7 @@ at-most-once retry classification.
 
 from __future__ import annotations
 
+import io
 import json
 import socket
 import struct
@@ -725,6 +726,32 @@ class TestShardClientRetries:
         with pytest.raises(ValueError, match="protocol"):
             ShardClient("127.0.0.1", 1, protocol="morse")
 
+    def test_mispaired_response_opcode_detected(self):
+        # A binary response must echo the request's opcode; a stale
+        # ingest ack surfacing as the answer to a ping is a protocol
+        # error, not a silently mis-decoded response.
+        client = ShardClient("127.0.0.1", 1, protocol="binary")
+        client._rfile = io.BytesIO(wire.pack_frame(
+            wire.OP_INGEST,
+            wire.encode_compact({"ok": True, "op": "ingest", "ingested": 7}),
+            flags=wire.FLAG_RESPONSE,
+        ))
+        with pytest.raises(ShardProtocolError, match="mispaired"):
+            client._read_response(wire.OP_PING)
+
+    def test_hello_error_frame_passes_opcode_check(self):
+        # OP_HELLO error frames are the server's stream-level failure
+        # channel (no request opcode to echo); they must surface as
+        # the worker's refusal message, not as a mispairing.
+        client = ShardClient("127.0.0.1", 1, protocol="binary")
+        client._rfile = io.BytesIO(wire.pack_frame(
+            wire.OP_HELLO,
+            wire.encode_compact({"ok": False, "error": "bad frame magic"}),
+            flags=wire.FLAG_RESPONSE | wire.FLAG_ERROR,
+        ))
+        with pytest.raises(ShardRequestError, match="bad frame magic"):
+            client._read_response(wire.OP_PING)
+
 
 class TestPipelinedIngest:
     def test_binary_pipelined_batches_land(self):
@@ -769,6 +796,66 @@ class TestPipelinedIngest:
         client = ShardClient("127.0.0.1", 1, protocol="binary")
         with pytest.raises(ValueError, match="window"):
             client.ingest_batches([], window=0)
+
+    def test_pipelined_refusal_tears_down_connection(self):
+        # A worker refusal of one pipelined batch leaves later acks
+        # unread on the socket; the client must drop the connection so
+        # the next request cannot pair with a stale ingest ack.
+        service = make_service(kind="frequency", bucket_width=1)
+        server = SketchServiceServer(
+            service, ("127.0.0.1", 0), read_timeout=30.0
+        )
+        thread = _serve(server)
+        try:
+            host, port = server.server_address[:2]
+            with ShardClient(host, port, protocol="binary") as client:
+                poisoned = [
+                    (np.full(4, 0), np.arange(4)),
+                    # Deletes values never inserted: refused (KeyError).
+                    (np.full(4, 0), np.arange(100, 104), np.full(4, -1)),
+                    (np.full(4, 1), np.arange(4)),
+                    (np.full(4, 2), np.arange(4)),
+                ]
+                with pytest.raises(ShardRequestError, match="delete"):
+                    client.ingest_batches(poisoned, window=8)
+                assert client._sock is None
+                # A fresh connection answers cleanly — before the
+                # teardown fix this read a stale ingest ack instead.
+                assert client.request({"op": "ping"})["pong"] is True
+        finally:
+            _stop(server, thread)
+
+    def test_stale_unsent_pipeline_reconnects(self, monkeypatch):
+        # Zero bytes of the first frame reached a stale socket: the
+        # worker provably saw nothing, so the pipeline re-dials with
+        # backoff instead of refusing with an "ambiguous" error.
+        slept: list[float] = []
+        monkeypatch.setattr("repro.cluster.client._sleep", slept.append)
+        service = make_service(kind="frequency", bucket_width=1)
+        server = SketchServiceServer(
+            service, ("127.0.0.1", 0), read_timeout=30.0
+        )
+        thread = _serve(server)
+        try:
+            host, port = server.server_address[:2]
+            with ShardClient(host, port, protocol="binary") as client:
+                assert client.request({"op": "ping"})["pong"] is True
+                original = client._send_counted
+
+                def fail_before_sending(data):
+                    client._send_counted = original
+                    raise _SendFailed(0)
+
+                client._send_counted = fail_before_sending
+                total = client.ingest_batches(
+                    ((np.full(10, i), np.full(10, 3)) for i in range(5)),
+                    window=2,
+                )
+            assert total == 50
+            assert len(slept) == 1 and slept[0] > 0
+            assert service.estimate_window(0, 5).estimate == 50.0**2
+        finally:
+            _stop(server, thread)
 
 
 # ----------------------------------------------------------------------
