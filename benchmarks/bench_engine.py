@@ -38,7 +38,14 @@ Measures, on one synthetic Zipf stream:
    batched ingest through an asyncio front end over a 2-shard fleet
    in line-JSON vs the length-prefixed binary protocol (zero-copy
    packed columns, pipelined), with both fleets' estimates checked
-   **bit-identical** against an in-process service.
+   **bit-identical** against an in-process service;
+8. **fault tolerance** — replicated-fleet behaviour under injected
+   faults: ingest overhead vs replication factor 1/2/3 (fan-out to a
+   replica set, every factor bit-identical to a monolithic store),
+   hedged vs unhedged query p99 with one deterministically stalled
+   replica, and end-to-end repair latency (detect a killed replica,
+   respawn it, restore it from the healthy peer's snapshot) with
+   bit-identity preserved throughout.
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
@@ -55,7 +62,11 @@ with bit-identical scatter–gather answers.  ISSUE 6 adds the wire bar:
 binary-protocol batched ingest at least 10x the line-JSON path's
 values/second through the same client → front end → shard topology,
 bit-identical to an in-process service (reported but not enforced
-under ``--smoke``).  The script exits non-zero if any check fails.
+under ``--smoke``).  ISSUE 7 adds the fault-tolerance bar: with one
+replica stalled, hedged query p99 at least 5x better than unhedged
+(enforced on full runs; reported under ``--smoke``), and recovery
+from a killed replica bit-identical.  The script exits non-zero if
+any check fails.
 
 ``--json PATH`` additionally writes a machine-readable summary
 (per-section latency percentiles and throughput) so the performance
@@ -532,6 +543,185 @@ def wire_section(args, n: int) -> tuple[list[str], dict]:
     return failures, metrics
 
 
+def fault_section(args, n: int) -> tuple[list[str], dict]:
+    """Section 8: fault tolerance — replication cost, hedging, repair.
+
+    Three measurements against real spawned fleets (ISSUE 7):
+
+    * **replication overhead** — over-the-wire ingest throughput on a
+      2-shard fleet at replication factor 1/2/3 (``--smoke``: 1/2).
+      Fan-out to a replica set is the same linear build R times over,
+      so every factor's answers must stay **bit-identical** to a
+      monolithic store of the stream;
+    * **hedged p99 under a straggler** — before every query the
+      primary replica of shard 0 is deterministically stalled (a
+      client-hook sleep that fires outside the connection lock, so
+      stalled requests pile up in parallel, not in line).  The hedged
+      front end answers from the healthy peer one hedge delay later;
+      the unhedged front end waits out the stall.  The acceptance bar:
+      hedged query p99 at least **5x** better than unhedged (enforced
+      on full runs; measured and reported in ``--smoke``);
+    * **repair latency** — SIGKILL one replica mid-stream and time the
+      next ingest end to end: it must detect the dead replica, respawn
+      it through the supervisor, restore it from the healthy peer's
+      snapshot, and leave answers **bit-identical** with no replica
+      out of rotation.
+    """
+    from repro.cluster import (
+        ClusterService,
+        FaultInjector,
+        LocalCluster,
+        StallRequests,
+        store_config,
+    )
+
+    failures: list[str] = []
+    rng = np.random.default_rng(args.seed)
+    stream = (rng.zipf(1.2, size=n) % (n // 10)).astype(np.int64)
+    num_buckets = 64
+    timestamps = (np.arange(n, dtype=np.int64) * num_buckets) // n
+    spec = SketchSpec(
+        "tugofwar", {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    )
+    mono = WindowedSketchStore(spec, bucket_width=1)
+    mono.ingest(timestamps, stream)
+    batch = max(n // 20, 1)
+    batches = [
+        (timestamps[i:i + batch], stream[i:i + batch])
+        for i in range(0, n, batch)
+    ]
+    checks = ((0, num_buckets), (0, 8), (16, 48))
+
+    def identical(service) -> bool:
+        return all(
+            service.estimate(*w) == mono.estimate(*w)
+            and np.array_equal(
+                service.query(*w).counters, mono.query(*w).counters
+            )
+            for w in checks
+        )
+
+    def fresh_config() -> dict:
+        return store_config(WindowedSketchStore(spec, bucket_width=1))
+
+    print(f"fault tolerance ({n:,} events, 2 shards, "
+          f"{len(batches)} wire batches)")
+    metrics: dict = {"replication": {}}
+
+    # -- replication overhead: ingest cost of fanning to R replicas --
+    factors = (1, 2) if args.smoke else (1, 2, 3)
+    base_tput = None
+    for factor in factors:
+        with LocalCluster(fresh_config(), 2, replication=factor) as cluster, \
+                ClusterService(
+                    cluster.replica_clients(), supervisor=cluster
+                ) as service:
+            t_ingest, _ = timed(
+                lambda: [service.ingest(*b) for b in batches]
+            )
+            ok = identical(service)
+        tput = n / t_ingest if t_ingest else float("inf")
+        if base_tput is None:
+            base_tput = tput
+        overhead = base_tput / tput if tput else float("inf")
+        print(f"  replication={factor}   wire ingest {t_ingest:8.3f} s  "
+              f"{throughput(n, t_ingest)}   overhead vs R=1: "
+              f"{overhead:.2f}x   bit-identical: {ok}")
+        if not ok:
+            failures.append(
+                f"faults: replication={factor} answers != monolithic store"
+            )
+        metrics["replication"][str(factor)] = {
+            "ingest_s": t_ingest,
+            "ingest_meps": tput / 1e6,
+            "overhead_vs_r1": overhead,
+        }
+
+    # -- hedged vs unhedged p99 with one deterministically stalled
+    # replica.  Both front ends share one 2x2 fleet (same sketches,
+    # same wire); only the read policy differs.
+    stall_s = 0.25 if args.smoke else 0.75
+    queries = 10 if args.smoke else 20
+    window = (0, num_buckets)
+    with LocalCluster(fresh_config(), 2, replication=2) as cluster:
+        primary = cluster.replica_sets()[0][0].client
+        hedged = ClusterService(
+            cluster.replica_clients(), supervisor=cluster, pool_size=64
+        )
+        unhedged = ClusterService(
+            cluster.replica_clients(), hedge_delay=None, pool_size=64
+        )
+        try:
+            for b in batches:
+                hedged.ingest(*b)
+
+            def stalled_queries(service) -> list[float]:
+                latencies = []
+                for _ in range(queries):
+                    # Clear straggler demotion so every round dispatches
+                    # to the (stalled) primary first — worst case, not
+                    # the adapted steady state.
+                    service._reset_replica_state()
+                    with StallRequests(primary, stall_s, ops={"sketch"}):
+                        t, _ = timed(lambda: service.estimate(*window))
+                    latencies.append(t * 1e3)
+                return latencies
+
+            hedged_lat = stalled_queries(hedged)
+            time.sleep(stall_s)  # drain abandoned sleepers off the client
+            unhedged_lat = stalled_queries(unhedged)
+            ok = identical(hedged) and identical(unhedged)
+        finally:
+            unhedged.close()
+            hedged.close()
+    hedged_p99 = float(np.percentile(hedged_lat, 99))
+    unhedged_p99 = float(np.percentile(unhedged_lat, 99))
+    ratio = unhedged_p99 / hedged_p99 if hedged_p99 else float("inf")
+    print(f"  stalled-replica query   hedged p99 {hedged_p99:8.3f} ms   "
+          f"unhedged p99 {unhedged_p99:8.3f} ms   ratio: {ratio:.2f}x   "
+          f"bit-identical: {ok}")
+    if not ok:
+        failures.append("faults: stalled-fleet answers != monolithic store")
+    metrics["hedging"] = {
+        "stall_s": stall_s,
+        "hedged_p99_ms": hedged_p99,
+        "unhedged_p99_ms": unhedged_p99,
+        "p99_ratio": ratio,
+    }
+    if args.smoke:
+        print("  NOTE: --smoke reports the hedging ratio without enforcing "
+              "the 5x bar (CI-sized host)")
+    elif ratio < 5.0:
+        failures.append(
+            f"faults: hedged p99 only {ratio:.2f}x better than unhedged, "
+            "below the 5x bar"
+        )
+
+    # -- repair: kill a replica mid-stream, time the recovering ingest --
+    with LocalCluster(fresh_config(), 2, replication=2) as cluster, \
+            ClusterService(
+                cluster.replica_clients(), supervisor=cluster
+            ) as service:
+        half = len(batches) // 2
+        for b in batches[:half]:
+            service.ingest(*b)
+        FaultInjector(cluster).kill(0, replica=1)
+        t_repair, _ = timed(lambda: service.ingest(*batches[half]))
+        for b in batches[half + 1:]:
+            service.ingest(*b)
+        recovered = not service.failed_replicas
+        ok = identical(service)
+    print(f"  killed-replica repair   detect+respawn+restore ingest "
+          f"{t_repair:8.3f} s   recovered: {recovered}   "
+          f"bit-identical: {ok}")
+    if not recovered:
+        failures.append("faults: replica still out of rotation after repair")
+    if not ok:
+        failures.append("faults: post-repair answers != monolithic store")
+    metrics["repair"] = {"repair_ingest_s": t_repair, "recovered": recovered}
+    return failures, metrics
+
+
 class _SeededSelectivities:
     """A deterministic synthetic estimator for enumeration timing.
 
@@ -679,7 +869,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run only the service, planner, and cluster sections, CI-sized",
+        help="run only the service, planner, cluster, and faults sections, "
+        "CI-sized",
+    )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        metavar="NAMES",
+        help="with --smoke: comma-separated subset to run "
+        "(service,planner,cluster,faults; default: all)",
     )
     parser.add_argument(
         "--json",
@@ -715,20 +913,30 @@ def main(argv=None) -> int:
         return 0
 
     if args.smoke:
-        failures, summary["sections"]["service"] = service_section(
-            args, n=100_000
-        )
-        print()
-        planner_failures, summary["sections"]["planner"] = planner_section(args)
-        failures.extend(planner_failures)
-        print()
-        cluster_failures, summary["sections"]["cluster"] = cluster_section(
-            args, n=400_000
-        )
-        failures.extend(cluster_failures)
-        print()
+        runners = {
+            "service": lambda: service_section(args, n=100_000),
+            "planner": lambda: planner_section(args),
+            "cluster": lambda: cluster_section(args, n=400_000),
+            "faults": lambda: fault_section(args, n=200_000),
+        }
+        if args.sections is None:
+            selected = list(runners)
+        else:
+            selected = [s.strip() for s in args.sections.split(",") if s.strip()]
+            unknown = [s for s in selected if s not in runners]
+            if unknown:
+                parser.error(
+                    f"unknown --sections entries {unknown}; "
+                    f"choose from {sorted(runners)}"
+                )
+        failures = []
+        for name in selected:
+            section_failures, summary["sections"][name] = runners[name]()
+            failures.extend(section_failures)
+            print()
         return finish(
-            failures, "service, planner, and cluster benchmark checks passed"
+            failures,
+            f"{', '.join(selected)} benchmark checks passed",
         )
 
     n = 100_000 if args.quick else 1_000_000
@@ -923,6 +1131,13 @@ def main(argv=None) -> int:
     print()
     cluster_failures, summary["sections"]["cluster"] = cluster_section(args, n=n)
     failures.extend(cluster_failures)
+
+    # ------------------------------------------------------------------
+    # 8. fault tolerance: replication cost, hedged reads, repair
+    # ------------------------------------------------------------------
+    print()
+    fault_failures, summary["sections"]["faults"] = fault_section(args, n=n)
+    failures.extend(fault_failures)
 
     print()
     return finish(failures, "all engine benchmark checks passed")

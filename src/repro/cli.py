@@ -273,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "file is the config template and must be empty; "
                          "ingest is value-hash routed, queries are "
                          "scatter-gathered)")
+    p_serve.add_argument("--replication", type=int, default=1, metavar="R",
+                         help="with --shards: workers per shard (replica "
+                         "set); ingest fans out to every replica, queries "
+                         "are hedged, and a dead replica is respawned and "
+                         "restored from a healthy peer")
     p_serve.add_argument("--read-timeout", type=float, default=300.0,
                          help="per-connection read timeout in seconds "
                          "(0 disables); stalled clients cannot pin "
@@ -346,6 +351,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_cb.add_argument("--values", type=int, default=10_000,
                       help="value domain size")
     p_cb.add_argument("--seed", type=int, default=0)
+
+    def add_scenario(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shards", type=int, default=2,
+                       help="shard count of the spawned fleet")
+        p.add_argument("--replication", type=int, default=2,
+                       help="workers per shard")
+        p.add_argument("--events", type=int, default=20_000,
+                       help="synthetic events to stream through the fleet")
+        p.add_argument("--kind", default="tugofwar",
+                       help="mergeable sketch kind for every worker")
+        p.add_argument("--s1", type=int, default=32)
+        p.add_argument("--s2", type=int, default=3)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--bucket-width", type=int, default=100)
+
+    p_cr = cluster_sub.add_parser(
+        "reshard", help="self-contained mid-stream reshard scenario: spawn "
+        "a fleet, ingest half the stream, reshard N->M under load, ingest "
+        "the rest (with deletions of pre-reshard inserts), and verify the "
+        "merged answer is bit-identical to a monolithic store"
+    )
+    add_scenario(p_cr)
+    p_cr.add_argument("--to", dest="to_shards", type=int, default=3,
+                      help="shard count after the mid-stream reshard")
+
+    p_cc = cluster_sub.add_parser(
+        "chaos", help="self-contained fault-injection smoke: spawn a "
+        "replicated fleet, ingest half the stream, kill or stall a worker, "
+        "finish the stream, and verify recovery plus bit-identity against "
+        "a monolithic store"
+    )
+    add_scenario(p_cc)
+    p_cc.add_argument("--mode", choices=("kill", "stall"), default="kill",
+                      help="kill: SIGKILL a replica mid-stream (exercises "
+                      "respawn + restore); stall: SIGSTOP it (exercises "
+                      "hedged reads)")
 
     return parser
 
@@ -884,6 +925,9 @@ def _serve_cluster(args, store, read_timeout) -> int:
 
     if args.shards < 1:
         raise CliError(f"--shards must be >= 1, got {args.shards}")
+    replication = getattr(args, "replication", 1)
+    if replication < 1:
+        raise CliError(f"--replication must be >= 1, got {replication}")
     if store.span_count:
         raise CliError(
             f"{args.path} already holds {store.span_count} spans; a cluster "
@@ -892,14 +936,19 @@ def _serve_cluster(args, store, read_timeout) -> int:
         )
     try:
         cluster = LocalCluster(
-            store_config(store), args.shards, read_timeout=read_timeout
+            store_config(store),
+            args.shards,
+            read_timeout=read_timeout,
+            replication=replication,
         )
     except ShardUnreachableError as exc:
         raise CliError(f"cannot spawn shard workers: {exc}") from exc
     service = server = None
     try:
         try:
-            service = ClusterService(cluster.clients())
+            service = ClusterService(
+                cluster.replica_clients(), supervisor=cluster
+            )
             server = EventLoopServer(
                 service,
                 address=(args.host, args.port),
@@ -915,7 +964,8 @@ def _serve_cluster(args, store, read_timeout) -> int:
         print(
             f"serving {args.path} on {host}:{port} "
             f"(kind={store.spec.kind}, protocol={args.protocol}, "
-            f"shards={cluster.num_shards}: "
+            f"shards={cluster.num_shards}, "
+            f"replication={cluster.replication}: "
             f"{', '.join(cluster.addresses)})",
             flush=True,
         )
@@ -979,6 +1029,9 @@ def _cluster_main(args) -> int:
         except (ClusterConfigError, ValueError, OSError) as exc:
             # Corrupt templates, unknown kinds, unbindable ports.
             raise CliError(str(exc)) from exc
+
+    if args.cluster_command in ("reshard", "chaos"):
+        return _cluster_scenario(args)
 
     host, port = _parse_connect(args.connect)
     wire_errors = (ShardUnreachableError, ShardProtocolError, ShardRequestError)
@@ -1057,6 +1110,172 @@ def _cluster_main(args) -> int:
     raise AssertionError(
         f"unhandled cluster command {args.cluster_command!r}"
     )  # pragma: no cover
+
+
+def _cluster_scenario(args) -> int:
+    """`cluster reshard` / `cluster chaos`: self-contained fault drills.
+
+    Both spawn a throwaway replicated fleet, stream a synthetic signed
+    workload through it while applying the requested disruption
+    (mid-stream N->M reshard, or a killed / stalled worker), and verify
+    the scatter-gathered answer is **bit-identical** to a monolithic
+    store fed the same stream.  A one-line JSON verdict goes to stdout;
+    a divergent answer exits 2.
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    from .cluster import (
+        ClusterConfigError,
+        ClusterService,
+        FaultInjector,
+        LocalCluster,
+        ShardMergeUnsupportedError,
+        ShardProtocolError,
+        ShardRequestError,
+        ShardUnreachableError,
+        store_config,
+    )
+    from .engine.registry import dump_sketch
+    from .store.spec import SketchSpec
+    from .store.windowed import WindowedSketchStore
+
+    if args.shards < 1:
+        raise CliError(f"--shards must be >= 1, got {args.shards}")
+    if args.replication < 1:
+        raise CliError(f"--replication must be >= 1, got {args.replication}")
+    if args.events < 8:
+        raise CliError(f"--events must be >= 8, got {args.events}")
+    if args.bucket_width < 1:
+        raise CliError(
+            f"--bucket-width must be >= 1, got {args.bucket_width}"
+        )
+    if args.cluster_command == "chaos" and args.replication < 2:
+        raise CliError(
+            "chaos needs --replication >= 2: recovery restores the hurt "
+            "replica from a healthy peer of the same shard"
+        )
+    if args.cluster_command == "reshard" and args.to_shards < 1:
+        raise CliError(f"--to must be >= 1, got {args.to_shards}")
+
+    params = {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    if args.kind == "frequency":
+        params = {}  # the exact histogram takes no size/seed knobs
+    width = args.bucket_width
+    try:
+        spec = SketchSpec(args.kind, params)
+        mono = WindowedSketchStore(spec, bucket_width=width)
+    except (LookupError, TypeError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+
+    # The stream: first half lands in buckets [0, 8), the rest in
+    # buckets [8, 16) plus deletions reversing a quarter of the
+    # first-half inserts at their original timestamps — the shape that
+    # exercises cross-epoch (and cross-fault) deletion routing.
+    rng = np.random.default_rng(args.seed)
+    half = args.events // 2
+    ts1 = rng.integers(0, 8 * width, size=half, dtype=np.int64)
+    vals1 = rng.integers(0, 1000, size=half, dtype=np.int64)
+    ts2 = rng.integers(
+        8 * width, 16 * width, size=args.events - half, dtype=np.int64
+    )
+    vals2 = rng.integers(0, 1000, size=args.events - half, dtype=np.int64)
+    deletions = half // 4
+    drop = rng.choice(half, size=deletions, replace=False)
+    ts_rest = np.concatenate([ts2, ts1[drop]])
+    vals_rest = np.concatenate([vals2, vals1[drop]])
+    counts_rest = np.concatenate(
+        [np.ones(len(ts2), dtype=np.int64),
+         np.full(deletions, -1, dtype=np.int64)]
+    )
+
+    wire_errors = (
+        ClusterConfigError,
+        ShardMergeUnsupportedError,
+        ShardProtocolError,
+        ShardRequestError,
+        ShardUnreachableError,
+    )
+    verdict = {
+        "scenario": args.cluster_command,
+        "kind": args.kind,
+        "shards": args.shards,
+        "replication": args.replication,
+        "events": int(args.events),
+        "deletions": int(deletions),
+    }
+    started = time.perf_counter()
+    try:
+        cluster = LocalCluster(
+            store_config(mono), args.shards, replication=args.replication
+        )
+    except ShardUnreachableError as exc:
+        raise CliError(f"cannot spawn shard workers: {exc}") from exc
+    service = None
+    injector = FaultInjector(cluster)
+    try:
+        try:
+            service = ClusterService(
+                cluster.replica_clients(), supervisor=cluster
+            )
+            mono.ingest(ts1, vals1)
+            service.ingest(ts1, vals1)
+
+            if args.cluster_command == "reshard":
+                verdict["to_shards"] = int(args.to_shards)
+                service.reshard(args.to_shards, cutover=8 * width)
+                verdict["epochs"] = service.num_epochs
+            elif args.mode == "kill":
+                verdict["mode"] = "kill"
+                injector.kill(0, args.replication - 1)
+            else:
+                verdict["mode"] = "stall"
+
+            if args.cluster_command == "chaos" and args.mode == "stall":
+                # Finish the stream first (ingest fans out to every
+                # replica and would wait on the straggler), then stall
+                # the primary and time one hedged read around it.
+                mono.ingest(ts_rest, vals_rest, counts_rest)
+                service.ingest(ts_rest, vals_rest, counts_rest)
+                injector.stall(0, 0)
+                t0 = time.perf_counter()
+                fleet_sketch = service.query(0, 16 * width)
+                verdict["hedged_query_s"] = round(
+                    time.perf_counter() - t0, 6
+                )
+                injector.resume_all()
+            else:
+                mono.ingest(ts_rest, vals_rest, counts_rest)
+                service.ingest(ts_rest, vals_rest, counts_rest)
+                fleet_sketch = service.query(0, 16 * width)
+            verdict["failed_replicas"] = [
+                list(entry) for entry in service.failed_replicas
+            ]
+        except wire_errors as exc:
+            raise CliError(str(exc)) from exc
+        verdict["identical"] = (
+            dump_sketch(fleet_sketch) == dump_sketch(mono.query(0, 16 * width))
+        )
+        verdict["elapsed_s"] = round(time.perf_counter() - started, 6)
+        print(json.dumps(verdict), flush=True)
+        if verdict["failed_replicas"]:
+            raise CliError(
+                "replicas still out of rotation after recovery: "
+                f"{verdict['failed_replicas']}"
+            )
+        if not verdict["identical"]:
+            raise CliError(
+                "cluster answer diverged from the monolithic store "
+                "(bit-identity check failed)"
+            )
+        return 0
+    finally:
+        injector.resume_all()
+        if service is not None:
+            service.close()
+        cluster.shutdown()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

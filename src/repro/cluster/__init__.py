@@ -13,13 +13,21 @@ mathematically free, and this package cashes it in:
   store from the cluster-wide spec, served by the same generalized
   line-delimited JSON server as single-node ``repro serve``;
 * :mod:`repro.cluster.local` — :class:`LocalCluster`, spawning N
-  worker processes on ephemeral ports with clean shutdown;
+  shards x R replicas on ephemeral ports with clean shutdown, plus
+  the supervisor surface (``respawn``, ``spawn_replica_set``) that
+  recovery and resharding call back into;
 * :mod:`repro.cluster.client` — :class:`ShardClient`, the persistent
-  thread-safe wire conversation with one worker;
+  thread-safe wire conversation with one worker, with at-most-once
+  retry classification and a ``fault_hook`` injection point;
 * :mod:`repro.cluster.service` — :class:`ClusterService`, the
   cluster-aware facade satisfying the same estimate / sketch / ingest
   / info surface as :class:`~repro.service.service.SketchService`, so
-  the wire dispatch table and the CLI serve a fleet unchanged;
+  the wire dispatch table and the CLI serve a fleet unchanged; adds
+  replica-set fan-out, hedged / quorum reads with read repair,
+  dead-replica recovery, and time-keyed epoch resharding;
+* :mod:`repro.cluster.faults` — deterministic fault injection for
+  tests and chaos drills (:class:`FaultInjector` signals,
+  :class:`DropRequests` / :class:`StallRequests` client hooks);
 * :mod:`repro.cluster.errors` — the typed failure surface
   (:class:`ShardMergeUnsupportedError`, :class:`ShardUnreachableError`,
   :class:`ShardProtocolError`, :class:`ClusterConfigError`).
@@ -32,6 +40,7 @@ from .errors import (
     ShardProtocolError,
     ShardUnreachableError,
 )
+from .faults import DropRequests, FaultInjector, StallRequests
 from .local import LocalCluster, WorkerProcess
 from .partitioned import gather_merge, partitioned_build, scatter_build
 from .service import ClusterService
@@ -47,6 +56,9 @@ __all__ = [
     "ShardUnreachableError",
     "ShardProtocolError",
     "ClusterConfigError",
+    "FaultInjector",
+    "DropRequests",
+    "StallRequests",
     "scatter_build",
     "gather_merge",
     "partitioned_build",

@@ -127,6 +127,12 @@ class ShardClient:
         self.timeout = float(timeout)
         self.protocol = protocol
         self.max_frame_bytes = int(max_frame_bytes)
+        #: Optional fault-injection hook (see :mod:`repro.cluster.faults`):
+        #: called with the op name before each :meth:`request` touches
+        #: the socket.  It may sleep (a deterministic stall) or raise
+        #: (a deterministic drop) — both exercise the front end's
+        #: hedging and recovery paths without signals or real crashes.
+        self.fault_hook = None
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
         self._rfile = None
@@ -315,8 +321,11 @@ class ShardClient:
           :class:`~repro.cluster.errors.ShardProtocolError` instead,
           because replaying a signed cumulative batch corrupts state.
         """
-        data, expected = self._encode(payload)
         op = str(payload.get("op", ""))
+        hook = self.fault_hook
+        if hook is not None:
+            hook(op)
+        data, expected = self._encode(payload)
         with self._lock:
             fresh = self._sock is None
             if fresh:

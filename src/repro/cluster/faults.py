@@ -1,0 +1,166 @@
+"""Deterministic fault injection for cluster tests and chaos runs.
+
+Two complementary levels, both driven by the test (or the ``repro
+cluster chaos`` smoke command), never by chance:
+
+* **Process faults** — :class:`FaultInjector` sends real signals to a
+  :class:`~repro.cluster.local.LocalCluster`'s workers: ``kill``
+  (SIGKILL — the worker vanishes mid-conversation, connections reset)
+  and ``stall`` (SIGSTOP — the worker stays connectable but answers
+  nothing, the classic straggler).  These exercise the genuine kernel
+  behaviours the front end's failure classification keys on.
+* **Client-hook faults** — :class:`DropRequests` and
+  :class:`StallRequests` install themselves as a
+  :class:`~repro.cluster.client.ShardClient`'s ``fault_hook`` and
+  fire on the next N matching ops: a drop raises
+  :class:`~repro.cluster.errors.ShardUnreachableError` before the
+  socket is touched, a stall sleeps in the caller's thread (outside
+  the client's connection lock, so parallel stalled requests do not
+  serialise).  Signal-free, so they are exact to the request and run
+  anywhere — including platforms and sandboxes where SIGSTOP is off
+  the table.
+
+Everything is idempotent to clean up: the injector is a context
+manager that resumes every stalled worker on exit, and the hooks
+uninstall themselves when exhausted or on :meth:`~DropRequests.remove`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Iterable
+
+from .errors import ShardUnreachableError
+
+__all__ = ["FaultInjector", "DropRequests", "StallRequests"]
+
+
+class FaultInjector:
+    """Signal-level faults against a :class:`LocalCluster`'s workers."""
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self._stalled: list[int] = []
+
+    def kill(self, shard: int, replica: int = 0) -> int:
+        """SIGKILL one worker outright; returns the dead pid.
+
+        The kernel resets its connections, so the front end's next
+        request classifies the replica unreachable and recovery kicks
+        in (respawn + restore from a healthy peer).
+        """
+        process = self._cluster.worker(shard, replica).process
+        process.kill()
+        process.wait()
+        return process.pid
+
+    def stall(self, shard: int, replica: int = 0) -> int:
+        """SIGSTOP one worker: connectable, silent — a straggler.
+
+        Unlike a kill, nothing fails fast: connects succeed and reads
+        hang until the client's timeout, which is exactly the shape
+        hedged reads exist to absorb.  Returns the stalled pid.
+        """
+        pid = self._cluster.worker(shard, replica).process.pid
+        os.kill(pid, signal.SIGSTOP)
+        self._stalled.append(pid)
+        return pid
+
+    def resume(self, shard: int, replica: int = 0) -> None:
+        """SIGCONT one previously stalled worker."""
+        pid = self._cluster.worker(shard, replica).process.pid
+        self._signal_cont(pid)
+        self._stalled = [p for p in self._stalled if p != pid]
+
+    def resume_all(self) -> None:
+        """SIGCONT every worker this injector stalled."""
+        for pid in self._stalled:
+            self._signal_cont(pid)
+        self._stalled = []
+
+    @staticmethod
+    def _signal_cont(pid: int) -> None:
+        try:
+            os.kill(pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass  # already gone (killed or respawned meanwhile)
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.resume_all()
+
+
+class _ClientHook:
+    """Base for self-uninstalling ``fault_hook`` installations."""
+
+    def __init__(self, client, times: int = 1, ops: Iterable[str] | None = None):
+        self._client = client
+        self._remaining = int(times)
+        self._ops = None if ops is None else frozenset(ops)
+        self._previous = client.fault_hook
+        client.fault_hook = self
+
+    def __call__(self, op: str) -> None:
+        if self._previous is not None:
+            self._previous(op)
+        if self._remaining <= 0 or (self._ops is not None and op not in self._ops):
+            return
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.remove()
+        self._fire(op)
+
+    def _fire(self, op: str) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def remove(self) -> None:
+        """Uninstall this hook (restores whatever it wrapped)."""
+        if self._client.fault_hook is self:
+            self._client.fault_hook = self._previous
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()
+
+
+class DropRequests(_ClientHook):
+    """Fail the next ``times`` matching ops as unreachable.
+
+    The error is raised *before* the socket is touched, so the worker
+    provably never saw the request — the deterministic twin of a
+    refused fresh connection, and exactly what exercises the front
+    end's dead-replica failover without killing anything.
+    """
+
+    def _fire(self, op: str) -> None:
+        raise ShardUnreachableError(
+            f"injected drop of {op!r} to {self._client.address}"
+        )
+
+
+class StallRequests(_ClientHook):
+    """Delay the next ``times`` matching ops by ``seconds``.
+
+    The sleep happens in the requesting thread before the client's
+    connection lock, so concurrent stalled requests stall in parallel
+    — a deterministic straggler for hedging tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        client,
+        seconds: float,
+        times: int = 1,
+        ops: Iterable[str] | None = None,
+    ):
+        self.seconds = float(seconds)
+        super().__init__(client, times=times, ops=ops)
+
+    def _fire(self, op: str) -> None:
+        time.sleep(self.seconds)

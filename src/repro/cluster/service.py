@@ -26,11 +26,42 @@ CLI — works unchanged against a fleet of shard workers:
   compacted spans differ because they hold different values), so the
   gather loop re-scatters the union hull until every shard agrees —
   the reported window always describes the returned sketch.
+
+Fault tolerance (replication, hedging, recovery):
+
+* **Replica sets.**  Each shard may be a set of R workers fed the
+  same slice of every batch.  Sketch updates are deterministic given
+  the spec (all randomness is seed-derived), so replicas of a shard
+  are *bit-identical* by construction — any one can answer a query,
+  and any healthy one can donate a ``snapshot`` to rebuild a peer.
+  Delivery is tracked **per replica** by each replica's own
+  at-most-once :class:`~repro.cluster.client.ShardClient`: a resend
+  after an ambiguous outcome never double-applies on a replica that
+  already acked, because the ambiguous replica is quarantined and
+  overwritten from a peer's absolute-state snapshot instead.
+* **Hedged reads.**  A query dispatches to one replica per shard and
+  hedges to the next after ``hedge_delay`` seconds, first well-formed
+  answer wins — a stalled replica costs one hedge delay, not a
+  timeout.  ``read_mode="quorum"`` instead asks every replica,
+  compares answers, and read-repairs any minority (exact, because the
+  majority answer is the deterministic function of the stream).
+* **Recovery.**  A replica classified unreachable is respawned via
+  the ``supervisor`` (a :class:`~repro.cluster.local.LocalCluster`)
+  and restored from a healthy peer's snapshot — RNG state included,
+  so continued ingestion stays bit-identical.
+* **Epoch-based resharding.**  :meth:`reshard` appends a new epoch of
+  replica sets under a new partitioner, owning every time bucket from
+  a cutover timestamp on.  Events route under the epoch owning their
+  timestamp — deletions carry the insert's timestamp, so they land on
+  the shard holding the insert — and answers merge across epochs by
+  linearity, bit-identical to the monolithic store.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -40,14 +71,104 @@ from ..engine.protocol import Sketch
 from ..engine.registry import load_sketch
 from ..service.service import WindowEstimate
 from ..store.spec import SketchSpec
-from .client import ShardClient
-from .errors import ClusterConfigError, ShardMergeUnsupportedError
+from .client import ShardRequestError
+from .errors import (
+    ClusterConfigError,
+    ShardMergeUnsupportedError,
+    ShardProtocolError,
+    ShardUnreachableError,
+)
 from .partitioned import gather_merge
 
-__all__ = ["ClusterService"]
+__all__ = ["ClusterService", "DEFAULT_HEDGE_DELAY"]
 
 #: Outer-alignment gather rounds before declaring divergence a bug.
 _MAX_ALIGN_ROUNDS = 32
+
+#: Seconds a hedged read waits on a replica before dispatching the
+#: same request to the next one.  Far above a healthy local worker's
+#: service time (tens of microseconds), far below any timeout.
+DEFAULT_HEDGE_DELAY = 0.05
+
+
+class _Replica:
+    """One worker in a replica set, plus the front end's view of it."""
+
+    __slots__ = ("client", "strikes", "dead", "suspect", "error")
+
+    def __init__(self, client):
+        self.client = client
+        #: Hedge count against this replica; sorts it behind faster
+        #: peers on later dispatches.  Reset by a successful repair.
+        self.strikes = 0
+        #: Classified unreachable (connection-level failure on a
+        #: fresh dial): its state may be missing batches.
+        self.dead = False
+        #: Ambiguous non-idempotent outcome (partial write): its
+        #: state may or may not include the last batch.
+        self.suspect = False
+        #: The exception that earned the mark, for error reporting.
+        self.error = None
+
+    @property
+    def live(self) -> bool:
+        return not self.dead and not self.suspect
+
+
+class _Epoch:
+    """One resharding generation: a partitioner and its replica sets.
+
+    ``start`` is the epoch's inclusive cutover timestamp (``None`` for
+    the first epoch, which owns everything earlier): an event routes
+    under the last epoch whose ``start`` is at or below its timestamp.
+    Keying epochs by *event time* rather than arrival order is what
+    keeps deletions exact across a reshard — a deletion carries the
+    timestamp of the insert it reverses (the store's own contract), so
+    it routes to the epoch, and therefore the shard, holding that
+    insert.
+    """
+
+    __slots__ = ("partitioner", "sets", "start")
+
+    def __init__(self, partitioner: HashPartitioner, sets: list, start=None):
+        self.partitioner = partitioner
+        self.sets = sets
+        self.start = start
+
+
+class _Unit:
+    """Read-dispatch state for one (epoch, shard) replica set."""
+
+    __slots__ = (
+        "epoch", "shard", "replicas", "candidates", "next",
+        "deadline", "pending", "votes", "response", "error", "done",
+    )
+
+    def __init__(self, epoch: int, shard: int, replicas, candidates):
+        self.epoch = epoch
+        self.shard = shard
+        self.replicas = replicas
+        self.candidates = candidates
+        self.next = 0
+        self.deadline = None
+        self.pending = set()
+        self.votes = []
+        self.response = None
+        self.error = None
+        self.done = False
+
+
+def _canon(value):
+    """A hashable canonical form for comparing replica answers."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canon(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return tuple(value.tolist())
+    if isinstance(value, float) and value != value:
+        return "nan"
+    return value
 
 
 class ClusterService:
@@ -56,13 +177,31 @@ class ClusterService:
     Parameters
     ----------
     clients:
-        One :class:`~repro.cluster.client.ShardClient` per shard, in
-        shard order — the order **is** the partition map, so it must
-        match the order ingest has always used against these workers.
+        Either one :class:`~repro.cluster.client.ShardClient` per
+        shard (the replication-free fleet) or one *sequence* of
+        clients per shard — a replica set, primary first.  Shard
+        order **is** the partition map, so it must match the order
+        ingest has always used against these workers.
     partition_seed:
         Seed of the value-hash partitioner.  Defaults to the sketch
         spec's own seed, so a front end restarted against the same
         workers routes identically without extra coordination.
+    supervisor:
+        An object with ``respawn(client) -> client`` and
+        ``spawn_replica_set(replication) -> [client]`` (a
+        :class:`~repro.cluster.local.LocalCluster`).  Without one,
+        dead replicas stay out of rotation instead of being respawned
+        and :meth:`reshard` is refused.
+    hedge_delay:
+        Seconds before a read hedges to the next replica.  ``None``
+        disables hedging (reads wait on the primary alone).
+    read_mode:
+        ``"hedged"`` (first well-formed answer wins) or ``"quorum"``
+        (every replica answers, majority wins, minority is
+        read-repaired from the majority).
+    pool_size:
+        Scatter-thread cap; defaults to ``max(8, 2 × replicas)``.
+        Raise it when many hedged stragglers may be in flight at once.
 
     Raises
     ------
@@ -75,30 +214,63 @@ class ClusterService:
 
     def __init__(
         self,
-        clients: Sequence[ShardClient],
+        clients: Sequence,
         partition_seed: int | None = None,
+        supervisor=None,
+        hedge_delay: float | None = DEFAULT_HEDGE_DELAY,
+        read_mode: str = "hedged",
+        pool_size: int | None = None,
     ):
         if not clients:
             raise ClusterConfigError("a cluster needs at least one shard")
-        self._clients = list(clients)
+        if read_mode not in ("hedged", "quorum"):
+            raise ClusterConfigError(
+                f"read_mode must be 'hedged' or 'quorum', got {read_mode!r}"
+            )
+        sets: list[list[_Replica]] = []
+        for entry in clients:
+            if hasattr(entry, "request"):
+                sets.append([_Replica(entry)])
+            else:
+                group = [_Replica(c) for c in entry]
+                if not group:
+                    raise ClusterConfigError(
+                        "a replica set needs at least one replica"
+                    )
+                sets.append(group)
+        self._supervisor = supervisor
+        self._hedge_delay = None if hedge_delay is None else float(hedge_delay)
+        self._read_mode = read_mode
+        self._admin_lock = threading.Lock()
+        total = sum(len(group) for group in sets)
+        self._pool_size = (
+            max(8, 2 * total) if pool_size is None else int(pool_size)
+        )
         self._pool = ThreadPoolExecutor(
-            max_workers=len(self._clients),
+            max_workers=self._pool_size,
             thread_name_prefix="cluster-scatter",
         )
         try:
-            infos = self._scatter({"op": "info"})
+            flat = [
+                (s, r, replica)
+                for s, group in enumerate(sets)
+                for r, replica in enumerate(group)
+            ]
+            infos = self._probe([replica for _, _, replica in flat])
             reference = infos[0]
-            for client, info in zip(self._clients[1:], infos[1:]):
+            for (s, r, replica), info in zip(flat[1:], infos[1:]):
                 for field in ("spec", "bucket_width", "origin"):
                     if info.get(field) != reference.get(field):
                         raise ClusterConfigError(
-                            f"shard {client.address} disagrees on {field}: "
-                            f"{info.get(field)!r} != {reference.get(field)!r} "
-                            f"(shard {self._clients[0].address})"
+                            f"shard {s} replica {r} "
+                            f"({replica.client.address}) disagrees on "
+                            f"{field}: {info.get(field)!r} != "
+                            f"{reference.get(field)!r} (shard 0 replica 0, "
+                            f"{flat[0][2].client.address})"
                         )
             if "spec" not in reference:
                 raise ClusterConfigError(
-                    f"shard {self._clients[0].address} reported no sketch "
+                    f"shard {flat[0][2].client.address} reported no sketch "
                     "spec; workers must run this repo's generalized server"
                 )
             self._spec = SketchSpec.from_dict(reference["spec"])
@@ -117,28 +289,19 @@ class ClusterService:
         self._origin = int(reference["origin"])
         if partition_seed is None:
             partition_seed = int(self._spec.params.get("seed", 0))
-        self._partitioner = HashPartitioner(
-            len(self._clients), seed=partition_seed
-        )
+        self._partition_seed = int(partition_seed)
+        self._epochs = [
+            _Epoch(HashPartitioner(len(sets), seed=self._partition_seed), sets)
+        ]
 
     # ------------------------------------------------------------------
     # Scatter plumbing
     # ------------------------------------------------------------------
-    def _scatter(
-        self, payload: Mapping, only: Sequence[int] | None = None
-    ) -> list[dict]:
-        """One request to every shard (or ``only`` these), concurrently.
-
-        Responses come back in shard order; the first failure
-        propagates after all in-flight requests finish, so a partial
-        scatter never leaves orphaned futures behind.
-        """
-        targets = (
-            self._clients if only is None else [self._clients[i] for i in only]
-        )
+    def _probe(self, replicas: Sequence[_Replica]) -> list[dict]:
+        """One ``info`` to each replica, concurrently, in order."""
         futures = [
-            self._pool.submit(client.request, dict(payload))
-            for client in targets
+            self._pool.submit(replica.client.request, {"op": "info"})
+            for replica in replicas
         ]
         results, first_error = [], None
         for future in futures:
@@ -150,6 +313,302 @@ class ClusterService:
         if first_error is not None:
             raise first_error
         return results
+
+    @property
+    def _partitioner(self) -> HashPartitioner:
+        """The partitioner new batches route under (newest epoch's)."""
+        return self._epochs[-1].partitioner
+
+    def _units(self) -> list[tuple[int, int, list]]:
+        """Every (epoch index, shard index, replica set), query order."""
+        return [
+            (e, s, epoch.sets[s])
+            for e, epoch in enumerate(self._epochs)
+            for s in range(len(epoch.sets))
+        ]
+
+    @staticmethod
+    def _candidates(replicas: Sequence[_Replica]) -> list[_Replica]:
+        """Replicas in dispatch order: live first, fewest strikes first.
+
+        A marked singleton is still returned — with no peer to diverge
+        from, retrying it is both safe and the only option, and a
+        success clears its mark (the pre-replication semantics).
+        """
+        live = [r for r in replicas if r.live]
+        if live:
+            return sorted(live, key=lambda r: r.strikes)
+        if len(replicas) == 1:
+            return list(replicas)
+        return []
+
+    @staticmethod
+    def _targets(replicas: Sequence[_Replica]) -> list[_Replica]:
+        """Replicas a mutation fans out to (same fallback rule)."""
+        live = [r for r in replicas if r.live]
+        if live:
+            return live
+        if len(replicas) == 1:
+            return list(replicas)
+        return []
+
+    @staticmethod
+    def _set_error(epoch: int, shard: int, replicas) -> Exception:
+        """The error to raise when a whole replica set is out."""
+        for replica in replicas:
+            if replica.error is not None:
+                return replica.error
+        return ShardUnreachableError(
+            f"every replica of shard {shard} (epoch {epoch}) is "
+            "unreachable or suspect"
+        )
+
+    @staticmethod
+    def _clear_if_marked(replica: _Replica) -> None:
+        """A marked replica that answered is healthy again (singletons)."""
+        if replica.dead or replica.suspect:
+            replica.dead = replica.suspect = False
+            replica.error = None
+
+    # ------------------------------------------------------------------
+    # Reads: hedged / quorum scatter
+    # ------------------------------------------------------------------
+    def _dispatch(self, unit: _Unit, payload: Mapping, inflight: dict) -> bool:
+        """Submit the unit's next candidate; False when exhausted."""
+        if unit.next >= len(unit.candidates):
+            return False
+        replica = unit.candidates[unit.next]
+        unit.next += 1
+        future = self._pool.submit(replica.client.request, dict(payload))
+        inflight[future] = (unit, replica)
+        unit.pending.add(future)
+        if self._hedge_delay is not None:
+            unit.deadline = time.monotonic() + self._hedge_delay
+        return True
+
+    def _resolve(self, unit: _Unit, response: dict, replica: _Replica) -> None:
+        unit.response = response
+        unit.done = True
+        self._clear_if_marked(replica)
+        for future in unit.pending:
+            future.cancel()
+
+    def _hedged_read(self, payload: Mapping) -> tuple[list, Exception | None]:
+        """One request per unit, hedging to the next replica when slow.
+
+        A flat state machine in the caller's thread: every dispatch
+        goes straight to the pool and nothing submitted ever waits on
+        another pool task, so hedging cannot deadlock the pool.
+        """
+        units = [
+            _Unit(e, s, replicas, self._candidates(replicas))
+            for e, s, replicas in self._units()
+        ]
+        inflight: dict = {}
+        for unit in units:
+            if not self._dispatch(unit, payload, inflight):
+                unit.error = self._set_error(unit.epoch, unit.shard, unit.replicas)
+                unit.done = True
+        while any(not u.done for u in units):
+            timeout = None
+            if self._hedge_delay is not None:
+                deadlines = [
+                    u.deadline
+                    for u in units
+                    if not u.done
+                    and u.deadline is not None
+                    and u.next < len(u.candidates)
+                ]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+            active = [f for f, (u, _) in inflight.items() if not u.done]
+            if not active:
+                for unit in units:
+                    if not unit.done:
+                        unit.error = self._set_error(
+                            unit.epoch, unit.shard, unit.replicas
+                        )
+                        unit.done = True
+                break
+            done_set, _ = wait(active, timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done_set:
+                unit, replica = inflight.pop(future)
+                unit.pending.discard(future)
+                if unit.done:
+                    try:
+                        future.exception()
+                    except BaseException:  # noqa: BLE001 - straggler noise
+                        pass
+                    continue
+                try:
+                    response = future.result()
+                except ShardRequestError as exc:
+                    # The worker answered and refused: authoritative,
+                    # deterministic, identical on every replica.
+                    unit.error = exc
+                    unit.done = True
+                except ShardUnreachableError as exc:
+                    replica.dead, replica.error = True, exc
+                    if not self._dispatch(unit, payload, inflight) and not unit.pending:
+                        unit.error = exc
+                        unit.done = True
+                except ShardProtocolError as exc:
+                    replica.suspect, replica.error = True, exc
+                    if not self._dispatch(unit, payload, inflight) and not unit.pending:
+                        unit.error = exc
+                        unit.done = True
+                except Exception as exc:  # noqa: BLE001 - malformed response
+                    unit.error = exc
+                    unit.done = True
+                else:
+                    self._resolve(unit, response, replica)
+            if self._hedge_delay is not None:
+                now = time.monotonic()
+                for unit in units:
+                    if unit.done or unit.deadline is None or now < unit.deadline:
+                        continue
+                    if unit.next < len(unit.candidates):
+                        # The in-flight replica is slow: hedge past it
+                        # and remember the slowness for next time.
+                        for pending in unit.pending:
+                            inflight[pending][1].strikes += 1
+                        self._dispatch(unit, payload, inflight)
+                    else:
+                        unit.deadline = None
+        for future in inflight:
+            future.cancel()
+        first_error = next((u.error for u in units if u.error is not None), None)
+        return [u.response for u in units], first_error
+
+    def _quorum_read(self, payload: Mapping) -> tuple[list, Exception | None]:
+        """Every replica answers; majority wins; minority is marked.
+
+        Exact, not probabilistic: replica state is a deterministic
+        function of the acked stream, so a divergent answer means a
+        divergent replica — the minority is quarantined and restored
+        from the majority by the repair pass.
+        """
+        units = [
+            _Unit(e, s, replicas, self._candidates(replicas))
+            for e, s, replicas in self._units()
+        ]
+        futures: dict = {}
+        for unit in units:
+            for replica in unit.candidates:
+                futures[
+                    self._pool.submit(replica.client.request, dict(payload))
+                ] = (unit, replica)
+        for future, (unit, replica) in futures.items():
+            try:
+                response = future.result()
+            except ShardRequestError as exc:
+                unit.error = unit.error or exc
+            except ShardUnreachableError as exc:
+                replica.dead, replica.error = True, exc
+            except ShardProtocolError as exc:
+                replica.suspect, replica.error = True, exc
+            except Exception as exc:  # noqa: BLE001 - malformed response
+                unit.error = unit.error or exc
+            else:
+                unit.votes.append((replica, response))
+                self._clear_if_marked(replica)
+        first_error = None
+        for unit in units:
+            if unit.votes:
+                groups: dict = {}
+                for order, (replica, response) in enumerate(unit.votes):
+                    groups.setdefault(_canon(response), []).append(
+                        (order, replica, response)
+                    )
+                ranked = sorted(
+                    groups.values(), key=lambda g: (-len(g), g[0][0])
+                )
+                unit.response = ranked[0][0][2]
+                for group in ranked[1:]:
+                    for _, replica, _resp in group:
+                        replica.suspect = True
+            elif unit.error is None:
+                unit.error = self._set_error(unit.epoch, unit.shard, unit.replicas)
+            if unit.response is None and unit.error is not None and first_error is None:
+                first_error = unit.error
+        return [u.response for u in units], first_error
+
+    def _scatter_read(self, payload: Mapping) -> list[dict]:
+        """One well-formed response per (epoch, shard) unit, in order."""
+        if self._read_mode == "quorum":
+            responses, first_error = self._quorum_read(payload)
+        else:
+            responses, first_error = self._hedged_read(payload)
+        if first_error is not None:
+            raise first_error
+        self._repair()
+        return responses
+
+    # ------------------------------------------------------------------
+    # Repair (recovery half of replication)
+    # ------------------------------------------------------------------
+    def _restore_replica(self, replica: _Replica, snapshot: Mapping) -> bool:
+        """Overwrite one replica from a donor snapshot, respawning if dead.
+
+        ``restore`` writes absolute state, so it clobbers an ambiguous
+        partial write exactly, and it is idempotent — safe to repeat
+        against a respawned worker.  Returns False only when the
+        replica is unreachable and there is no supervisor to respawn
+        it (the degraded, replica-down-but-serving mode).
+        """
+        payload = {"op": "restore", "snapshot": snapshot}
+        try:
+            replica.client.request(dict(payload))
+            return True
+        except ShardUnreachableError as exc:
+            if self._supervisor is None:
+                replica.error = exc
+                return False
+        replica.client = self._supervisor.respawn(replica.client)
+        replica.client.request(dict(payload))
+        return True
+
+    def _repair(self) -> None:
+        """Restore every marked replica from a healthy peer's snapshot.
+
+        Runs after every scatter that may have marked replicas.  The
+        donor's snapshot reflects everything the set has acked (the
+        donor acked it), so a restored replica is bit-identical to its
+        peers — including RNG state, so future ingestion stays
+        identical too.  Raises when a set has no healthy donor left:
+        that set's data is gone and pretending otherwise would serve
+        wrong answers.
+        """
+        for e, epoch in enumerate(self._epochs):
+            for s, replicas in enumerate(epoch.sets):
+                marked = [r for r in replicas if not r.live]
+                if not marked:
+                    continue
+                healthy = [r for r in replicas if r.live]
+                if not healthy:
+                    error = self._set_error(e, s, replicas)
+                    if len(replicas) == 1:
+                        # Pre-replication semantics: nothing is sticky
+                        # for a singleton — the next op retries it.
+                        replicas[0].dead = replicas[0].suspect = False
+                        replicas[0].error = None
+                    raise error
+                donor = healthy[0]
+                snapshot = donor.client.request({"op": "snapshot"})["snapshot"]
+                for replica in marked:
+                    if self._restore_replica(replica, snapshot):
+                        replica.dead = replica.suspect = False
+                        replica.error = None
+                        replica.strikes = 0
+
+    def _reset_replica_state(self) -> None:
+        """Forget every mark and strike (benchmarks and tests only)."""
+        for epoch in self._epochs:
+            for replicas in epoch.sets:
+                for replica in replicas:
+                    replica.dead = replica.suspect = False
+                    replica.error = None
+                    replica.strikes = 0
 
     # ------------------------------------------------------------------
     # Mutations
@@ -163,22 +622,28 @@ class ClusterService:
     ) -> None:
         """Value-hash route one timestamped batch across the shards.
 
-        Shards receive their slices concurrently; each worker applies
-        its slice atomically under its own service's write lock.
-        Atomicity is therefore **per shard, not per batch**: there is
-        no cross-shard transaction, so a concurrent reader can observe
-        shard 0 after its slice landed and shard 1 before — a torn
-        state the single-node :class:`~repro.service.service.
-        SketchService` (one write lock) can never expose.  Callers who
-        need batch-level read isolation must serialise their own
-        queries behind their ingests; once this call returns, every
-        later query observes the whole batch.  ``max_workers`` is
-        accepted for surface compatibility — the cluster's parallelism
-        is the worker processes themselves.  A shard failure
-        propagates after all sends settle; as with a rejected store
-        batch, treat a failed cluster batch as a reason to restore
-        from the last snapshot (other shards may already have applied
-        their slices).
+        Each shard's slice fans out to every live replica of its set
+        concurrently; each worker applies its slice atomically under
+        its own service's write lock.  Atomicity is therefore **per
+        replica, not per batch**: there is no cross-shard transaction,
+        so a concurrent reader can observe shard 0 after its slice
+        landed and shard 1 before — a torn state the single-node
+        :class:`~repro.service.service.SketchService` (one write lock)
+        can never expose.  Once this call returns, every later query
+        observes the whole batch on every healthy replica.
+
+        Replication changes what a partial failure means: as long as
+        **one** replica of each routed shard acks the slice, the batch
+        is durable — failed peers are quarantined and rebuilt from an
+        acking donor's snapshot (which already includes this batch),
+        so a replica that acked is never re-sent the slice and can
+        never double-count it.  Only when *every* replica of a routed
+        shard fails is the batch lost, and that raises.  After a
+        :meth:`reshard`, each event routes under the epoch owning its
+        *timestamp* (deletions carry the insert's timestamp, so they
+        land on the shard holding the insert — exact for every kind).
+        ``max_workers`` is accepted for surface compatibility — the
+        cluster's parallelism is the worker processes themselves.
         """
         ts = np.asarray(timestamps, dtype=np.int64)
         vals = np.asarray(values, dtype=np.int64)
@@ -196,45 +661,135 @@ class ClusterService:
                 )
         if vals.size == 0:
             return
-        futures = []
-        for shard, idx in enumerate(self._partitioner.split(vals)):
-            if idx.size == 0:
-                continue
-            # Raw arrays, not .tolist(): a binary client packs them
-            # straight onto the wire, and a JSON client serialises
-            # them itself — materialising Python lists here would pay
-            # the conversion even on the zero-copy path.
-            payload: dict = {
-                "op": "ingest",
-                "timestamps": ts[idx],
-                "values": vals[idx],
-            }
-            if cnts is not None:
-                payload["counts"] = cnts[idx]
-            futures.append(
-                self._pool.submit(self._clients[shard].request, payload)
+        if len(self._epochs) == 1:
+            # Fast path: no epoch boundaries to consult.
+            assignments = [(0, self._epochs[0], None)]
+        else:
+            starts = np.asarray(
+                [epoch.start for epoch in self._epochs[1:]], dtype=np.int64
             )
-        first_error = None
-        for future in futures:
+            owner = np.searchsorted(starts, ts, side="right")
+            assignments = [
+                (e, epoch, np.flatnonzero(owner == e))
+                for e, epoch in enumerate(self._epochs)
+            ]
+        futures: dict = {}
+        targeted: set[tuple[int, int]] = set()
+        for e, epoch, selection in assignments:
+            epoch_vals = vals if selection is None else vals[selection]
+            if epoch_vals.size == 0:
+                continue
+            for shard, sub in enumerate(epoch.partitioner.split(epoch_vals)):
+                if sub.size == 0:
+                    continue
+                idx = sub if selection is None else selection[sub]
+                # Raw arrays, not .tolist(): a binary client packs them
+                # straight onto the wire, and a JSON client serialises
+                # them itself — materialising Python lists here would pay
+                # the conversion even on the zero-copy path.  Replicas of
+                # a set share the arrays read-only.
+                payload: dict = {
+                    "op": "ingest",
+                    "timestamps": ts[idx],
+                    "values": vals[idx],
+                }
+                if cnts is not None:
+                    payload["counts"] = cnts[idx]
+                targeted.add((e, shard))
+                for replica in self._targets(epoch.sets[shard]):
+                    futures[
+                        self._pool.submit(replica.client.request, dict(payload))
+                    ] = ((e, shard), replica)
+        acks = {unit: 0 for unit in targeted}
+        request_error = None
+        unexpected = None
+        for future, (shard, replica) in futures.items():
             try:
                 future.result()
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
+            except ShardRequestError as exc:
+                if request_error is None:
+                    request_error = exc
+            except ShardUnreachableError as exc:
+                replica.dead, replica.error = True, exc
+            except ShardProtocolError as exc:
+                replica.suspect, replica.error = True, exc
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if unexpected is None:
+                    unexpected = exc
+            else:
+                acks[shard] += 1
+                self._clear_if_marked(replica)
+        if unexpected is not None:
+            raise unexpected
+        # Repair before surfacing a deterministic refusal: a refused
+        # batch left every replica unchanged, so donors are exact, and
+        # a set whose every replica failed makes _repair raise — the
+        # batch really is lost there.
+        self._repair()
+        if request_error is not None:
+            raise request_error
+
+    def _scatter_all(self, payload: Mapping) -> list[list[tuple]]:
+        """Fan one request to every live replica of every epoch.
+
+        Returns, per (epoch, shard) unit in query order, the list of
+        ``(replica, response)`` pairs that succeeded.  Used by
+        cluster-wide mutations (compact / evict / restore-alike) and
+        by stats, which wants every replica's answer individually.
+        """
+        units = self._units()
+        futures: dict = {}
+        for e, s, replicas in units:
+            for replica in self._targets(replicas):
+                futures[
+                    self._pool.submit(replica.client.request, dict(payload))
+                ] = (e, s, replica)
+        results: dict = {}
+        request_error = None
+        unexpected = None
+        for future, (e, s, replica) in futures.items():
+            try:
+                response = future.result()
+            except ShardRequestError as exc:
+                if request_error is None:
+                    request_error = exc
+            except ShardUnreachableError as exc:
+                replica.dead, replica.error = True, exc
+            except ShardProtocolError as exc:
+                replica.suspect, replica.error = True, exc
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if unexpected is None:
+                    unexpected = exc
+            else:
+                results.setdefault((e, s), []).append((replica, response))
+                self._clear_if_marked(replica)
+        if unexpected is not None:
+            raise unexpected
+        self._repair()
+        if request_error is not None:
+            raise request_error
+        for e, s, replicas in units:
+            if (e, s) not in results:  # pragma: no cover - _repair raises first
+                raise self._set_error(e, s, replicas)
+        return [results[(e, s)] for e, s, _ in units]
 
     def compact(self, before: int | None = None) -> int:
-        """Fold old spans on every shard; returns total spans folded."""
+        """Fold old spans on every shard; returns total spans folded.
+
+        Applied on every replica of every epoch (replicas must fold
+        identically to stay bit-identical); each set's fold count is
+        counted once.
+        """
         payload: dict = {"op": "compact"}
         if before is not None:
             payload["before"] = int(before)
-        return sum(r["folded"] for r in self._scatter(payload))
+        groups = self._scatter_all(payload)
+        return sum(group[0][1]["folded"] for group in groups)
 
     def evict(self, before: int) -> int:
         """Forget old spans on every shard; returns total spans dropped."""
-        responses = self._scatter({"op": "evict", "before": int(before)})
-        return sum(r["evicted"] for r in responses)
+        groups = self._scatter_all({"op": "evict", "before": int(before)})
+        return sum(group[0][1]["evicted"] for group in groups)
 
     # ------------------------------------------------------------------
     # Queries (scatter–gather merge-on-query)
@@ -242,16 +797,19 @@ class ClusterService:
     def _gather_window(
         self, t0: int, t1: int, align: str
     ) -> tuple[Sketch, int, int]:
-        """Fetch and merge per-shard window sketches at a common window.
+        """Fetch and merge per-unit window sketches at a common window.
 
         Shards answer strict windows identically (bucket arithmetic is
         global); outer windows can differ when compaction folded
         different spans per shard, so the hull is re-scattered until
-        every shard resolves the same range — monotone, hence finite.
+        every unit resolves the same range — monotone, hence finite.
+        Old-epoch units participate like any other: an empty shard
+        answers the requested aligned window with the empty sketch
+        (the merge identity), so epochs merge exactly by linearity.
         """
         lo, hi = int(t0), int(t1)
         for _ in range(_MAX_ALIGN_ROUNDS):
-            responses = self._scatter(
+            responses = self._scatter_read(
                 {"op": "sketch", "from": lo, "until": hi, "align": align}
             )
             windows = {tuple(r["window"]) for r in responses}
@@ -304,15 +862,130 @@ class ClusterService:
         return lo, hi
 
     # ------------------------------------------------------------------
+    # Resharding (epoch-based N → M)
+    # ------------------------------------------------------------------
+    def reshard(
+        self,
+        num_shards: int,
+        replication: int | None = None,
+        cutover: int | None = None,
+    ) -> int:
+        """Grow (or shrink) to ``num_shards`` by opening a new epoch.
+
+        No data moves: the existing epochs keep their data, and a
+        fresh epoch of empty replica sets takes ownership of every
+        time bucket from ``cutover`` on, routing it under a new
+        partitioner with the same seed.  ``cutover`` defaults to the
+        end of the cluster's current coverage (rounded up to a bucket
+        boundary), i.e. strictly after every bucket already holding
+        data; events below it — including late arrivals and deletions,
+        which carry the timestamp of the insert they reverse — keep
+        routing under the epoch that owns their bucket, so every kind
+        stays exact across the boundary.  Queries merge all epochs by
+        linearity, so answers stay bit-identical to the monolithic
+        store.  Returns the new epoch's index.
+        """
+        if self._supervisor is None:
+            raise ClusterConfigError(
+                "resharding needs a supervisor (a LocalCluster or "
+                "equivalent) to spawn the new epoch's workers"
+            )
+        if int(num_shards) < 1:
+            raise ClusterConfigError(
+                f"a cluster needs at least one shard, got {num_shards}"
+            )
+        if cutover is None:
+            hull = self.coverage
+            cutover = self._origin if hull is None else int(hull[1])
+        # Align up to a bucket boundary: a bucket is atomic, so an
+        # epoch boundary inside one would split a bucket's events
+        # across partitioners.
+        offset = int(cutover) - self._origin
+        cutover = (
+            self._origin
+            + -(-offset // self._bucket_width) * self._bucket_width
+        )
+        previous_start = self._epochs[-1].start
+        if previous_start is not None and cutover < previous_start:
+            raise ClusterConfigError(
+                f"cutover {cutover} precedes the current epoch's own "
+                f"start {previous_start}; epochs must be ordered in time"
+            )
+        with self._admin_lock:
+            new_sets: list[list[_Replica]] = []
+            for _ in range(int(num_shards)):
+                clients = self._supervisor.spawn_replica_set(replication)
+                new_sets.append([_Replica(c) for c in clients])
+            expected_spec = self._spec.to_dict()
+            for s, replicas in enumerate(new_sets):
+                for r, replica in enumerate(replicas):
+                    info = replica.client.request({"op": "info"})
+                    if (
+                        info.get("spec") != expected_spec
+                        or int(info["bucket_width"]) != self._bucket_width
+                        or int(info["origin"]) != self._origin
+                    ):
+                        raise ClusterConfigError(
+                            f"new epoch shard {s} replica {r} "
+                            f"({replica.client.address}) disagrees on spec "
+                            "or bucket geometry with the cluster"
+                        )
+            self._epochs.append(
+                _Epoch(
+                    HashPartitioner(int(num_shards), seed=self._partition_seed),
+                    new_sets,
+                    start=int(cutover),
+                )
+            )
+            total = sum(
+                len(replicas) for _, _, replicas in self._units()
+            )
+            needed = max(8, 2 * total)
+            if needed > self._pool_size:
+                old = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=needed,
+                    thread_name_prefix="cluster-scatter",
+                )
+                self._pool_size = needed
+                old.shutdown(wait=False)
+            return len(self._epochs) - 1
+
+    # ------------------------------------------------------------------
     # Introspection / persistence
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
-        return len(self._clients)
+        """Shard count of the epoch new batches route under."""
+        return len(self._epochs[-1].sets)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self._epochs)
+
+    @property
+    def replication(self) -> list[int]:
+        """Replica count per shard of the current epoch."""
+        return [len(replicas) for replicas in self._epochs[-1].sets]
 
     @property
     def addresses(self) -> list[str]:
-        return [client.address for client in self._clients]
+        """Every current-epoch replica's address, shard-major order."""
+        return [
+            replica.client.address
+            for replicas in self._epochs[-1].sets
+            for replica in replicas
+        ]
+
+    @property
+    def failed_replicas(self) -> list[tuple[int, int, str]]:
+        """``(epoch, shard, address)`` of replicas out of rotation."""
+        return [
+            (e, s, replica.client.address)
+            for e, s, replicas in self._units()
+            for replica in replicas
+            if not replica.live
+        ]
 
     @property
     def spec(self) -> SketchSpec:
@@ -355,14 +1028,15 @@ class ClusterService:
         return min(int(c[0]) for c in covered), max(int(c[1]) for c in covered)
 
     def info(self) -> dict:
-        """The cluster-level summary, from one scatter to the fleet.
+        """The cluster-level summary, one answer per (epoch, shard).
 
-        A single ``info`` round-trip per shard answers every field —
-        the wire ``info`` op against a front end costs N shard
-        requests, not one per summary field.
+        Exactly one replica answers for each replica set (hedged), so
+        replicated fleets report logical totals — ``memory_words`` is
+        the data's footprint, not R times it.
         """
-        infos = self._scatter({"op": "info"})
+        infos = self._scatter_read({"op": "info"})
         coverage = self._coverage_hull(infos)
+        current = self._epochs[-1]
         return {
             "kind": self._spec.kind,
             "spec": self._spec.to_dict(),
@@ -371,12 +1045,15 @@ class ClusterService:
             "spans": [list(span) for span in self._merged_spans(infos)],
             "coverage": None if coverage is None else list(coverage),
             "memory_words": sum(int(i["memory_words"]) for i in infos),
+            "shards": len(current.sets),
+            "replication": [len(replicas) for replicas in current.sets],
+            "epochs": len(self._epochs),
         }
 
     @property
     def spans(self) -> list[tuple[int, int]]:
         """Merged shard span cover (see :meth:`_merged_spans`)."""
-        return self._merged_spans(self._scatter({"op": "info"}))
+        return self._merged_spans(self._scatter_read({"op": "info"}))
 
     @property
     def span_count(self) -> int:
@@ -385,59 +1062,169 @@ class ClusterService:
     @property
     def coverage(self) -> tuple[int, int] | None:
         """Hull from the oldest to the newest span across shards."""
-        return self._coverage_hull(self._scatter({"op": "info"}))
+        return self._coverage_hull(self._scatter_read({"op": "info"}))
 
     @property
     def memory_words(self) -> int:
-        """Total storage across every shard's bucket sketches."""
+        """Total logical storage across shards (one replica per set)."""
         return sum(
-            int(info["memory_words"]) for info in self._scatter({"op": "info"})
+            int(info["memory_words"])
+            for info in self._scatter_read({"op": "info"})
         )
 
     def snapshot(self) -> dict:
-        """Per-shard checkpoints plus the partition map that routed them.
+        """Per-shard checkpoints plus the partition maps that routed them.
 
         The partitioner config is part of the snapshot because the
         shard stores are only meaningful under the assignment that
         filled them — restoring onto a different shard count or seed
-        would break the value-partition invariant.
+        would break the value-partition invariant.  The top-level
+        ``partitioner`` / ``shards`` keys describe the current epoch
+        (the pre-resharding format); ``epochs`` carries every epoch.
         """
-        responses = self._scatter({"op": "snapshot"})
+        responses = self._scatter_read({"op": "snapshot"})
+        stores = [r["snapshot"] for r in responses]
+        epochs_out = []
+        offset = 0
+        for epoch in self._epochs:
+            count = len(epoch.sets)
+            epochs_out.append(
+                {
+                    "partitioner": epoch.partitioner.to_dict(),
+                    "start": epoch.start,
+                    "shards": stores[offset:offset + count],
+                }
+            )
+            offset += count
         return {
             "kind": "cluster-snapshot",
-            "partitioner": self._partitioner.to_dict(),
-            "shards": [r["snapshot"] for r in responses],
+            "partitioner": self._epochs[-1].partitioner.to_dict(),
+            "shards": epochs_out[-1]["shards"],
+            "epochs": epochs_out,
+            "replication": [len(replicas) for replicas in self._epochs[-1].sets],
         }
 
+    def restore(self, snapshot: Mapping) -> None:
+        """Load a :meth:`snapshot` back onto the fleet, every replica.
+
+        The snapshot's topology (epoch count, per-epoch shard counts
+        and partitioners) must match this cluster's — per-shard stores
+        are only meaningful under the partition map that filled them.
+        Every replica of a set receives the same absolute state, which
+        also heals any divergence as a side effect.
+        """
+        if not isinstance(snapshot, Mapping) or snapshot.get("kind") != "cluster-snapshot":
+            raise ClusterConfigError(
+                "restore needs a cluster-snapshot mapping (see snapshot())"
+            )
+        if "epochs" in snapshot:
+            epochs_in = list(snapshot["epochs"])
+        else:
+            epochs_in = [
+                {
+                    "partitioner": snapshot.get("partitioner"),
+                    "shards": snapshot.get("shards"),
+                }
+            ]
+        if len(epochs_in) != len(self._epochs):
+            raise ClusterConfigError(
+                f"snapshot has {len(epochs_in)} epoch(s), this cluster has "
+                f"{len(self._epochs)}"
+            )
+        for index, (entry, epoch) in enumerate(zip(epochs_in, self._epochs)):
+            partitioner = entry.get("partitioner")
+            if dict(partitioner or {}) != epoch.partitioner.to_dict():
+                raise ClusterConfigError(
+                    f"snapshot epoch {index} partitioner {partitioner!r} "
+                    f"disagrees with the cluster's "
+                    f"{epoch.partitioner.to_dict()!r}"
+                )
+            if entry.get("start") != epoch.start:
+                raise ClusterConfigError(
+                    f"snapshot epoch {index} starts at "
+                    f"{entry.get('start')!r}, the cluster's epoch at "
+                    f"{epoch.start!r}"
+                )
+            shards = entry.get("shards")
+            if not isinstance(shards, Sequence) or len(shards) != len(epoch.sets):
+                raise ClusterConfigError(
+                    f"snapshot epoch {index} carries "
+                    f"{0 if not isinstance(shards, Sequence) else len(shards)} "
+                    f"shard store(s), the cluster has {len(epoch.sets)}"
+                )
+        futures: dict = {}
+        for entry, epoch in zip(epochs_in, self._epochs):
+            for store, replicas in zip(entry["shards"], epoch.sets):
+                payload = {"op": "restore", "snapshot": store}
+                for replica in self._targets(replicas):
+                    futures[
+                        self._pool.submit(replica.client.request, dict(payload))
+                    ] = replica
+        request_error = None
+        for future, replica in futures.items():
+            try:
+                future.result()
+            except ShardRequestError as exc:
+                if request_error is None:
+                    request_error = exc
+            except ShardUnreachableError as exc:
+                replica.dead, replica.error = True, exc
+            except ShardProtocolError as exc:
+                replica.suspect, replica.error = True, exc
+            else:
+                self._clear_if_marked(replica)
+        self._repair()
+        if request_error is not None:
+            raise request_error
+
     def stats(self) -> dict:
-        """Shard cache statistics, summed, plus the shard count."""
+        """Cache statistics summed over every replica, plus topology.
+
+        ``shards`` is the current epoch's shard count (the historical
+        field); ``replication`` and ``per_replica`` break the totals
+        down so a replicated fleet's per-replica behaviour is visible
+        instead of silently folded into one number.
+        """
+        groups = self._scatter_all({"op": "stats"})
         totals: dict = {}
-        for response in self._scatter({"op": "stats"}):
-            for key, value in response["cache"].items():
-                if isinstance(value, (int, float)):
-                    totals[key] = totals.get(key, 0) + value
-        totals["shards"] = self.num_shards
+        for group in groups:
+            for _replica, response in group:
+                for key, value in response["cache"].items():
+                    if isinstance(value, (int, float)):
+                        totals[key] = totals.get(key, 0) + value
+        current_count = len(self._epochs[-1].sets)
+        totals["shards"] = current_count
+        totals["replication"] = [
+            len(replicas) for replicas in self._epochs[-1].sets
+        ]
+        totals["replicas"] = sum(totals["replication"])
+        totals["per_replica"] = [
+            [dict(response["cache"]) for _replica, response in group]
+            for group in groups[-current_count:]
+        ]
         return totals
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def shutdown_workers(self) -> int:
-        """Send the wire ``shutdown`` op to every shard; count the acks."""
+        """Send the wire ``shutdown`` op to every replica; count the acks."""
         acked = 0
-        for client in self._clients:
-            try:
-                client.request({"op": "shutdown"})
-                acked += 1
-            except (OSError, ValueError):
-                pass  # already gone; the spawner's signals handle the rest
+        for _e, _s, replicas in self._units():
+            for replica in replicas:
+                try:
+                    replica.client.request({"op": "shutdown"})
+                    acked += 1
+                except (OSError, ValueError):
+                    pass  # already gone; the spawner's signals handle the rest
         return acked
 
     def close(self) -> None:
         """Release the scatter pool and every shard connection."""
         self._pool.shutdown(wait=True)
-        for client in self._clients:
-            client.close()
+        for _e, _s, replicas in self._units():
+            for replica in replicas:
+                replica.client.close()
 
     def __enter__(self) -> "ClusterService":
         return self
@@ -447,6 +1234,7 @@ class ClusterService:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"ClusterService(shards={self.addresses}, "
+            f"ClusterService(shards={self.num_shards}, "
+            f"replication={self.replication}, epochs={self.num_epochs}, "
             f"kind={self._spec.kind!r}, width={self._bucket_width})"
         )

@@ -21,6 +21,7 @@ scatter–gather merge to be bit-identical to a monolithic build.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from typing import Mapping, TextIO
 
@@ -111,6 +112,7 @@ def run_worker(
                 "host": bound_host,
                 "port": bound_port,
                 "kind": store.spec.kind,
+                "pid": os.getpid(),
             }
         ),
         file=out,

@@ -322,6 +322,37 @@ class SketchService:
         with self._rw.read():
             return self._store.to_dict()
 
+    def restore(self, snapshot) -> None:
+        """Replace the served store with a :meth:`snapshot` checkpoint.
+
+        The recovery half of replication: a respawned (or suspect)
+        replica is handed a healthy peer's snapshot and swaps it in as
+        its *absolute* state — RNG state included, so continued
+        ingestion is bit-identical to a replica that never failed.
+        The snapshot must describe the same sketch spec and bucket
+        geometry this service was configured with; restoring across
+        configs would silently break the value-partition invariant,
+        so it raises ``ValueError`` instead.  The whole cache is
+        dropped: every window's answer may have changed.
+        """
+        store = WindowedSketchStore.from_dict(snapshot)
+        with self._rw.write():
+            current = self._store
+            for field in ("bucket_width", "origin"):
+                if getattr(store, field) != getattr(current, field):
+                    raise ValueError(
+                        f"restore snapshot disagrees on {field}: "
+                        f"{getattr(store, field)!r} != "
+                        f"{getattr(current, field)!r}"
+                    )
+            if store.spec.to_dict() != current.spec.to_dict():
+                raise ValueError(
+                    f"restore snapshot disagrees on spec: "
+                    f"{store.spec.to_dict()!r} != {current.spec.to_dict()!r}"
+                )
+            self._store = store
+            self._cache.invalidate(None, [_EVERYWHERE])
+
     def stats(self) -> dict:
         """Cache statistics: hits, misses, coalesced, invalidated, entries."""
         return self._cache.stats

@@ -52,6 +52,7 @@ SERVICE_SURFACE = (
     "evict",
     "info",
     "snapshot",
+    "restore",
     "stats",
     "spec",
     "bucket_width",
@@ -152,6 +153,13 @@ def _op_snapshot(service, request: Mapping) -> dict:
     return {"snapshot": service.snapshot()}
 
 
+def _op_restore(service, request: Mapping) -> dict:
+    if "snapshot" not in request or not isinstance(request["snapshot"], Mapping):
+        raise ValueError("restore needs a 'snapshot' mapping")
+    service.restore(request["snapshot"])
+    return {"restored": True}
+
+
 def _op_shutdown(service, request: Mapping) -> dict:
     # The ack is written before the server stops (the transport
     # triggers the actual shutdown after responding), so the peer that
@@ -187,6 +195,9 @@ _SPECS = (
     OpSpec("info", wire.OP_INFO, _op_info),
     OpSpec("stats", wire.OP_STATS, _op_stats),
     OpSpec("snapshot", wire.OP_SNAPSHOT, _op_snapshot),
+    # Restore writes *absolute* state, so unlike ingest a replay cannot
+    # change the outcome — idempotent, and safe to resend on ambiguity.
+    OpSpec("restore", wire.OP_RESTORE, _op_restore),
     OpSpec("shutdown", wire.OP_SHUTDOWN, _op_shutdown, stops_server=True),
 )
 

@@ -79,6 +79,7 @@ __all__ = [
     "OP_STATS",
     "OP_SNAPSHOT",
     "OP_SHUTDOWN",
+    "OP_RESTORE",
     "OPCODE_NAMES",
     "OPCODES_BY_NAME",
     "WireError",
@@ -120,6 +121,7 @@ OP_INFO = 7
 OP_STATS = 8
 OP_SNAPSHOT = 9
 OP_SHUTDOWN = 10
+OP_RESTORE = 11
 
 OPCODE_NAMES = {
     OP_HELLO: "hello",
@@ -133,6 +135,7 @@ OPCODE_NAMES = {
     OP_STATS: "stats",
     OP_SNAPSHOT: "snapshot",
     OP_SHUTDOWN: "shutdown",
+    OP_RESTORE: "restore",
 }
 OPCODES_BY_NAME = {name: code for code, name in OPCODE_NAMES.items()}
 
