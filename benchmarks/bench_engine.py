@@ -263,8 +263,163 @@ def service_section(args, n: int) -> tuple[list[str], dict]:
     return failures, metrics
 
 
+def keyed_section(
+    args, n: int, key_counts: tuple[int, ...] = (1, 100, 10_000)
+) -> tuple[list[str], dict]:
+    """Section 6: keyed-fleet ingest+query as key cardinality grows.
+
+    One n-event Zipf stream is spread over 1, 100, and 10k keys and
+    driven through a :class:`KeyedSketchService` — concurrent writers
+    each owning a key slice race readers querying sampled keys — so
+    the numbers answer "what does multi-tenancy cost?" at both ends of
+    the cardinality spectrum.  Acceptance: per-key answers are
+    bit-identical to a monolithic per-key store fed only that key's
+    events, and one key's ingest must not evict another key's cached
+    window (the per-(key, window) invalidation contract).
+    """
+    from repro.service import KeyedSketchService
+    from repro.store import KeyedSketchStore
+
+    failures: list[str] = []
+    metrics: dict = {}
+    num_buckets = 16
+    spec = SketchSpec(
+        "tugofwar", {"s1": args.s1, "s2": args.s2, "seed": args.seed}
+    )
+    print(f"keyed fleet (n={n:,} events, {num_buckets} buckets)")
+
+    for key_count in key_counts:
+        rng = np.random.default_rng(args.seed)
+        stream = (rng.zipf(1.2, size=n) % max(n // 10, 16)).astype(np.int64)
+        timestamps = rng.integers(0, num_buckets, size=n).astype(np.int64)
+        key_ids = rng.integers(0, key_count, size=n)
+        keys = [f"tenant-{i}" for i in range(key_count)]
+
+        service = KeyedSketchService(
+            KeyedSketchStore(spec, bucket_width=1), cache_entries=512
+        )
+
+        # Writers each own a contiguous key slice: the fleet's write
+        # lock is shared, so this measures contention, not parallelism.
+        n_writers = min(4, key_count) if key_count > 1 else 1
+        order = np.argsort(key_ids, kind="stable")
+        slices: list[list[tuple[str, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(n_writers)
+        ]
+        bounds = np.searchsorted(key_ids[order], np.arange(key_count + 1))
+        for i in range(key_count):
+            sel = order[bounds[i]:bounds[i + 1]]
+            if sel.size:
+                slices[i % n_writers].append(
+                    (keys[i], timestamps[sel], stream[sel])
+                )
+
+        errors: list[BaseException] = []
+
+        def writer(batches):
+            try:
+                for key, ts, vals in batches:
+                    service.ingest(ts, vals, key=key)
+            except BaseException as exc:  # pragma: no cover - reported below
+                errors.append(exc)
+
+        sampled = keys[:: max(key_count // 32, 1)][:32]
+        stop = threading.Event()
+        read_latencies: list[float] = []
+
+        def reader():
+            try:
+                i = 0
+                while not stop.is_set():
+                    key = sampled[i % len(sampled)]
+                    t, _ = timed(
+                        lambda k=key: service.estimate(0, num_buckets, key=k)
+                    )
+                    read_latencies.append(t)
+                    i += 1
+            except BaseException as exc:  # pragma: no cover - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(batches,))
+            for batches in slices
+            if batches
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads[: -2]:
+            t.join()
+        ingest_s = time.perf_counter() - start
+        stop.set()
+        for t in threads[-2:]:
+            t.join()
+        if errors:
+            failures.append(
+                f"keyed: {key_count}-key run raised {errors[0]!r}"
+            )
+
+        # Steady-state query latency once every write has landed.
+        hot: list[float] = []
+        for _ in range(3):
+            for key in sampled:
+                t, _ = timed(
+                    lambda k=key: service.estimate(0, num_buckets, key=k)
+                )
+                hot.append(t)
+        hot_ms = float(np.percentile(np.asarray(hot) * 1e3, 50))
+        churn_ms = (
+            float(np.percentile(np.asarray(read_latencies) * 1e3, 50))
+            if read_latencies
+            else float("nan")
+        )
+        print(
+            f"  {key_count:>6,} keys  ingest {ingest_s:7.3f} s  "
+            f"{throughput(n, ingest_s)}   query p50 {hot_ms:8.4f} ms  "
+            f"(churn p50 {churn_ms:8.4f} ms)"
+        )
+        metrics[f"keys_{key_count}"] = {
+            "ingest_s": ingest_s,
+            "ingest_meps": n / ingest_s / 1e6 if ingest_s else float("inf"),
+            "query_p50_ms": hot_ms,
+            "churn_p50_ms": churn_ms,
+        }
+
+        # Bit-identity: each sampled key vs a monolithic store fed only
+        # that key's slice of the stream.
+        for key in sampled[:8]:
+            i = keys.index(key)
+            sel = key_ids == i
+            if not sel.any():
+                continue  # a key the stream never touched
+            mono = WindowedSketchStore(spec, bucket_width=1)
+            mono.ingest(timestamps[sel], stream[sel])
+            got = service.query(0, num_buckets, key=key)
+            want = mono.query(0, num_buckets)
+            if not np.array_equal(got.counters, want.counters):
+                failures.append(
+                    f"keyed: {key_count}-key fleet, {key} != monolithic"
+                )
+                break
+
+        # Cache isolation: a hot window of key A must survive an
+        # ingest into key B (and the reverse must invalidate).
+        if key_count >= 2:
+            a, b = keys[0], keys[1]
+            service.estimate(0, num_buckets, key=a)  # warm A
+            before = service.stats()["hits"]
+            service.ingest([0], [1], key=b)
+            service.estimate(0, num_buckets, key=a)
+            if service.stats()["hits"] != before + 1:
+                failures.append(
+                    f"keyed: {key_count}-key fleet, B's ingest evicted "
+                    "A's cached window"
+                )
+    return failures, metrics
+
+
 def cluster_section(args, n: int) -> tuple[list[str], dict]:
-    """Section 7: multi-process scale-out — the cluster scaling curve.
+    """Section 8: multi-process scale-out — the cluster scaling curve.
 
     Spawns a real :class:`repro.cluster.LocalCluster` worker fleet per
     shard count, drives it through :class:`repro.cluster.
@@ -389,7 +544,7 @@ def cluster_section(args, n: int) -> tuple[list[str], dict]:
 
 
 def wire_section(args, n: int) -> tuple[list[str], dict]:
-    """Section 7 (wire): line-JSON vs binary protocol, end to end.
+    """Section 8 (wire): line-JSON vs binary protocol, end to end.
 
     Each protocol drives an identical serving topology — a client
     through an :class:`repro.service.EventLoopServer` front end,
@@ -544,7 +699,7 @@ def wire_section(args, n: int) -> tuple[list[str], dict]:
 
 
 def fault_section(args, n: int) -> tuple[list[str], dict]:
-    """Section 8: fault tolerance — replication cost, hedging, repair.
+    """Section 9: fault tolerance — replication cost, hedging, repair.
 
     Three measurements against real spawned fleets (ISSUE 7):
 
@@ -755,7 +910,7 @@ def _shape_graph(shape: str, n: int) -> JoinGraph:
 
 
 def planner_section(args) -> tuple[list[str], dict]:
-    """Section 6: DP enumeration scaling and plan-quality regret."""
+    """Section 7: DP enumeration scaling and plan-quality regret."""
     failures: list[str] = []
     metrics: dict = {"enumeration_ms": {}, "quality": {}}
 
@@ -869,15 +1024,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run only the service, planner, cluster, and faults sections, "
-        "CI-sized",
+        help="run only the service, keyed, planner, cluster, and faults "
+        "sections, CI-sized",
     )
     parser.add_argument(
         "--sections",
         default=None,
         metavar="NAMES",
         help="with --smoke: comma-separated subset to run "
-        "(service,planner,cluster,faults; default: all)",
+        "(service,keyed,planner,cluster,faults; default: all)",
     )
     parser.add_argument(
         "--json",
@@ -915,6 +1070,9 @@ def main(argv=None) -> int:
     if args.smoke:
         runners = {
             "service": lambda: service_section(args, n=100_000),
+            "keyed": lambda: keyed_section(
+                args, n=60_000, key_counts=(1, 100, 1_000)
+            ),
             "planner": lambda: planner_section(args),
             "cluster": lambda: cluster_section(args, n=400_000),
             "faults": lambda: fault_section(args, n=200_000),
@@ -1119,21 +1277,30 @@ def main(argv=None) -> int:
     failures.extend(service_failures)
 
     # ------------------------------------------------------------------
-    # 6. query planner: DP enumeration scaling + plan-quality regret
+    # 6. keyed fleet: ingest+query as key cardinality grows
+    # ------------------------------------------------------------------
+    print()
+    keyed_failures, summary["sections"]["keyed"] = keyed_section(
+        args, n=min(n, 400_000)
+    )
+    failures.extend(keyed_failures)
+
+    # ------------------------------------------------------------------
+    # 7. query planner: DP enumeration scaling + plan-quality regret
     # ------------------------------------------------------------------
     print()
     planner_failures, summary["sections"]["planner"] = planner_section(args)
     failures.extend(planner_failures)
 
     # ------------------------------------------------------------------
-    # 7. cluster scale-out: multi-process sharding curve at 1/2/4/8
+    # 8. cluster scale-out: multi-process sharding curve at 1/2/4/8
     # ------------------------------------------------------------------
     print()
     cluster_failures, summary["sections"]["cluster"] = cluster_section(args, n=n)
     failures.extend(cluster_failures)
 
     # ------------------------------------------------------------------
-    # 8. fault tolerance: replication cost, hedged reads, repair
+    # 9. fault tolerance: replication cost, hedged reads, repair
     # ------------------------------------------------------------------
     print()
     fault_failures, summary["sections"]["faults"] = fault_section(args, n=n)

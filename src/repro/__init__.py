@@ -60,6 +60,8 @@ from .cluster import (
 )
 from .core import (
     MERSENNE_PRIME_31,
+    DistinctCountSketch,
+    FkMomentSketch,
     FrequencyMomentTracker,
     FrequencyVector,
     JoinSignatureFamily,
@@ -73,6 +75,7 @@ from .core import (
     SignHashFamily,
     TugOfWarJoinSignature,
     TugOfWarSketch,
+    UnsupportedMomentError,
     bounds,
     distinct_values,
     exact_moment,
@@ -129,8 +132,14 @@ from .relational import (
     choose_join_order,
     plan_cost,
 )
-from .service import CatalogService, SketchService, SketchServiceServer
-from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
+from .service import CatalogService, KeyedSketchService, SketchService, SketchServiceServer
+from .store import (
+    KeyCardinalityError,
+    KeyedSketchStore,
+    SketchSpec,
+    WindowAlignmentError,
+    WindowedSketchStore,
+)
 from .streams import (
     Delete,
     Insert,
@@ -166,6 +175,9 @@ __all__ = [
     "MultiJoinSignature",
     # frequency moments
     "FrequencyMomentTracker",
+    "FkMomentSketch",
+    "DistinctCountSketch",
+    "UnsupportedMomentError",
     "exact_moment",
     "fk_estimate_offline",
     "fk_sample_size_bound",
@@ -229,9 +241,12 @@ __all__ = [
     # windowed store
     "SketchSpec",
     "WindowedSketchStore",
+    "KeyedSketchStore",
+    "KeyCardinalityError",
     "WindowAlignmentError",
     # estimation service
     "SketchService",
+    "KeyedSketchService",
     "CatalogService",
     "SketchServiceServer",
     # streams

@@ -22,8 +22,14 @@ The windowed store (continuous maintenance over time buckets)::
 
     python -m repro store init --kind tugofwar --bucket-width 100 \
         --out st.json
+    python -m repro store init --kind fk_moments --moment-k 3 --keyed \
+        --bucket-width 100 --out fleet.json
     python -m repro store ingest st.json --events-file events.txt
+    python -m repro store ingest fleet.json --events-file events.txt \
+        --key tenant-a
     python -m repro store query st.json --from 0 --until 1000
+    python -m repro store query fleet.json --from 0 --until 1000 \
+        --key tenant-a
     python -m repro store compact st.json --before 500
     python -m repro store snapshot st.json --out checkpoint.json
     python -m repro store info st.json
@@ -135,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="accuracy parameter (ignored by frequency)")
     p_build.add_argument("--s2", type=int, default=5,
                          help="confidence parameter (ignored by frequency)")
+    p_build.add_argument("--moment-k", type=int, default=2,
+                         help="moment order for the fk_moments kind "
+                         "(F_k = sum of f_v^k; ignored by other kinds)")
     p_build.add_argument("--shards", type=int, default=1,
                          help="sharded build: partition, build per shard, merge "
                          "(mergeable kinds only)")
@@ -156,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("paths", nargs="+", help="input sketch JSON files")
     p_merge.add_argument("--out", required=True, help="output JSON path")
 
-    sketch_sub.add_parser("kinds", help="list registered sketch kinds")
+    sketch_sub.add_parser(
+        "kinds", help="list registered sketch kinds and what each estimates"
+    )
 
     p_store = sub.add_parser(
         "store", help="windowed sketch store: continuous maintenance over time"
@@ -175,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_st_init.add_argument("--s1", type=int, default=256)
     p_st_init.add_argument("--s2", type=int, default=5)
     p_st_init.add_argument("--seed", type=int, default=0)
+    p_st_init.add_argument("--moment-k", type=int, default=2,
+                           help="moment order for the fk_moments kind "
+                           "(ignored by other kinds)")
+    p_st_init.add_argument("--keyed", action="store_true",
+                           help="create a keyed fleet: every key gets its "
+                           "own windowed store built lazily from this "
+                           "template (multi-tenant isolation)")
+    p_st_init.add_argument("--max-keys", type=int, default=None,
+                           help="with --keyed: refuse ingest for new keys "
+                           "beyond this many (default unbounded)")
     p_st_init.add_argument("--retention", type=int, default=None,
                            help="buckets of history to keep hot; older spans "
                            "are compacted or evicted after each ingest")
@@ -191,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "value [signed count]")
     p_st_ingest.add_argument("--workers", type=int, default=None,
                              help="thread count for per-bucket loading")
+    p_st_ingest.add_argument("--key", default=None,
+                             help="stream key of the batch (required for "
+                             "keyed fleets, refused by plain stores)")
 
     p_st_query = store_sub.add_parser(
         "query", help="merge-on-query estimate over a time window"
@@ -204,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
                             default="strict",
                             help="strict: window must hit bucket/span "
                             "boundaries; outer: expand to the covering spans")
+    p_st_query.add_argument("--key", default=None,
+                            help="stream key to query (required for keyed "
+                            "fleets, refused by plain stores)")
 
     p_st_compact = store_sub.add_parser(
         "compact", help="fold old bucket spans into one merged span"
@@ -336,6 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ce.add_argument("--until", dest="t1", type=int, required=True,
                       help="window end (exclusive)")
     p_ce.add_argument("--align", choices=("strict", "outer"), default="strict")
+    p_ce.add_argument("--key", default=None,
+                      help="stream key to query (keyed fleets only)")
 
     p_cb = cluster_sub.add_parser(
         "ingest-bench", help="synthetic ingest load over the wire, with "
@@ -350,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="spread timestamps over this many buckets")
     p_cb.add_argument("--values", type=int, default=10_000,
                       help="value domain size")
+    p_cb.add_argument("--key", default=None,
+                      help="ingest every batch under this stream key "
+                      "(keyed fleets only)")
     p_cb.add_argument("--seed", type=int, default=0)
 
     def add_scenario(p: argparse.ArgumentParser) -> None:
@@ -414,7 +446,12 @@ def _read_text(path: str) -> str:
 
 
 def _default_sketch_params(
-    kind: str, s1: int, s2: int, seed: int, initial_range: int | None = None
+    kind: str,
+    s1: int,
+    s2: int,
+    seed: int,
+    initial_range: int | None = None,
+    moment_k: int = 2,
 ) -> dict:
     """Constructor params for a registered kind from the CLI knobs.
 
@@ -429,6 +466,8 @@ def _default_sketch_params(
     if kind == "frequency":
         return {}
     params: dict = {"s1": s1, "s2": s2, "seed": seed}
+    if kind == "fk_moments":
+        params["k"] = moment_k
     if initial_range is not None and kind in (
         "samplecount", "samplecount-fast", "moments"
     ):
@@ -480,8 +519,12 @@ def _sketch_main(args) -> int:
         Path(path).write_text(json.dumps(dump_sketch(sketch)))
 
     if args.sketch_command == "kinds":
+        from .engine import sketch_descriptions
+
+        descriptions = sketch_descriptions()
         for kind in sketch_kinds():
-            print(kind)
+            desc = descriptions.get(kind)
+            print(f"{kind}: {desc}" if desc else kind)
         return 0
 
     if args.sketch_command in ("info", "estimate"):
@@ -523,11 +566,13 @@ def _sketch_main(args) -> int:
                 args.kind,
                 _default_sketch_params(
                     args.kind, args.s1, args.s2, args.seed,
-                    initial_range=max(n, 1),
+                    initial_range=max(n, 1), moment_k=args.moment_k,
                 ),
             )
             sketch = spec.build()  # probe: the params must fit the kind
-        except UnknownSketchKindError as exc:
+        except (UnknownSketchKindError, ValueError) as exc:
+            # ValueError covers bad parameter values, e.g. an
+            # UnsupportedMomentError for `--moment-k 0`.
             raise CliError(str(exc)) from exc
         except TypeError as exc:
             raise CliError(
@@ -554,22 +599,28 @@ def _sketch_main(args) -> int:
 
 
 def _load_store_file(path: str):
-    """Load a windowed-store JSON file under the one-line error contract.
+    """Load a store JSON file under the one-line error contract.
 
     Shared by ``store`` and ``serve``: missing files, bad JSON, and
-    corrupt/unknown-kind payloads all become :class:`CliError`.
+    corrupt/unknown-kind payloads all become :class:`CliError`.  The
+    payload's ``kind`` field picks the store class — a plain
+    :class:`~repro.store.windowed.WindowedSketchStore` or a
+    ``"keyed-store"`` :class:`~repro.store.keyed.KeyedSketchStore`
+    fleet — so every store-consuming command handles both.
     """
     import json
 
     from .engine import SketchPayloadError, UnknownSketchKindError
-    from .store import WindowedSketchStore
+    from .store import KeyedSketchStore, WindowedSketchStore
 
     try:
         payload = json.loads(_read_text(path))
     except json.JSONDecodeError as exc:
         raise CliError(f"{path}: not valid JSON: {exc}") from exc
+    keyed = isinstance(payload, dict) and payload.get("kind") == "keyed-store"
+    store_cls = KeyedSketchStore if keyed else WindowedSketchStore
     try:
-        return WindowedSketchStore.from_dict(payload)
+        return store_cls.from_dict(payload)
     except (SketchPayloadError, UnknownSketchKindError) as exc:
         raise CliError(f"{path}: {exc}") from exc
 
@@ -580,11 +631,16 @@ def _store_main(args) -> int:
     from pathlib import Path
 
     from .engine import MergeUnsupportedError, UnknownSketchKindError
-    from .store import SketchSpec, WindowAlignmentError, WindowedSketchStore
+    from .store import (
+        KeyedSketchStore,
+        SketchSpec,
+        WindowAlignmentError,
+        WindowedSketchStore,
+    )
 
     load_store = _load_store_file
 
-    def save_store(store: WindowedSketchStore, path: str) -> None:
+    def save_store(store, path: str) -> None:
         # Atomic replace: ingest/compact rewrite the only copy of the
         # store, and a mid-write interruption must not truncate it.
         import os
@@ -594,28 +650,60 @@ def _store_main(args) -> int:
         tmp.write_text(json.dumps(store.to_dict()))
         os.replace(tmp, target)
 
-    def describe(store: WindowedSketchStore, path: str) -> str:
+    def describe(store, path: str) -> str:
         coverage = store.coverage
         window = "empty" if coverage is None else f"[{coverage[0]}, {coverage[1]})"
+        keyed = (
+            f", keys={store.key_count}"
+            if isinstance(store, KeyedSketchStore)
+            else ""
+        )
         return (
-            f"{path}: kind={store.spec.kind}, width={store.bucket_width}, "
+            f"{path}: kind={store.spec.kind}{keyed}, "
+            f"width={store.bucket_width}, "
             f"spans={store.span_count}, coverage={window}, "
             f"words={store.memory_words:,}"
         )
 
+    def checked_key(store) -> str | None:
+        """The --key flag validated against the store's shape."""
+        key = getattr(args, "key", None)
+        if isinstance(store, KeyedSketchStore):
+            if key is None:
+                raise CliError(
+                    f"{args.path} is a keyed fleet; pass --key to pick "
+                    "the stream"
+                )
+            return key
+        if key is not None:
+            raise CliError(
+                f"{args.path} is a plain windowed store; --key only "
+                "applies to keyed fleets (`store init --keyed`)"
+            )
+        return None
+
     if args.store_command == "init":
+        if args.max_keys is not None and not args.keyed:
+            raise CliError("--max-keys requires --keyed")
         try:
             spec = SketchSpec(
                 args.kind,
-                _default_sketch_params(args.kind, args.s1, args.s2, args.seed),
+                _default_sketch_params(
+                    args.kind, args.s1, args.s2, args.seed,
+                    moment_k=args.moment_k,
+                ),
             )
             spec.build()  # probe: the params must fit the kind
-            store = WindowedSketchStore(
-                spec,
+            store_kwargs = dict(
                 bucket_width=args.bucket_width,
                 origin=args.origin,
                 retention_buckets=args.retention,
                 retention_policy=args.retention_policy,
+            )
+            store = (
+                KeyedSketchStore(spec, max_keys=args.max_keys, **store_kwargs)
+                if args.keyed
+                else WindowedSketchStore(spec, **store_kwargs)
             )
         except (UnknownSketchKindError, ValueError) as exc:
             raise CliError(str(exc)) from exc
@@ -631,6 +719,7 @@ def _store_main(args) -> int:
     store = load_store(args.path)
 
     if args.store_command == "ingest":
+        key = checked_key(store)
         events = _load_int_table(
             args.events_file, "integer columns 'timestamp value [count]'"
         )
@@ -643,13 +732,21 @@ def _store_main(args) -> int:
             )
         counts = events[:, 2] if events.shape[1] == 3 else None
         try:
-            store.ingest(
-                events[:, 0], events[:, 1], counts=counts,
-                max_workers=args.workers,
-            )
+            if key is not None:
+                store.ingest(
+                    key, events[:, 0], events[:, 1], counts=counts,
+                    max_workers=args.workers,
+                )
+            else:
+                store.ingest(
+                    events[:, 0], events[:, 1], counts=counts,
+                    max_workers=args.workers,
+                )
         except (ValueError, NotImplementedError) as exc:
             # NotImplementedError: e.g. deletion counts routed to a
             # naive-sampling bucket (insertion-only by design).
+            # ValueError also covers KeyCardinalityError (a fleet at
+            # its --max-keys bound refusing a new key).
             raise CliError(f"{args.events_file}: {exc}") from exc
         save_store(store, args.path)
         print(f"ingested {events.shape[0]:,} events")
@@ -657,9 +754,18 @@ def _store_main(args) -> int:
         return 0
 
     if args.store_command == "query":
+        key = checked_key(store)
         try:
-            t0, t1 = store.window_bounds(args.t0, args.t1, align=args.align)
-            estimate = store.estimate(args.t0, args.t1, align=args.align)
+            if key is not None:
+                t0, t1 = store.window_bounds(
+                    key, args.t0, args.t1, align=args.align
+                )
+                estimate = store.estimate(
+                    key, args.t0, args.t1, align=args.align
+                )
+            else:
+                t0, t1 = store.window_bounds(args.t0, args.t1, align=args.align)
+                estimate = store.estimate(args.t0, args.t1, align=args.align)
         except (ValueError, MergeUnsupportedError) as exc:
             # WindowAlignmentError and empty/inverted windows are both
             # ValueErrors; either way a user-correctable window problem.
@@ -680,15 +786,21 @@ def _store_main(args) -> int:
     if args.store_command == "snapshot":
         # Round-trip through from_dict so a checkpoint that cannot be
         # restored is never written.
-        restored = WindowedSketchStore.from_dict(store.to_dict())
+        restored = type(store).from_dict(store.to_dict())
         save_store(restored, args.out)
         print(describe(restored, args.out))
         return 0
 
     if args.store_command == "info":
         print(describe(store, args.path))
-        for t0, t1 in store.spans:
-            print(f"  span [{t0}, {t1})")
+        if isinstance(store, KeyedSketchStore):
+            for key in store.keys:
+                per_key = store.store_for(key)
+                for t0, t1 in per_key.spans:
+                    print(f"  key={key}: span [{t0}, {t1})")
+        else:
+            for t0, t1 in store.spans:
+                print(f"  span [{t0}, {t1})")
         return 0
 
     raise AssertionError(
@@ -871,7 +983,8 @@ def _serve_main(args) -> int:
     the same wire protocols through a scatter–gather
     :class:`~repro.cluster.service.ClusterService`.
     """
-    from .service import EventLoopServer, SketchService
+    from .service import EventLoopServer, KeyedSketchService, SketchService
+    from .store import KeyedSketchStore
 
     store = _load_store_file(args.path)
     read_timeout = _read_timeout_of(args)
@@ -880,7 +993,11 @@ def _serve_main(args) -> int:
         return _serve_cluster(args, store, read_timeout)
 
     try:
-        service = SketchService(store, cache_entries=args.cache_entries)
+        service = (
+            KeyedSketchService(store, cache_entries=args.cache_entries)
+            if isinstance(store, KeyedSketchStore)
+            else SketchService(store, cache_entries=args.cache_entries)
+        )
         server = EventLoopServer(
             service,
             address=(args.host, args.port),
@@ -892,9 +1009,14 @@ def _serve_main(args) -> int:
         # Bad cache size or an unbindable host/port are user errors.
         raise CliError(str(exc)) from exc
     host, port = server.server_address[:2]
+    keyed = (
+        f", keys={store.key_count}"
+        if isinstance(store, KeyedSketchStore)
+        else ""
+    )
     print(
         f"serving {args.path} on {host}:{port} "
-        f"(kind={store.spec.kind}, spans={store.span_count}, "
+        f"(kind={store.spec.kind}{keyed}, spans={store.span_count}, "
         f"protocol={args.protocol})",
         flush=True,
     )
@@ -1046,22 +1168,28 @@ def _cluster_main(args) -> int:
         window = (
             "empty" if coverage is None else f"[{coverage[0]}, {coverage[1]})"
         )
+        keyed = (
+            f", keys={info.get('key_count', 0)}" if info.get("keyed") else ""
+        )
         print(
-            f"{args.connect}: kind={info['kind']}, "
+            f"{args.connect}: kind={info['kind']}{keyed}, "
             f"width={info['bucket_width']}, spans={len(info['spans'])}, "
             f"coverage={window}, words={info['memory_words']:,}"
         )
         return 0
 
     if args.cluster_command == "estimate":
+        request = {
+            "op": "estimate",
+            "from": args.t0,
+            "until": args.t1,
+            "align": args.align,
+        }
+        if args.key is not None:
+            request["key"] = args.key
         with ShardClient(host, port, timeout=30.0) as client:
             try:
-                response = client.request({
-                    "op": "estimate",
-                    "from": args.t0,
-                    "until": args.t1,
-                    "align": args.align,
-                })
+                response = client.request(request)
             except wire_errors as exc:
                 raise CliError(str(exc)) from exc
         lo, hi = response["window"]
@@ -1091,11 +1219,14 @@ def _cluster_main(args) -> int:
                         0, args.buckets * width, size=size
                     )
                     values = rng.integers(0, args.values, size=size)
-                    client.request({
+                    payload = {
                         "op": "ingest",
                         "timestamps": timestamps.tolist(),
                         "values": values.tolist(),
-                    })
+                    }
+                    if args.key is not None:
+                        payload["key"] = args.key
+                    client.request(payload)
                     sent += size
                 elapsed = time.perf_counter() - start
             except wire_errors as exc:

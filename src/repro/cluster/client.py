@@ -208,6 +208,7 @@ class ShardClient:
                 payload["timestamps"],
                 payload["values"],
                 counts=payload.get("counts"),
+                key=payload.get("key"),
             )
         else:
             body = wire.encode_compact(
@@ -422,8 +423,12 @@ class ShardClient:
         self,
         batches: Iterable[tuple],
         window: int = 8,
+        key: str | None = None,
     ) -> int:
         """Ingest many ``(timestamps, values[, counts])`` batches.
+
+        ``key`` routes every batch of the call into that stream of a
+        keyed fleet (the per-batch payloads gain the wire key trailer).
 
         In binary mode the batches are **pipelined**: up to ``window``
         request frames are in flight before the first response is
@@ -446,10 +451,12 @@ class ShardClient:
         total = 0
         if self.protocol == "json":
             for batch in batches:
-                payload = self._batch_payload(batch)
+                payload = self._batch_payload(batch, key=key)
                 total += int(self.request(payload).get("ingested", 0))
             return total
-        frames = (self._encode(self._batch_payload(b))[0] for b in batches)
+        frames = (
+            self._encode(self._batch_payload(b, key=key))[0] for b in batches
+        )
         with self._lock:
             fresh = self._sock is None
             if fresh:
@@ -547,7 +554,7 @@ class ShardClient:
         ) from last
 
     @staticmethod
-    def _batch_payload(batch: Sequence) -> dict:
+    def _batch_payload(batch: Sequence, key: str | None = None) -> dict:
         if len(batch) == 2:
             timestamps, values = batch
             counts = None
@@ -561,6 +568,8 @@ class ShardClient:
         payload = {"op": "ingest", "timestamps": timestamps, "values": values}
         if counts is not None:
             payload["counts"] = counts
+        if key is not None:
+            payload["key"] = key
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

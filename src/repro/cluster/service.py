@@ -66,7 +66,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..engine.partition import HashPartitioner
+from ..engine.partition import HashPartitioner, key_digest, stable_hash64
 from ..engine.protocol import Sketch
 from ..engine.registry import load_sketch
 from ..service.service import WindowEstimate
@@ -268,6 +268,13 @@ class ClusterService:
                             f"{reference.get(field)!r} (shard 0 replica 0, "
                             f"{flat[0][2].client.address})"
                         )
+                if bool(info.get("keyed")) != bool(reference.get("keyed")):
+                    raise ClusterConfigError(
+                        f"shard {s} replica {r} ({replica.client.address}) "
+                        f"serves a {'keyed' if info.get('keyed') else 'plain'}"
+                        f" store while shard 0 replica 0 serves a "
+                        f"{'keyed' if reference.get('keyed') else 'plain'} one"
+                    )
             if "spec" not in reference:
                 raise ClusterConfigError(
                     f"shard {flat[0][2].client.address} reported no sketch "
@@ -287,6 +294,7 @@ class ClusterService:
             raise
         self._bucket_width = int(reference["bucket_width"])
         self._origin = int(reference["origin"])
+        self._keyed = bool(reference.get("keyed"))
         if partition_seed is None:
             partition_seed = int(self._spec.params.get("seed", 0))
         self._partition_seed = int(partition_seed)
@@ -613,12 +621,38 @@ class ClusterService:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    def _check_key(self, key: str | None) -> str | None:
+        """Validate a key argument against this cluster's store shape.
+
+        Mirrors the single-node behaviour through the shared surface: a
+        keyed request against an unkeyed fleet is a ``TypeError`` (the
+        wording a key-unaware service would produce), and a keyed
+        fleet refuses unkeyed data-path requests up front instead of
+        scattering a batch every worker will reject.
+        """
+        if key is None:
+            if self._keyed:
+                raise TypeError(
+                    "this cluster serves a keyed fleet; pass key='...'"
+                )
+            return None
+        if not self._keyed:
+            raise TypeError(
+                f"this cluster serves an unkeyed store; "
+                f"got an unexpected keyword argument key={key!r}"
+            )
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"key must be a non-empty string, got {key!r}")
+        return key
+
     def ingest(
         self,
         timestamps: np.ndarray | Iterable[int],
         values: np.ndarray | Iterable[int],
         counts: np.ndarray | Iterable[int] | None = None,
         max_workers: int | None = None,
+        *,
+        key: str | None = None,
     ) -> None:
         """Value-hash route one timestamped batch across the shards.
 
@@ -644,7 +678,16 @@ class ClusterService:
         land on the shard holding the insert — exact for every kind).
         ``max_workers`` is accepted for surface compatibility — the
         cluster's parallelism is the worker processes themselves.
+
+        On a keyed fleet the batch routes by the **(key, value) pair**:
+        the value column is first mixed with ``key_digest(key)`` and
+        the partitioner splits that derived column.  Deleting
+        ``(key, v)`` therefore lands exactly on the shard holding its
+        inserts (same key, same value, same route), while the same
+        value under different keys spreads across shards instead of
+        pinning every tenant's copy of a hot value to one worker.
         """
+        key = self._check_key(key)
         ts = np.asarray(timestamps, dtype=np.int64)
         vals = np.asarray(values, dtype=np.int64)
         if ts.ndim != 1 or vals.ndim != 1 or ts.shape != vals.shape:
@@ -661,6 +704,14 @@ class ClusterService:
                 )
         if vals.size == 0:
             return
+        # The column the partitioner routes on: raw values for a plain
+        # store, key-mixed values for a fleet (reinterpreted back to
+        # int64 — the partitioner re-hashes, so the view is lossless).
+        route = (
+            vals
+            if key is None
+            else stable_hash64(vals, seed=key_digest(key)).view(np.int64)
+        )
         if len(self._epochs) == 1:
             # Fast path: no epoch boundaries to consult.
             assignments = [(0, self._epochs[0], None)]
@@ -676,10 +727,10 @@ class ClusterService:
         futures: dict = {}
         targeted: set[tuple[int, int]] = set()
         for e, epoch, selection in assignments:
-            epoch_vals = vals if selection is None else vals[selection]
-            if epoch_vals.size == 0:
+            epoch_route = route if selection is None else route[selection]
+            if epoch_route.size == 0:
                 continue
-            for shard, sub in enumerate(epoch.partitioner.split(epoch_vals)):
+            for shard, sub in enumerate(epoch.partitioner.split(epoch_route)):
                 if sub.size == 0:
                     continue
                 idx = sub if selection is None else selection[sub]
@@ -687,7 +738,9 @@ class ClusterService:
                 # straight onto the wire, and a JSON client serialises
                 # them itself — materialising Python lists here would pay
                 # the conversion even on the zero-copy path.  Replicas of
-                # a set share the arrays read-only.
+                # a set share the arrays read-only.  The shipped values
+                # are always the *original* column — the key-mixed route
+                # column never leaves this process.
                 payload: dict = {
                     "op": "ingest",
                     "timestamps": ts[idx],
@@ -695,6 +748,8 @@ class ClusterService:
                 }
                 if cnts is not None:
                     payload["counts"] = cnts[idx]
+                if key is not None:
+                    payload["key"] = key
                 targeted.add((e, shard))
                 for replica in self._targets(epoch.sets[shard]):
                     futures[
@@ -795,7 +850,7 @@ class ClusterService:
     # Queries (scatter–gather merge-on-query)
     # ------------------------------------------------------------------
     def _gather_window(
-        self, t0: int, t1: int, align: str
+        self, t0: int, t1: int, align: str, key: str | None = None
     ) -> tuple[Sketch, int, int]:
         """Fetch and merge per-unit window sketches at a common window.
 
@@ -807,11 +862,13 @@ class ClusterService:
         answers the requested aligned window with the empty sketch
         (the merge identity), so epochs merge exactly by linearity.
         """
+        key = self._check_key(key)
         lo, hi = int(t0), int(t1)
         for _ in range(_MAX_ALIGN_ROUNDS):
-            responses = self._scatter_read(
-                {"op": "sketch", "from": lo, "until": hi, "align": align}
-            )
+            request: dict = {"op": "sketch", "from": lo, "until": hi, "align": align}
+            if key is not None:
+                request["key"] = key
+            responses = self._scatter_read(request)
             windows = {tuple(r["window"]) for r in responses}
             if len(windows) == 1:
                 (window,) = windows
@@ -831,34 +888,38 @@ class ClusterService:
             f"{_MAX_ALIGN_ROUNDS} rounds"
         )
 
-    def query(self, t0: int, t1: int, align: str = "strict") -> Sketch:
+    def query(
+        self, t0: int, t1: int, align: str = "strict", *, key: str | None = None
+    ) -> Sketch:
         """The merged sketch of the window across every shard."""
-        sketch, _, _ = self._gather_window(t0, t1, align)
+        sketch, _, _ = self._gather_window(t0, t1, align, key)
         return sketch
 
-    def estimate(self, t0: int, t1: int, align: str = "strict") -> float:
+    def estimate(
+        self, t0: int, t1: int, align: str = "strict", *, key: str | None = None
+    ) -> float:
         """Self-join estimate over the window (scatter–gather merge)."""
-        sketch, _, _ = self._gather_window(t0, t1, align)
+        sketch, _, _ = self._gather_window(t0, t1, align, key)
         return float(sketch.estimate())
 
     def estimate_window(
-        self, t0: int, t1: int, align: str = "strict"
+        self, t0: int, t1: int, align: str = "strict", *, key: str | None = None
     ) -> WindowEstimate:
         """The estimate together with the window it actually covers."""
-        sketch, lo, hi = self._gather_window(t0, t1, align)
+        sketch, lo, hi = self._gather_window(t0, t1, align, key)
         return WindowEstimate(float(sketch.estimate()), lo, hi)
 
     def sketch_window(
-        self, t0: int, t1: int, align: str = "strict"
+        self, t0: int, t1: int, align: str = "strict", *, key: str | None = None
     ) -> tuple[Sketch, int, int]:
         """The merged window sketch plus its resolved bounds."""
-        return self._gather_window(t0, t1, align)
+        return self._gather_window(t0, t1, align, key)
 
     def window_bounds(
-        self, t0: int, t1: int, align: str = "strict"
+        self, t0: int, t1: int, align: str = "strict", *, key: str | None = None
     ) -> tuple[int, int]:
         """The timestamp window a query would actually cover."""
-        _, lo, hi = self._gather_window(t0, t1, align)
+        _, lo, hi = self._gather_window(t0, t1, align, key)
         return lo, hi
 
     # ------------------------------------------------------------------
@@ -924,6 +985,7 @@ class ClusterService:
                         info.get("spec") != expected_spec
                         or int(info["bucket_width"]) != self._bucket_width
                         or int(info["origin"]) != self._origin
+                        or bool(info.get("keyed")) != self._keyed
                     ):
                         raise ClusterConfigError(
                             f"new epoch shard {s} replica {r} "
@@ -1000,6 +1062,11 @@ class ClusterService:
     def origin(self) -> int:
         return self._origin
 
+    @property
+    def keyed(self) -> bool:
+        """Whether the workers serve keyed fleets (probed at startup)."""
+        return self._keyed
+
     @staticmethod
     def _merged_spans(infos: Sequence[Mapping]) -> list[tuple[int, int]]:
         """Union of shard span ranges, coalesced into disjoint intervals.
@@ -1037,7 +1104,7 @@ class ClusterService:
         infos = self._scatter_read({"op": "info"})
         coverage = self._coverage_hull(infos)
         current = self._epochs[-1]
-        return {
+        info = {
             "kind": self._spec.kind,
             "spec": self._spec.to_dict(),
             "bucket_width": self._bucket_width,
@@ -1049,6 +1116,14 @@ class ClusterService:
             "replication": [len(replicas) for replicas in current.sets],
             "epochs": len(self._epochs),
         }
+        if self._keyed:
+            keys: set[str] = set()
+            for i in infos:
+                keys.update(i.get("keys") or ())
+            info["keyed"] = True
+            info["keys"] = sorted(keys)
+            info["key_count"] = len(keys)
+        return info
 
     @property
     def spans(self) -> list[tuple[int, int]]:
@@ -1177,21 +1252,36 @@ class ClusterService:
         if request_error is not None:
             raise request_error
 
-    def stats(self) -> dict:
+    def stats(self, key: str | None = None) -> dict:
         """Cache statistics summed over every replica, plus topology.
 
         ``shards`` is the current epoch's shard count (the historical
         field); ``replication`` and ``per_replica`` break the totals
         down so a replicated fleet's per-replica behaviour is visible
         instead of silently folded into one number.
+
+        Load accounting rides along: ``items_per_shard`` is each
+        shard's net logical item count (one replica per set — logical
+        load, not R× it) and ``items`` their sum, so partition skew is
+        observable.  On a keyed fleet ``items_by_key`` merges the
+        per-key inventories across shards (restricted to one key when
+        ``key`` is given), exposing hot tenants the same way.
         """
-        groups = self._scatter_all({"op": "stats"})
+        payload: dict = {"op": "stats"}
+        if key is not None:
+            if not self._keyed:
+                raise TypeError(
+                    f"this cluster serves an unkeyed store; "
+                    f"got an unexpected keyword argument key={key!r}"
+                )
+            payload["key"] = str(key)
+        groups = self._scatter_all(payload)
         totals: dict = {}
         for group in groups:
             for _replica, response in group:
-                for key, value in response["cache"].items():
+                for field, value in response["cache"].items():
                     if isinstance(value, (int, float)):
-                        totals[key] = totals.get(key, 0) + value
+                        totals[field] = totals.get(field, 0) + value
         current_count = len(self._epochs[-1].sets)
         totals["shards"] = current_count
         totals["replication"] = [
@@ -1202,6 +1292,24 @@ class ClusterService:
             [dict(response["cache"]) for _replica, response in group]
             for group in groups[-current_count:]
         ]
+        # Logical (not replica-multiplied) load: one answer per replica
+        # set.  ``items_per_shard`` covers the current epoch (the sets
+        # new batches route to); ``items`` sums every epoch, so
+        # resharded history still counts.
+        unit_items = [int(g[0][1]["cache"].get("items", 0)) for g in groups]
+        items_by_key: dict[str, int] = {}
+        for group in groups:
+            cache = group[0][1]["cache"]
+            for k, v in (cache.get("items_by_key") or {}).items():
+                items_by_key[k] = items_by_key.get(k, 0) + int(v)
+        totals["items"] = sum(unit_items)
+        totals["items_per_shard"] = unit_items[-current_count:]
+        if self._keyed:
+            totals["keyed"] = True
+            totals["items_by_key"] = {
+                k: items_by_key[k] for k in sorted(items_by_key)
+            }
+            totals["key_count"] = len(items_by_key)
         return totals
 
     # ------------------------------------------------------------------

@@ -25,8 +25,10 @@ import os
 import sys
 from typing import Mapping, TextIO
 
+from ..service.keyed import KeyedSketchService
 from ..service.server import DEFAULT_READ_TIMEOUT, SketchServiceServer
 from ..service.service import SketchService
+from ..store.keyed import KeyedSketchStore
 from ..store.spec import SketchSpec
 from ..store.windowed import WindowedSketchStore
 from .errors import ClusterConfigError
@@ -34,29 +36,45 @@ from .errors import ClusterConfigError
 __all__ = ["store_config", "build_store", "run_worker"]
 
 
-def store_config(store: WindowedSketchStore) -> dict:
+def store_config(store: WindowedSketchStore | KeyedSketchStore) -> dict:
     """The cluster-wide store template of an existing store.
 
     Captures configuration only — spec, bucket geometry, retention —
     never data: a cluster shards *future* ingest by value-hash, and
-    already-built sketches cannot be split back into values.
+    already-built sketches cannot be split back into values.  A keyed
+    fleet's template carries ``keyed: True`` (plus its ``max_keys``
+    bound), so every shard materialises a
+    :class:`~repro.store.keyed.KeyedSketchStore` of its own.
     """
-    return {
+    config = {
         "spec": store.spec.to_dict(),
         "bucket_width": store.bucket_width,
         "origin": store.origin,
         "retention_buckets": store.retention_buckets,
         "retention_policy": store.retention_policy,
     }
+    if isinstance(store, KeyedSketchStore):
+        config["keyed"] = True
+        config["max_keys"] = store.max_keys
+    return config
 
 
-def build_store(config: Mapping) -> WindowedSketchStore:
-    """An empty store from a :func:`store_config` template."""
+def build_store(config: Mapping) -> WindowedSketchStore | KeyedSketchStore:
+    """An empty store (or keyed fleet) from a :func:`store_config` template."""
     if not isinstance(config, Mapping) or "spec" not in config:
         raise ClusterConfigError(
             "worker config must be a mapping with a 'spec' entry"
         )
     try:
+        if config.get("keyed"):
+            return KeyedSketchStore(
+                SketchSpec.from_dict(config["spec"]),
+                bucket_width=int(config.get("bucket_width", 1)),
+                origin=int(config.get("origin", 0)),
+                retention_buckets=config.get("retention_buckets"),
+                retention_policy=config.get("retention_policy", "compact"),
+                max_keys=config.get("max_keys"),
+            )
         return WindowedSketchStore(
             SketchSpec.from_dict(config["spec"]),
             bucket_width=int(config.get("bucket_width", 1)),
@@ -93,7 +111,11 @@ def run_worker(
     """
     out = sys.stdout if announce is None else announce
     store = build_store(config)
-    service = SketchService(store, cache_entries=cache_entries)
+    service = (
+        KeyedSketchService(store, cache_entries=cache_entries)
+        if isinstance(store, KeyedSketchStore)
+        else SketchService(store, cache_entries=cache_entries)
+    )
     server_kwargs = {}
     if max_frame_bytes is not None:
         server_kwargs["max_frame_bytes"] = int(max_frame_bytes)

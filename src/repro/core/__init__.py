@@ -18,6 +18,8 @@ from .estimators import (
     theoretical_confidence,
     theoretical_relative_error,
 )
+from .distinct import DistinctCountSketch
+from .fkmoments import FkMomentSketch
 from .frequency import (
     FrequencyVector,
     distinct_values,
@@ -34,6 +36,7 @@ from .join import (
 )
 from .moments import (
     FrequencyMomentTracker,
+    UnsupportedMomentError,
     exact_moment,
     fk_estimate_offline,
     fk_sample_size_bound,
@@ -75,6 +78,9 @@ __all__ = [
     "MultiJoinFamily",
     "MultiJoinSignature",
     "FrequencyMomentTracker",
+    "FkMomentSketch",
+    "DistinctCountSketch",
+    "UnsupportedMomentError",
     "exact_moment",
     "fk_estimate_offline",
     "fk_sample_size_bound",

@@ -109,6 +109,10 @@ class FrequencyVector(Sketch):
 
     kind = "frequency"
     is_linear = True  # counts add; any update order gives the same state
+    describe = (
+        "exact frequency-vector ground truth (every moment, any join); "
+        "mergeable, memory grows with distinct values"
+    )
 
     __slots__ = ("_counts", "_n")
 

@@ -42,7 +42,19 @@ __all__ = [
     "fk_estimate_offline",
     "fk_sample_size_bound",
     "FrequencyMomentTracker",
+    "UnsupportedMomentError",
 ]
+
+
+class UnsupportedMomentError(ValueError):
+    """A moment order k the queried sketch cannot answer.
+
+    Raised for invalid orders (k < 1) and for orders outside what the
+    sketch's structure supports (a roots-of-unity F_k sketch is built
+    for one fixed k).  Subclasses ``ValueError`` so every existing
+    handler — the service surface's error table, the CLI's exit-2
+    contract — keeps working unchanged.
+    """
 
 
 def exact_moment(values: Iterable[int] | np.ndarray, k: int | None) -> float:
@@ -141,11 +153,17 @@ class FrequencyMomentTracker(SampleCountSketch):
     """
 
     kind = "moments"
+    describe = (
+        "sample-count tracker queried for arbitrary F_k "
+        "(position-sampled; insert/delete, not mergeable)"
+    )
 
     def moment_basic_estimators(self, k: int) -> np.ndarray:
         """Per-slot F_k basic estimators; NaN for slots not in the sample."""
         if k < 1:
-            raise ValueError(f"moment order k must be >= 1, got {k}")
+            raise UnsupportedMomentError(
+                f"moment order k must be >= 1, got {k}"
+            )
         x = np.full(self.s, np.nan, dtype=np.float64)
         n = float(self.n)
         for v, count in self._nv.items():

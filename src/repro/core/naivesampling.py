@@ -89,6 +89,10 @@ class NaiveSamplingEstimator(Sketch):
     """
 
     kind = "naivesampling"
+    describe = (
+        "scale-up-the-sample self-join baseline (Section 3 straw man); "
+        "insertion-only, not mergeable"
+    )
 
     def __init__(self, s: int, seed: int | None = None):
         if s < 1:

@@ -106,6 +106,10 @@ class SampleCountSketch(Sketch):
     """
 
     kind = "samplecount"
+    describe = (
+        "AMS sample-count tracker for the self-join size F_2 "
+        "(position-sampled; insert/delete, not mergeable)"
+    )
 
     def __init__(
         self,
@@ -632,6 +636,10 @@ class SampleCountFastQuery(SampleCountSketch):
     """
 
     kind = "samplecount-fast"
+    describe = (
+        "sample-count variant with O(s2) amortised queries via "
+        "incremental group sums; insert/delete, not mergeable"
+    )
 
     def __init__(
         self,

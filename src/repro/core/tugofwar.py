@@ -81,6 +81,10 @@ class TugOfWarSketch(Sketch):
 
     kind = "tugofwar"
     is_linear = True  # state is a linear map of the frequency vector
+    describe = (
+        "AMS tug-of-war linear sketch for the self-join size F_2; "
+        "mergeable, deletion-exact"
+    )
 
     __slots__ = ("s1", "s2", "_signs", "_z", "_n")
 

@@ -29,6 +29,7 @@ from .partition import (
     ContiguousPartitioner,
     HashPartitioner,
     Partitioner,
+    key_digest,
     partitioner_from_dict,
     stable_hash64,
 )
@@ -42,6 +43,7 @@ from .registry import (
     loads_sketch,
     register_sketch,
     sketch_class,
+    sketch_descriptions,
     sketch_kinds,
 )
 from .sharded import merge_sketches, shard_stream, sharded_build
@@ -51,6 +53,7 @@ __all__ = [
     "MergeUnsupportedError",
     "register_sketch",
     "sketch_kinds",
+    "sketch_descriptions",
     "sketch_class",
     "dump_sketch",
     "load_sketch",
@@ -69,5 +72,6 @@ __all__ = [
     "ContiguousPartitioner",
     "HashPartitioner",
     "stable_hash64",
+    "key_digest",
     "partitioner_from_dict",
 ]

@@ -28,6 +28,7 @@ the input — nothing dropped, nothing duplicated (property-tested).
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import Iterable, List
 
 import numpy as np
@@ -37,6 +38,7 @@ __all__ = [
     "ContiguousPartitioner",
     "HashPartitioner",
     "stable_hash64",
+    "key_digest",
     "partitioner_from_dict",
 ]
 
@@ -141,6 +143,25 @@ def stable_hash64(
         z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_M1
         z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_M2
         return z ^ (z >> np.uint64(31))
+
+
+def key_digest(key: str) -> int:
+    """A process-independent 64-bit digest of a fleet key string.
+
+    Folds a key into the value-routing hash: the keyed cluster routes
+    an event by ``stable_hash64(value, seed=key_digest(key))`` fed to
+    the shard partitioner, so assignment depends on the *(key, value)*
+    pair.  Every occurrence of one pair — inserts and the deletions
+    that retract them — lands on the same shard, while the same value
+    under different keys spreads across shards (per-key load is not
+    pinned to per-value hot spots).  blake2b is unsalted and
+    byte-deterministic, so any host, any day, computes the same route.
+    """
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"key must be a non-empty string, got {key!r}")
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "little"
+    )
 
 
 class HashPartitioner(Partitioner):

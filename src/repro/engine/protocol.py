@@ -87,6 +87,10 @@ class Sketch(abc.ABC):
     #: Whether the sketch is a linear function of the frequency vector.
     is_linear: bool = False
 
+    #: Optional one-line human description surfaced by the registry
+    #: (``repro sketch kinds``); concrete sketches override it.
+    describe: str = ""
+
     __slots__ = ()
 
     # -- abstract core -----------------------------------------------------

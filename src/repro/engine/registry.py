@@ -26,6 +26,7 @@ from .protocol import Sketch
 __all__ = [
     "register_sketch",
     "sketch_kinds",
+    "sketch_descriptions",
     "sketch_class",
     "dump_sketch",
     "load_sketch",
@@ -84,6 +85,19 @@ def register_sketch(cls: S) -> S:
 def sketch_kinds() -> list[str]:
     """All registered kinds, sorted."""
     return sorted(_REGISTRY)
+
+
+def sketch_descriptions() -> dict[str, str]:
+    """``{kind: one-line description}`` for every registered kind, sorted.
+
+    The description is the class's optional ``describe`` attribute
+    (empty string when a kind does not set one); ``repro sketch kinds``
+    prints this table so new kinds are discoverable.
+    """
+    return {
+        kind: str(getattr(_REGISTRY[kind], "describe", "") or "")
+        for kind in sketch_kinds()
+    }
 
 
 def sketch_class(kind: str) -> Type[Sketch]:

@@ -32,6 +32,7 @@ layer that actually serves those estimates under concurrent load:
 
 from .aserver import EventLoopServer
 from .concurrency import ReadWriteLock, SingleFlightCache
+from .keyed import KeyedSketchService
 from .server import DEFAULT_READ_TIMEOUT, PROTOCOLS, SketchServiceServer
 from .service import CatalogService, SketchService, WindowEstimate, dirty_intervals
 from .surface import OPS, handle_frame, handle_request, validate_service
@@ -45,6 +46,7 @@ from .wire import (
 
 __all__ = [
     "SketchService",
+    "KeyedSketchService",
     "CatalogService",
     "WindowEstimate",
     "SketchServiceServer",

@@ -52,6 +52,7 @@ import numpy as np
 from ..engine.protocol import Sketch
 from ..engine.registry import dump_sketch, load_sketch
 from ..relational.windowed import WindowedSignatureCatalog
+from ..store.keyed import _store_items
 from ..store.windowed import WindowedSketchStore
 from .concurrency import ReadWriteLock, SingleFlightCache
 
@@ -354,8 +355,16 @@ class SketchService:
             self._cache.invalidate(None, [_EVERYWHERE])
 
     def stats(self) -> dict:
-        """Cache statistics: hits, misses, coalesced, invalidated, entries."""
-        return self._cache.stats
+        """Cache statistics plus the store's net logical item count.
+
+        ``items`` (inserts minus deletes, summed over spans) is the
+        per-shard load signal the cluster's ``stats()`` aggregates to
+        make partition skew observable.
+        """
+        stats = dict(self._cache.stats)
+        with self._rw.read():
+            stats["items"] = _store_items(self._store)
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SketchService({self._store!r}, cache={self._cache.stats})"

@@ -93,13 +93,30 @@ def _window(request: Mapping) -> tuple[int, int, str]:
     return int(request["from"]), int(request["until"]), str(align)
 
 
+def _keyed(request: Mapping) -> dict:
+    """The ``key=`` kwarg a request asks for, or nothing.
+
+    The key is forwarded *only when present*, so a keyed request
+    against a key-unaware service raises a ``TypeError`` (a handled
+    error: "unexpected keyword argument 'key'") instead of silently
+    answering from the wrong stream, and unkeyed requests keep
+    working against both service shapes.
+    """
+    key = request.get("key")
+    if key is None:
+        return {}
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"'key' must be a non-empty string, got {key!r}")
+    return {"key": key}
+
+
 def _op_ping(service, request: Mapping) -> dict:
     return {"pong": True}
 
 
 def _op_estimate(service, request: Mapping) -> dict:
     t0, t1, align = _window(request)
-    result = service.estimate_window(t0, t1, align=align)
+    result = service.estimate_window(t0, t1, align=align, **_keyed(request))
     return {
         "window": [result.t0, result.t1],
         "estimate": result.estimate,
@@ -108,7 +125,7 @@ def _op_estimate(service, request: Mapping) -> dict:
 
 def _op_sketch(service, request: Mapping) -> dict:
     t0, t1, align = _window(request)
-    sketch, lo, hi = service.sketch_window(t0, t1, align=align)
+    sketch, lo, hi = service.sketch_window(t0, t1, align=align, **_keyed(request))
     return {"window": [lo, hi], "sketch": dump_sketch(sketch)}
 
 
@@ -123,7 +140,7 @@ def _op_ingest(service, request: Mapping) -> dict:
     counts = request.get("counts")
     if counts is not None and not isinstance(counts, batch_types):
         raise ValueError("'counts' must be a list when present")
-    service.ingest(timestamps, values, counts=counts)
+    service.ingest(timestamps, values, counts=counts, **_keyed(request))
     return {"ingested": len(values)}
 
 
@@ -146,7 +163,7 @@ def _op_info(service, request: Mapping) -> dict:
 
 
 def _op_stats(service, request: Mapping) -> dict:
-    return {"cache": service.stats()}
+    return {"cache": service.stats(**_keyed(request))}
 
 
 def _op_snapshot(service, request: Mapping) -> dict:
@@ -298,7 +315,7 @@ def handle_frame(
         )
     try:
         if opcode == wire.OP_INGEST:
-            timestamps, values, counts = wire.unpack_ingest(payload)
+            timestamps, values, counts, key = wire.unpack_ingest(payload)
             request = {
                 "op": spec.name,
                 "timestamps": timestamps,
@@ -306,6 +323,8 @@ def handle_frame(
             }
             if counts is not None:
                 request["counts"] = counts
+            if key is not None:
+                request["key"] = key
         else:
             decoded = wire.decode_compact(payload) if len(payload) else {}
             if decoded is None:

@@ -29,13 +29,19 @@ Ingest payload (opcode :data:`OP_INGEST`)::
 
     offset  size  field
     0       1     payload flags  bit 0: counts present,
-                                 bit 1: scalar timestamp
+                                 bit 1: scalar timestamp,
+                                 bit 2: key present
     1       3     padding
     4       4     n        number of events (u32)
     8       8     scalar timestamp (i64; 0 unless bit 1 set)
     16      8n    values      packed <i8
     16+8n   8n    timestamps  packed <i8 (absent when scalar)
     ...     8n    counts      packed <i8 (present when bit 0 set)
+    ...     2+k   key         u16 length + UTF-8 bytes (when bit 2 set)
+
+The key trailer rides after the packed columns so the int64 arrays
+stay 8-aligned at fixed offsets and decode zero-copy whether or not
+the batch is keyed.
 
 Version negotiation: a client may open with :data:`OP_HELLO` carrying
 ``{"versions": [...]}``; the server answers with the highest version
@@ -504,6 +510,10 @@ _INGEST_HEADER_SIZE = _INGEST_HEADER.size  # 16 bytes
 
 _INGEST_HAS_COUNTS = 0x01
 _INGEST_SCALAR_TS = 0x02
+_INGEST_HAS_KEY = 0x04
+
+#: Keys travel with a u16 length prefix, so this is a hard wire limit.
+_MAX_KEY_BYTES = 0xFFFF
 
 
 def _packed_i64(values, what: str) -> np.ndarray:
@@ -518,12 +528,15 @@ def _packed_i64(values, what: str) -> np.ndarray:
     return arr.astype("<i8", copy=False)
 
 
-def pack_ingest(timestamps, values, counts=None) -> bytes:
+def pack_ingest(timestamps, values, counts=None, key=None) -> bytes:
     """Encode one ingest batch as a packed binary payload.
 
     ``timestamps`` may be a scalar (every event at one time — the
     arrival-batched common case) or an array; a constant array is
     detected and sent in scalar form, saving 8 bytes per event.
+    ``key`` routes the batch to one stream of a keyed fleet; it is
+    appended as a length-prefixed UTF-8 trailer so the packed columns
+    keep their fixed offsets.
     """
     vals = _packed_i64(values, "values")
     n = vals.size
@@ -557,6 +570,15 @@ def pack_ingest(timestamps, values, counts=None) -> bytes:
             )
         flags |= _INGEST_HAS_COUNTS
         parts.append(cnts.tobytes())
+    if key is not None:
+        if not isinstance(key, str) or not key:
+            raise WireError(f"key must be a non-empty string, got {key!r}")
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > _MAX_KEY_BYTES:
+            raise WireError(f"key exceeds {_MAX_KEY_BYTES} UTF-8 bytes")
+        flags |= _INGEST_HAS_KEY
+        parts.append(struct.pack("<H", len(key_bytes)))
+        parts.append(key_bytes)
     parts[0] = _INGEST_HEADER.pack(
         flags, n, 0 if scalar_ts is None else scalar_ts
     )
@@ -565,14 +587,15 @@ def pack_ingest(timestamps, values, counts=None) -> bytes:
 
 def unpack_ingest(
     payload: bytes | bytearray | memoryview,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Decode an ingest payload to ``(timestamps, values, counts)``.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, str | None]:
+    """Decode an ingest payload to ``(timestamps, values, counts, key)``.
 
     The arrays are zero-copy views over the payload buffer
     (``np.frombuffer``), so they are read-only and alive only as long
     as the buffer is; the store copies what it keeps, never the batch
     itself.  A scalar timestamp comes back as a broadcast (stride-0)
-    array of the right length.
+    array of the right length.  ``key`` is ``None`` for an unkeyed
+    batch.
     """
     view = memoryview(payload)
     if len(view) < _INGEST_HEADER_SIZE:
@@ -585,7 +608,27 @@ def unpack_ingest(
     if flags & _INGEST_HAS_COUNTS:
         columns += 1
     expected = _INGEST_HEADER_SIZE + 8 * n * columns
-    if len(view) != expected:
+    key: str | None = None
+    if flags & _INGEST_HAS_KEY:
+        if len(view) < expected + 2:
+            raise FrameFormatError(
+                f"ingest payload length {len(view)} is too short for its "
+                f"key length prefix at offset {expected}"
+            )
+        (key_len,) = struct.unpack_from("<H", view, expected)
+        if len(view) != expected + 2 + key_len:
+            raise FrameFormatError(
+                f"ingest payload length {len(view)} != "
+                f"{expected + 2 + key_len} ({n} events, {columns} columns, "
+                f"{key_len}-byte key)"
+            )
+        try:
+            key = str(bytes(view[expected + 2 :]), "utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameFormatError(f"ingest key is not valid UTF-8: {exc}")
+        if not key:
+            raise FrameFormatError("ingest key must not be empty")
+    elif len(view) != expected:
         raise FrameFormatError(
             f"ingest payload length {len(view)} != {expected} "
             f"({n} events, {columns} columns)"
@@ -604,7 +647,7 @@ def unpack_ingest(
     else:
         timestamps = column()
     counts = column() if flags & _INGEST_HAS_COUNTS else None
-    return timestamps, values, counts
+    return timestamps, values, counts, key
 
 
 # ----------------------------------------------------------------------

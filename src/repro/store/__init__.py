@@ -15,12 +15,17 @@ fed through the vectorised ingestion paths — and adds the time axis:
   and whole-store snapshot/restore through the serialization registry.
 """
 
+from .buckets import BucketLayout
+from .keyed import KeyCardinalityError, KeyedSketchStore
 from .spec import SketchSpec
 from .windowed import BucketSpan, WindowAlignmentError, WindowedSketchStore
 
 __all__ = [
     "SketchSpec",
     "WindowedSketchStore",
+    "KeyedSketchStore",
+    "KeyCardinalityError",
     "WindowAlignmentError",
     "BucketSpan",
+    "BucketLayout",
 ]

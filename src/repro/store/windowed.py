@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import bisect
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Iterable, List, Mapping
 
 import numpy as np
@@ -55,31 +54,10 @@ from ..engine.registry import (
     load_sketch,
 )
 from ..engine.sharded import merge_sketches
+from .buckets import BucketLayout, BucketSpan, WindowAlignmentError
 from .spec import SketchSpec
 
 __all__ = ["WindowedSketchStore", "WindowAlignmentError", "BucketSpan"]
-
-
-class WindowAlignmentError(ValueError):
-    """Raised when a window boundary falls inside a bucket span.
-
-    A span's sketch summarises every event in the span; it cannot be
-    split at query time.  Pass ``align="outer"`` to expand the window
-    to the smallest span-aligned superset instead.
-    """
-
-
-@dataclass(eq=False)
-class BucketSpan:
-    """A half-open range of bucket indices summarised by one sketch."""
-
-    start: int  # first bucket index covered (inclusive)
-    end: int  # one past the last bucket index covered
-    sketch: Sketch
-
-    def covers(self, bucket: int) -> bool:
-        """Whether ``bucket`` falls inside this span."""
-        return self.start <= bucket < self.end
 
 
 class WindowedSketchStore:
@@ -92,7 +70,10 @@ class WindowedSketchStore:
         is built from.  Mergeable kinds must carry an explicit seed in
         their params so bucket sketches are combinable.
     bucket_width:
-        Width of one time bucket (integer time units, >= 1).
+        Width of one time bucket (integer time units, >= 1).  A
+        prebuilt :class:`~repro.store.buckets.BucketLayout` may be
+        passed instead (``origin`` is then ignored); a keyed fleet
+        hands one shared layout to every per-key store.
     origin:
         Timestamp where bucket 0 begins; bucket boundaries are
         ``origin + k * bucket_width``.
@@ -125,10 +106,11 @@ class WindowedSketchStore:
         if not isinstance(spec, SketchSpec):
             raise TypeError(f"spec must be a SketchSpec, got {type(spec).__name__}")
         self.spec = spec
-        self.bucket_width = int(bucket_width)
-        if self.bucket_width < 1:
-            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
-        self.origin = int(origin)
+        self.layout = (
+            bucket_width
+            if isinstance(bucket_width, BucketLayout)
+            else BucketLayout(bucket_width, origin)
+        )
         if retention_buckets is not None and int(retention_buckets) < 1:
             raise ValueError(
                 f"retention_buckets must be >= 1, got {retention_buckets}"
@@ -159,47 +141,33 @@ class WindowedSketchStore:
         self._spans: List[BucketSpan] = []  # sorted by start, non-overlapping
 
     # ------------------------------------------------------------------
-    # Bucket arithmetic
+    # Bucket arithmetic (delegated to the shared BucketLayout core)
     # ------------------------------------------------------------------
+    @property
+    def bucket_width(self) -> int:
+        """Width of one time bucket (integer time units)."""
+        return self.layout.bucket_width
+
+    @property
+    def origin(self) -> int:
+        """Timestamp where bucket 0 begins."""
+        return self.layout.origin
+
     def bucket_of(self, timestamp: int) -> int:
         """The bucket index containing ``timestamp`` (floor semantics)."""
-        return (int(timestamp) - self.origin) // self.bucket_width
+        return self.layout.bucket_of(timestamp)
 
     def bucket_bounds(self, bucket: int) -> tuple[int, int]:
         """The half-open timestamp range ``[t0, t1)`` of one bucket."""
-        t0 = self.origin + int(bucket) * self.bucket_width
-        return t0, t0 + self.bucket_width
+        return self.layout.bucket_bounds(bucket)
 
     def _boundary_bucket(self, t: int) -> int:
         """The bucket starting at ``t``; raises unless ``t`` is a boundary."""
-        offset = int(t) - self.origin
-        if offset % self.bucket_width:
-            raise WindowAlignmentError(
-                f"timestamp {t} is not a bucket boundary (width "
-                f"{self.bucket_width}, origin {self.origin})"
-            )
-        return offset // self.bucket_width
+        return self.layout.boundary_bucket(t)
 
     def _window_buckets(self, t0: int, t1: int, align: str) -> tuple[int, int]:
         """Convert a timestamp window to a half-open bucket range."""
-        t0, t1 = int(t0), int(t1)
-        if t1 <= t0:
-            raise ValueError(f"empty window: [{t0}, {t1})")
-        if align not in ("strict", "outer"):
-            raise ValueError(f"align must be 'strict' or 'outer', got {align!r}")
-        b0 = (t0 - self.origin) // self.bucket_width
-        b1 = -((-(t1 - self.origin)) // self.bucket_width)  # ceil division
-        if align == "strict":
-            lo, _ = self.bucket_bounds(b0)
-            _, hi = self.bucket_bounds(b1 - 1)
-            if lo != t0 or hi != t1:
-                raise WindowAlignmentError(
-                    f"window [{t0}, {t1}) is not aligned to bucket boundaries "
-                    f"(width {self.bucket_width}, origin {self.origin}); the "
-                    f"covering aligned window is [{lo}, {hi}) — pass "
-                    f'align="outer" to use it'
-                )
-        return b0, b1
+        return self.layout.window_buckets(t0, t1, align)
 
     def _spans_in(self, b0: int, b1: int) -> List[BucketSpan]:
         return [s for s in self._spans if s.start < b1 and s.end > b0]
@@ -392,23 +360,7 @@ class WindowedSketchStore:
         rules) and then to whole spans, so the caller knows the exact
         range the returned estimate summarises.
         """
-        b0, b1 = self._window_buckets(t0, t1, align)
-        spans = self._spans_in(b0, b1)
-        for span in spans:
-            if span.start < b0 or span.end > b1:
-                if align == "strict":
-                    s0, _ = self.bucket_bounds(span.start)
-                    _, s1 = self.bucket_bounds(span.end - 1)
-                    raise WindowAlignmentError(
-                        f"window [{t0}, {t1}) splits the compacted span "
-                        f"[{s0}, {s1}); cover the whole span or pass "
-                        f'align="outer"'
-                    )
-                b0 = min(b0, span.start)
-                b1 = max(b1, span.end)
-        lo, _ = self.bucket_bounds(b0)
-        _, hi = self.bucket_bounds(b1 - 1)
-        return lo, hi
+        return self.layout.align_spans(t0, t1, align, self.bucket_spans)
 
     def query(self, t0: int, t1: int, align: str = "strict") -> Sketch:
         """The sketch of every event in the window ``[t0, t1)``.

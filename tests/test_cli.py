@@ -96,8 +96,11 @@ class TestSketchCommands:
 
     def test_kinds(self, capsys):
         assert main(["sketch", "kinds"]) == 0
-        out = capsys.readouterr().out.split()
-        assert "tugofwar" in out and "samplecount" in out and "frequency" in out
+        lines = capsys.readouterr().out.splitlines()
+        listed = {line.split(":", 1)[0] for line in lines if line}
+        assert {"tugofwar", "samplecount", "frequency", "fk_moments", "f0"} <= listed
+        # Every kind ships a one-line description of what it estimates.
+        assert all(":" in line and line.split(":", 1)[1].strip() for line in lines)
 
     def test_build_info_estimate_round_trip(self, tmp_path, values_file, capsys):
         out_path = str(tmp_path / "sk.json")

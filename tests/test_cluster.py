@@ -46,6 +46,8 @@ from repro.store import SketchSpec, WindowedSketchStore
 MERGEABLE_KINDS = {
     "tugofwar": {"s1": 16, "s2": 3, "seed": 7},
     "frequency": {},
+    "fk_moments": {"k": 3, "s1": 16, "s2": 3, "seed": 7},
+    "f0": {"s1": 16, "s2": 3, "seed": 7},
 }
 SAMPLER_KINDS = {
     "samplecount": {"s1": 8, "s2": 2, "seed": 7},

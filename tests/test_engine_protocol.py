@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.distinct import DistinctCountSketch
+from repro.core.fkmoments import FkMomentSketch
 from repro.core.frequency import FrequencyVector
 from repro.core.moments import FrequencyMomentTracker
 from repro.core.naivesampling import NaiveSamplingEstimator
@@ -30,6 +32,8 @@ ALL_SKETCHES = [
     FrequencyMomentTracker(16, 3, seed=1),
     NaiveSamplingEstimator(s=48, seed=1),
     FrequencyVector(),
+    FkMomentSketch(k=3, s1=16, s2=3, seed=1),
+    DistinctCountSketch(16, 3, seed=1),
 ]
 
 #: One fresh-sketch factory per registered kind; the round-trip tests
@@ -44,6 +48,8 @@ KIND_FACTORIES = {
     "moments": lambda: FrequencyMomentTracker(8, 3, seed=11, initial_range=64),
     "naivesampling": lambda: NaiveSamplingEstimator(s=24, seed=11),
     "frequency": FrequencyVector,
+    "fk_moments": lambda: FkMomentSketch(k=3, s1=16, s2=3, seed=11),
+    "f0": lambda: DistinctCountSketch(16, 3, seed=11),
 }
 
 

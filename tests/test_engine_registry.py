@@ -12,6 +12,8 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.distinct import DistinctCountSketch
+from repro.core.fkmoments import FkMomentSketch
 from repro.core.frequency import FrequencyVector
 from repro.core.moments import FrequencyMomentTracker
 from repro.core.naivesampling import NaiveSamplingEstimator
@@ -45,6 +47,8 @@ def build_all() -> dict[str, Sketch]:
         "moments": FrequencyMomentTracker(64, 5, seed=3),
         "naivesampling": NaiveSamplingEstimator(s=320, seed=3),
         "frequency": FrequencyVector(),
+        "fk_moments": FkMomentSketch(k=3, s1=64, s2=5, seed=3),
+        "f0": DistinctCountSketch(64, 5, seed=3),
     }
     for sketch in sketches.values():
         sketch.update_from_stream(stream)

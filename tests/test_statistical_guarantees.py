@@ -118,3 +118,49 @@ class TestTheorem22Empirically:
         assert EPS == pytest.approx(0.5)
         assert DELTA == pytest.approx(2.0 ** -2.5)
         assert N_SEEDS >= 200
+
+
+class TestFkMomentsEmpirically:
+    """The same 200-seed harness for the general F_k kind at k=3.
+
+    The roots-of-unity estimator is unbiased for F_k with the same
+    median-of-means amplification as tug-of-war, so the harness holds
+    the (eps, delta) band to the same one-sided budget: measured
+    failures across 200 sketch seeds must not exceed delta.
+    """
+
+    K = 3
+
+    def _f3(self, values: np.ndarray) -> float:
+        return float(np.sum(np.bincount(values).astype(np.float64) ** self.K))
+
+    def test_zipf_stream_within_eps_delta(self):
+        from repro.core.fkmoments import FkMomentSketch
+
+        values = _zipf_stream()
+        truth = self._f3(values)
+        failures = 0
+        for seed in range(N_SEEDS):
+            sketch = FkMomentSketch(k=self.K, s1=S1, s2=S2, seed=seed)
+            sketch.update_from_stream(values)
+            if abs(sketch.moment_estimate(self.K) - truth) > EPS * truth:
+                failures += 1
+        assert failures / N_SEEDS <= DELTA
+
+    def test_deletion_workload_within_eps_delta(self):
+        """Deletions are exact for the linear counter state, so the
+        (eps, delta) band applies to the surviving multiset's F_3."""
+        from repro.core.fkmoments import FkMomentSketch
+
+        base = _zipf_stream()[:4000]
+        ops = list(mixed_workload(base, delete_fraction=0.2, rng=77))
+        truth = float(
+            sum(c ** self.K for c in remaining_multiset(ops).values())
+        )
+        failures = 0
+        for seed in range(N_SEEDS):
+            sketch = FkMomentSketch(k=self.K, s1=S1, s2=S2, seed=seed)
+            ingest_operations(sketch, ops)
+            if abs(sketch.moment_estimate(self.K) - truth) > EPS * truth:
+                failures += 1
+        assert failures / N_SEEDS <= DELTA

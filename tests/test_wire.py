@@ -126,25 +126,26 @@ class TestIngestCodec:
     def test_roundtrip_arrays(self):
         ts = np.array([1, 5, 9], dtype=np.int64)
         vals = np.array([10, -20, 2**62], dtype=np.int64)
-        got_ts, got_vals, got_counts = wire.unpack_ingest(
+        got_ts, got_vals, got_counts, got_key = wire.unpack_ingest(
             wire.pack_ingest(ts, vals)
         )
         np.testing.assert_array_equal(got_ts, ts)
         np.testing.assert_array_equal(got_vals, vals)
         assert got_counts is None
+        assert got_key is None
 
     def test_roundtrip_with_counts(self):
         ts = np.array([1, 2], dtype=np.int64)
         vals = np.array([3, 4], dtype=np.int64)
         counts = np.array([5, -6], dtype=np.int64)
-        _, _, got_counts = wire.unpack_ingest(
+        _, _, got_counts, _ = wire.unpack_ingest(
             wire.pack_ingest(ts, vals, counts=counts)
         )
         np.testing.assert_array_equal(got_counts, counts)
 
     def test_scalar_timestamp_broadcasts(self):
         payload = wire.pack_ingest(42, np.array([1, 2, 3]))
-        ts, vals, _ = wire.unpack_ingest(payload)
+        ts, vals, _, _ = wire.unpack_ingest(payload)
         np.testing.assert_array_equal(ts, [42, 42, 42])
 
     def test_constant_timestamp_array_sent_scalar(self):
@@ -152,12 +153,12 @@ class TestIngestCodec:
         const = wire.pack_ingest(np.full(100, 7), np.arange(100))
         varying = wire.pack_ingest(np.arange(100), np.arange(100))
         assert len(const) == len(varying) - 8 * 100 + 8 * 0
-        ts, _, _ = wire.unpack_ingest(const)
+        ts, _, _, _ = wire.unpack_ingest(const)
         assert ts.tolist() == [7] * 100
 
     def test_zero_copy_views(self):
         payload = wire.pack_ingest(np.arange(4), np.arange(4))
-        ts, vals, _ = wire.unpack_ingest(payload)
+        ts, vals, _, _ = wire.unpack_ingest(payload)
         assert not vals.flags.owndata  # a view over the frame buffer
         assert not vals.flags.writeable
 
@@ -179,6 +180,59 @@ class TestIngestCodec:
         payload = wire.pack_ingest(np.arange(3), np.arange(3))
         with pytest.raises(wire.FrameFormatError, match="length"):
             wire.unpack_ingest(payload + b"\x00" * 8)
+
+    def test_keyed_roundtrip(self):
+        ts = np.array([1, 5], dtype=np.int64)
+        vals = np.array([10, -20], dtype=np.int64)
+        got_ts, got_vals, got_counts, got_key = wire.unpack_ingest(
+            wire.pack_ingest(ts, vals, key="tenant-α")
+        )
+        np.testing.assert_array_equal(got_ts, ts)
+        np.testing.assert_array_equal(got_vals, vals)
+        assert got_counts is None
+        assert got_key == "tenant-α"
+
+    def test_keyed_roundtrip_with_counts_and_scalar_ts(self):
+        vals = np.array([3, 4], dtype=np.int64)
+        counts = np.array([1, -1], dtype=np.int64)
+        got_ts, _, got_counts, got_key = wire.unpack_ingest(
+            wire.pack_ingest(7, vals, counts=counts, key="k")
+        )
+        assert got_ts.tolist() == [7, 7]
+        np.testing.assert_array_equal(got_counts, counts)
+        assert got_key == "k"
+
+    def test_key_trailer_keeps_columns_zero_copy(self):
+        payload = wire.pack_ingest(np.arange(4), np.arange(4), key="zz")
+        ts, vals, _, key = wire.unpack_ingest(payload)
+        assert key == "zz"
+        assert not vals.flags.owndata
+        assert not ts.flags.owndata
+
+    def test_keyed_costs_key_bytes_plus_two(self):
+        base = wire.pack_ingest(np.arange(3), np.arange(3))
+        keyed = wire.pack_ingest(np.arange(3), np.arange(3), key="abc")
+        assert len(keyed) == len(base) + 2 + 3
+
+    def test_bad_keys_refused_at_pack(self):
+        with pytest.raises(wire.WireError, match="non-empty string"):
+            wire.pack_ingest(np.arange(2), np.arange(2), key="")
+        with pytest.raises(wire.WireError, match="non-empty string"):
+            wire.pack_ingest(np.arange(2), np.arange(2), key=7)
+        with pytest.raises(wire.WireError, match="65535"):
+            wire.pack_ingest(np.arange(2), np.arange(2), key="x" * 70000)
+
+    def test_truncated_key_refused(self):
+        payload = wire.pack_ingest(np.arange(2), np.arange(2), key="abcdef")
+        with pytest.raises(wire.FrameFormatError, match="key"):
+            wire.unpack_ingest(payload[:-3])
+
+    def test_undeclared_key_length_refused(self):
+        # Flag set but payload ends right after the columns.
+        payload = bytearray(wire.pack_ingest(np.arange(2), np.arange(2)))
+        payload[0] |= 0x04
+        with pytest.raises(wire.FrameFormatError, match="key"):
+            wire.unpack_ingest(bytes(payload))
 
 
 # ----------------------------------------------------------------------
