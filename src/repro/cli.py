@@ -520,11 +520,17 @@ def _sketch_main(args) -> int:
 
     if args.sketch_command == "kinds":
         from .engine import sketch_descriptions
+        from .kernels import kernel_info
 
         descriptions = sketch_descriptions()
         for kind in sketch_kinds():
             desc = descriptions.get(kind)
             print(f"{kind}: {desc}" if desc else kind)
+        info = kernel_info(probe=True)
+        print(
+            f"kernel backend: {info['active']} "
+            f"(available: {', '.join(info['available'])})"
+        )
         return 0
 
     if args.sketch_command in ("info", "estimate"):
@@ -1014,10 +1020,12 @@ def _serve_main(args) -> int:
         if isinstance(store, KeyedSketchStore)
         else ""
     )
+    from .kernels import active_backend
+
     print(
         f"serving {args.path} on {host}:{port} "
         f"(kind={store.spec.kind}{keyed}, spans={store.span_count}, "
-        f"protocol={args.protocol})",
+        f"protocol={args.protocol}, kernel={active_backend()})",
         flush=True,
     )
     try:
@@ -1083,11 +1091,14 @@ def _serve_cluster(args, store, read_timeout) -> int:
             # and non-mergeable kinds are all user-correctable.
             raise CliError(str(exc)) from exc
         host, port = server.server_address[:2]
+        from .kernels import active_backend
+
         print(
             f"serving {args.path} on {host}:{port} "
             f"(kind={store.spec.kind}, protocol={args.protocol}, "
             f"shards={cluster.num_shards}, "
-            f"replication={cluster.replication}: "
+            f"replication={cluster.replication}, "
+            f"kernel={active_backend()}: "
             f"{', '.join(cluster.addresses)})",
             flush=True,
         )

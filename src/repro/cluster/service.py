@@ -1115,6 +1115,13 @@ class ClusterService:
             "shards": len(current.sets),
             "replication": [len(replicas) for replicas in current.sets],
             "epochs": len(self._epochs),
+            "kernel_backend": sorted(
+                {
+                    str(i["kernel_backend"])
+                    for i in infos
+                    if i.get("kernel_backend")
+                }
+            ),
         }
         if self._keyed:
             keys: set[str] = set()
@@ -1304,6 +1311,14 @@ class ClusterService:
                 items_by_key[k] = items_by_key.get(k, 0) + int(v)
         totals["items"] = sum(unit_items)
         totals["items_per_shard"] = unit_items[-current_count:]
+        totals["kernel_backend"] = sorted(
+            {
+                str(response["cache"]["kernel_backend"])
+                for group in groups
+                for _replica, response in group
+                if response["cache"].get("kernel_backend")
+            }
+        )
         if self._keyed:
             totals["keyed"] = True
             totals["items_by_key"] = {

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..engine.protocol import Sketch, as_histogram
 from ..engine.registry import register_sketch
+from .. import kernels
 from .estimators import group_shape_for, median_of_means
 from .hashing import PolynomialHashFamily
 from .moments import UnsupportedMomentError
@@ -135,8 +136,9 @@ class FkMomentSketch(Sketch):
             raise ValueError(
                 f"deleting {-c} occurrences would make the multiset size negative"
             )
-        digits = (self._digits.hash_one(value) % self.k).astype(np.intp)
-        self._c[np.arange(self._c.shape[0]), digits] += np.int64(c)
+        kernels.fk_update_one(
+            self._digits.coefficients, value, c, self._c, self.k
+        )
         self._n += c
 
     def update_from_frequencies(
@@ -144,22 +146,26 @@ class FkMomentSketch(Sketch):
     ) -> None:
         """Fold a whole (possibly signed) frequency histogram in.
 
-        The vectorised bulk path: for each digit ``d`` it adds the
-        masked row sums ``sum_{v: b(v)=d} c_v`` to column d, chunked so
-        the (s, chunk) digit matrix stays cache-resident.  Integer
-        addition commutes, so the result is bit-identical to the
-        equivalent sequence of :meth:`update` calls.
+        The vectorised bulk path: the fused digit-scatter kernel
+        (:func:`repro.kernels.fk_scatter`) adds ``c_v`` into column
+        ``b(v)`` of every slot, chunked so the working set stays
+        cache-resident.  Integer addition commutes, so the result is
+        bit-identical to the equivalent sequence of :meth:`update`
+        calls on every kernel backend.
         """
         vals, cnts = as_histogram(values, counts)
         total = int(cnts.sum())
         if self._n + total < 0:
             raise ValueError("batch would make the multiset size negative")
+        coeffs = self._digits.coefficients
         for start in range(0, vals.size, _BATCH_CHUNK):
-            chunk_vals = vals[start : start + _BATCH_CHUNK]
-            chunk_cnts = cnts[start : start + _BATCH_CHUNK]
-            digits = self._digits.hash_many(chunk_vals) % self.k  # (s, m)
-            for d in range(self.k):
-                self._c[:, d] += ((digits == d) * chunk_cnts).sum(axis=1)
+            kernels.fk_scatter(
+                coeffs,
+                vals[start : start + _BATCH_CHUNK],
+                cnts[start : start + _BATCH_CHUNK],
+                self._c,
+                self.k,
+            )
         self._n += total
 
     def update_from_stream(self, values: np.ndarray | Iterable[int]) -> None:

@@ -143,12 +143,13 @@ class PolynomialHashFamily:
         vals = np.asarray(values, dtype=np.uint64)
         if vals.ndim != 1:
             raise ValueError(f"values must be one-dimensional, got shape {vals.shape}")
-        if vals.size and int(vals.max()) >= MERSENNE_PRIME_31:
+        if vals.size and bool((vals >= _P).any()):
             raise ValueError(
                 f"values contain entries >= {MERSENNE_PRIME_31}, outside the field"
             )
         x = vals[np.newaxis, :]  # (1, m)
-        acc = np.broadcast_to(self._coeffs[:, 0:1], (self.count, vals.size)).copy()
+        acc = np.empty((self.count, vals.size), dtype=np.uint64)
+        np.copyto(acc, self._coeffs[:, 0:1])  # broadcast fill, no extra copy
         tmp = np.empty_like(acc)
         for d in range(1, self.independence):
             acc *= x
@@ -246,6 +247,15 @@ class SignHashFamily:
     def seed(self) -> int | None:
         """Seed the family was built from (None if reconstructed)."""
         return self._family.seed
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Read-only coefficient matrix of the underlying polynomials.
+
+        The fused kernels (:mod:`repro.kernels`) evaluate the sign
+        directly from these rows rather than through :meth:`signs_many`.
+        """
+        return self._family.coefficients
 
     def signs_one(self, value: int) -> np.ndarray:
         """Signs of all functions at one value: int8 array (count,)."""

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..engine.protocol import Sketch, as_histogram
 from ..engine.registry import register_sketch
+from .. import kernels
 from .estimators import (
     group_shape_for,
     median_of_means,
@@ -107,7 +108,7 @@ class TugOfWarSketch(Sketch):
     # ------------------------------------------------------------------
     def insert(self, value: int) -> None:
         """Process insert(v): add eps(v) to every counter."""
-        self._z += self._signs.signs_one(value)
+        kernels.tugofwar_update_one(self._signs.coefficients, value, 1, self._z)
         self._n += 1
 
     def delete(self, value: int) -> None:
@@ -120,7 +121,7 @@ class TugOfWarSketch(Sketch):
         """
         if self._n <= 0:
             raise ValueError("cannot delete from an empty multiset")
-        self._z -= self._signs.signs_one(value)
+        kernels.tugofwar_update_one(self._signs.coefficients, value, -1, self._z)
         self._n -= 1
 
     def update(self, value: int, count: int) -> None:
@@ -136,7 +137,7 @@ class TugOfWarSketch(Sketch):
             raise ValueError(
                 f"deleting {-c} occurrences would make the multiset size negative"
             )
-        self._z += np.int64(c) * self._signs.signs_one(value).astype(np.int64)
+        kernels.tugofwar_update_one(self._signs.coefficients, value, c, self._z)
         self._n += c
 
     def update_from_frequencies(
@@ -146,19 +147,24 @@ class TugOfWarSketch(Sketch):
 
         This is the vectorised bulk-loading path used by the experiment
         harness: for each distinct value v with count c it performs
-        ``Z += c * eps(v)`` via chunked matrix products.  The result is
-        bit-identical to the equivalent sequence of :meth:`update`
-        calls (linearity), which the test suite verifies.
+        ``Z += c * eps(v)`` via the fused scatter kernel
+        (:func:`repro.kernels.tugofwar_scatter`), chunked so the
+        working set stays cache-resident.  The result is bit-identical
+        to the equivalent sequence of :meth:`update` calls (linearity)
+        on every kernel backend, which the test suite verifies.
         """
         vals, cnts = as_histogram(values, counts)
         total = int(cnts.sum())
         if self._n + total < 0:
             raise ValueError("batch would make the multiset size negative")
+        coeffs = self._signs.coefficients
         for start in range(0, vals.size, _BATCH_CHUNK):
-            chunk_vals = vals[start : start + _BATCH_CHUNK]
-            chunk_cnts = cnts[start : start + _BATCH_CHUNK]
-            signs = self._signs.signs_many(chunk_vals).astype(np.int64)  # (s, m)
-            self._z += signs @ chunk_cnts
+            kernels.tugofwar_scatter(
+                coeffs,
+                vals[start : start + _BATCH_CHUNK],
+                cnts[start : start + _BATCH_CHUNK],
+                self._z,
+            )
         self._n += total
 
     def update_from_stream(self, values: np.ndarray | Iterable[int]) -> None:

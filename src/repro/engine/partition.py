@@ -33,6 +33,8 @@ from typing import Iterable, List
 
 import numpy as np
 
+from .. import kernels
+
 __all__ = [
     "Partitioner",
     "ContiguousPartitioner",
@@ -118,13 +120,6 @@ class ContiguousPartitioner(Partitioner):
         ]
 
 
-#: splitmix64 finalizer constants (Steele et al.): a full-avalanche
-#: 64-bit mix, so consecutive values scatter uniformly across shards.
-_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
-_SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
-_SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
-
-
 def stable_hash64(
     values: np.ndarray | Iterable[int], seed: int = 0
 ) -> np.ndarray:
@@ -134,15 +129,12 @@ def stable_hash64(
     deterministic in ``(value, seed)`` alone, vectorised, and
     avalanche-complete (every input bit flips ~half the output bits),
     unlike Python's ``hash`` which is salted per process for strings
-    and the identity for small ints.
+    and the identity for small ints.  Dispatches through
+    :func:`repro.kernels.splitmix64`; every backend wraps mod 2^64
+    identically, so the output is bit-identical to the historical
+    pure-numpy implementation.
     """
-    arr = _as_stream(values)
-    with np.errstate(over="ignore"):  # wraparound is the point
-        z = arr.view(np.uint64)  # same itemsize: a reinterpret, not a copy
-        z = z + np.uint64((int(seed) + 1) & 0xFFFFFFFFFFFFFFFF) * _SPLITMIX_GAMMA
-        z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_M1
-        z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_M2
-        return z ^ (z >> np.uint64(31))
+    return kernels.splitmix64(_as_stream(values), seed=seed)
 
 
 def key_digest(key: str) -> int:
@@ -181,9 +173,15 @@ class HashPartitioner(Partitioner):
         self.seed = int(seed)
 
     def assign(self, values: np.ndarray | Iterable[int]) -> np.ndarray:
-        """Shard indices by stable value hash: ``mix(v, seed) % shards``."""
-        hashed = stable_hash64(values, seed=self.seed)
-        return (hashed % np.uint64(self.num_shards)).astype(np.int64)
+        """Shard indices by stable value hash: ``mix(v, seed) % shards``.
+
+        The fused :func:`repro.kernels.shard_assign` kernel computes
+        hash-and-modulo in one pass (no intermediate hash array on
+        compiled backends).
+        """
+        return kernels.shard_assign(
+            _as_stream(values), seed=self.seed, num_shards=self.num_shards
+        )
 
     def to_dict(self) -> dict:
         """JSON-compatible configuration, including the hash seed."""

@@ -1,0 +1,146 @@
+"""numba jit kernels: cached, single-threaded, lazily compiled.
+
+Importing this module requires numba (the import is what
+:func:`repro.kernels.dispatch._load` treats as the availability
+probe); compiling happens lazily on the first call of each kernel and
+is cached on disk (``cache=True``) so later processes skip the jit
+cost.  ``parallel=False`` everywhere: the sketches already get their
+parallelism from sharding/threading layers above, and a deterministic
+single-core loop is what the bit-identity contract is stated against.
+
+Every loop mirrors :mod:`._numpy` operation for operation in exact
+uint64/int64 arithmetic, so outputs are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+_P = np.uint64((1 << 31) - 1)
+_SHIFT = np.uint64(31)
+_ONE = np.uint64(1)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+@njit(cache=True, parallel=False, nogil=True, inline="always")
+def _fold31(y):  # pragma: no cover - jit
+    y = (y >> _SHIFT) + (y & _P)
+    y = (y >> _SHIFT) + (y & _P)
+    if y >= _P:
+        y = y - _P
+    return y
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _tugofwar_scatter(coeffs, values, counts, z):  # pragma: no cover - jit
+    s = coeffs.shape[0]
+    degree = coeffs.shape[1]
+    m = values.shape[0]
+    if degree == 4:
+        # Fixed-trip-count Horner chain: unrollable/vectorisable.
+        for i in range(s):
+            c0 = coeffs[i, 0]
+            c1 = coeffs[i, 1]
+            c2 = coeffs[i, 2]
+            c3 = coeffs[i, 3]
+            total = np.int64(0)
+            for j in range(m):
+                x = values[j]
+                acc = _fold31(c0 * x + c1)
+                acc = _fold31(acc * x + c2)
+                acc = _fold31(acc * x + c3)
+                if (acc & _ONE) == _ONE:
+                    total = total + counts[j]
+                else:
+                    total = total - counts[j]
+            z[i] += total
+        return
+    for i in range(s):
+        total = np.int64(0)
+        for j in range(m):
+            x = values[j]
+            acc = coeffs[i, 0]
+            for d in range(1, degree):
+                acc = _fold31(acc * x + coeffs[i, d])
+            if (acc & _ONE) == _ONE:
+                total = total + counts[j]
+            else:
+                total = total - counts[j]
+        z[i] += total
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _fk_scatter(coeffs, values, counts, counters, k):  # pragma: no cover - jit
+    s = coeffs.shape[0]
+    degree = coeffs.shape[1]
+    m = values.shape[0]
+    ku = np.uint64(k)
+    if degree == 4:
+        for i in range(s):
+            c0 = coeffs[i, 0]
+            c1 = coeffs[i, 1]
+            c2 = coeffs[i, 2]
+            c3 = coeffs[i, 3]
+            for j in range(m):
+                x = values[j]
+                acc = _fold31(c0 * x + c1)
+                acc = _fold31(acc * x + c2)
+                acc = _fold31(acc * x + c3)
+                counters[i, np.int64(acc % ku)] += counts[j]
+        return
+    for i in range(s):
+        for j in range(m):
+            x = values[j]
+            acc = coeffs[i, 0]
+            for d in range(1, degree):
+                acc = _fold31(acc * x + coeffs[i, d])
+            counters[i, np.int64(acc % ku)] += counts[j]
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _splitmix64(values, seed_term, out):  # pragma: no cover - jit
+    for i in range(values.shape[0]):
+        zv = values[i] + seed_term
+        zv = (zv ^ (zv >> _S30)) * _M1
+        zv = (zv ^ (zv >> _S27)) * _M2
+        out[i] = zv ^ (zv >> _S31)
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _shard_assign(values, seed_term, num_shards, out):  # pragma: no cover - jit
+    shards = np.uint64(num_shards)
+    for i in range(values.shape[0]):
+        zv = values[i] + seed_term
+        zv = (zv ^ (zv >> _S30)) * _M1
+        zv = (zv ^ (zv >> _S27)) * _M2
+        zv = zv ^ (zv >> _S31)
+        out[i] = np.int64(zv % shards)
+
+
+def tugofwar_scatter(coeffs, values, counts, z) -> None:
+    """Fused Horner + fold + sign + signed scatter, jit-compiled."""
+    _tugofwar_scatter(coeffs, values, counts, z)
+
+
+def fk_scatter(coeffs, values, counts, counters, k) -> None:
+    """Fused Horner + fold + digit scatter, jit-compiled."""
+    _fk_scatter(coeffs, values, counts, counters, np.int64(k))
+
+
+def splitmix64(values, seed_term) -> np.ndarray:
+    """splitmix64 finalizer loop, jit-compiled."""
+    out = np.empty(values.shape[0], dtype=np.uint64)
+    _splitmix64(values, seed_term, out)
+    return out
+
+
+def shard_assign(values, seed_term, num_shards) -> np.ndarray:
+    """Fused splitmix64 + modulo shard routing, jit-compiled."""
+    out = np.empty(values.shape[0], dtype=np.int64)
+    _shard_assign(values, seed_term, np.int64(num_shards), out)
+    return out

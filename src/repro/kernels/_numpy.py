@@ -1,0 +1,125 @@
+"""The numpy reference kernels — the bit-identity oracle.
+
+These are the canonical definitions of every fused kernel: pure
+integer numpy, no compiled code, importable everywhere.  The compiled
+backends (:mod:`._numba`, :mod:`._cffi`) must reproduce these outputs
+**exactly** — every operation below is exact uint64/int64 arithmetic
+(products stay under 2^62 inside the field fold; the splitmix mix
+wraps mod 2^64 identically in numpy, numba, and C) — which the
+property suite asserts for every registered linear sketch kind.
+
+Inputs arrive pre-validated from :mod:`.dispatch`: C-contiguous
+arrays, values already checked into [0, 2^31 - 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_P = np.uint64((1 << 31) - 1)
+_SHIFT = np.uint64(31)
+_ONE = np.uint64(1)
+
+
+def polynomial_fold(coeffs: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Horner-evaluate every row polynomial at every value, mod p.
+
+    ``coeffs`` is ``(s, d)`` uint64 with entries in [0, p); ``values``
+    is ``(m,)`` uint64 in [0, p).  Returns ``(s, m)`` uint64 in
+    [0, p).  The Mersenne reduction is the divisionless shift-fold:
+    two lazy folds bound the accumulator by p + 1 (small enough for
+    the next Horner product to stay below 2^62), one final conditional
+    subtract lands in [0, p).
+    """
+    s = coeffs.shape[0]
+    acc = np.empty((s, values.size), dtype=np.uint64)
+    np.copyto(acc, coeffs[:, 0:1])  # in-place broadcast fill, no copy()
+    x = values[np.newaxis, :]
+    tmp = np.empty_like(acc)  # one scratch, reused across Horner steps
+    for d in range(1, coeffs.shape[1]):
+        acc *= x
+        acc += coeffs[:, d : d + 1]
+        np.right_shift(acc, _SHIFT, out=tmp)
+        acc &= _P
+        acc += tmp
+        np.right_shift(acc, _SHIFT, out=tmp)
+        acc &= _P
+        acc += tmp
+    np.subtract(acc, _P, out=acc, where=acc >= _P)
+    return acc
+
+
+def _fold_one(coeffs: np.ndarray, value: int) -> np.ndarray:
+    """Horner-evaluate every row polynomial at one value: (s,) uint64."""
+    x = np.uint64(value)
+    acc = coeffs[:, 0].copy()
+    for d in range(1, coeffs.shape[1]):
+        y = acc * x + coeffs[:, d]
+        y = (y >> _SHIFT) + (y & _P)
+        y = (y >> _SHIFT) + (y & _P)
+        acc = np.where(y >= _P, y - _P, y)
+    return acc
+
+
+def tugofwar_scatter(
+    coeffs: np.ndarray, values: np.ndarray, counts: np.ndarray, z: np.ndarray
+) -> None:
+    """``z[i] += sum_j sign(h_i(v_j)) * c_j`` via one sign-matrix product."""
+    acc = polynomial_fold(coeffs, values)
+    signs = ((acc & _ONE).astype(np.int64) << 1) - 1  # lsb -> {-1, +1}
+    z += signs @ counts
+
+
+def tugofwar_update_one(
+    coeffs: np.ndarray, value: int, count: int, z: np.ndarray
+) -> None:
+    """Scalar update with the sign-apply fused into the counter add."""
+    bits = (_fold_one(coeffs, value) & _ONE).astype(np.int64)
+    z += np.int64(count) * ((bits << 1) - 1)
+
+
+def fk_scatter(
+    coeffs: np.ndarray,
+    values: np.ndarray,
+    counts: np.ndarray,
+    counters: np.ndarray,
+    k: int,
+) -> None:
+    """``counters[i, h_i(v_j) % k] += c_j`` via per-digit masked sums."""
+    digits = polynomial_fold(coeffs, values) % k
+    for d in range(k):
+        counters[:, d] += ((digits == d) * counts).sum(axis=1)
+
+
+def fk_update_one(
+    coeffs: np.ndarray,
+    value: int,
+    count: int,
+    counters: np.ndarray,
+    k: int,
+) -> None:
+    """Scalar F_k update: bump the hashed digit column of every slot."""
+    digits = (_fold_one(coeffs, value) % np.uint64(k)).astype(np.intp)
+    counters[np.arange(counters.shape[0]), digits] += np.int64(count)
+
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(values: np.ndarray, seed_term: np.uint64) -> np.ndarray:
+    """splitmix64 finalizer over ``v + seed_term``; wraps mod 2^64."""
+    with np.errstate(over="ignore"):  # wraparound is the point
+        z = values + seed_term
+        z = (z ^ (z >> np.uint64(30))) * _M1
+        z = (z ^ (z >> np.uint64(27))) * _M2
+        return z ^ (z >> np.uint64(31))
+
+
+def shard_assign(
+    values: np.ndarray, seed_term: np.uint64, num_shards: int
+) -> np.ndarray:
+    """``splitmix64(v) % num_shards`` as int64 shard indices."""
+    return (splitmix64(values, seed_term) % np.uint64(num_shards)).astype(
+        np.int64
+    )

@@ -300,6 +300,8 @@ class KeyedSketchService:
                 store = self._store.store_for(k)
                 if store is not None:
                     spans.update(tuple(span) for span in store.spans)
+            from ..kernels import active_backend
+
             return {
                 "kind": self._store.spec.kind,
                 "spec": self._store.spec.to_dict(),
@@ -312,6 +314,7 @@ class KeyedSketchService:
                 "spans": [list(span) for span in sorted(spans)],
                 "coverage": None if coverage is None else list(coverage),
                 "memory_words": self._store.memory_words,
+                "kernel_backend": active_backend(),
             }
 
     def snapshot(self, key: str | None = None) -> dict:
@@ -371,11 +374,14 @@ class KeyedSketchService:
         if key is not None:
             key = validate_key(key)
             items = {key: items.get(key, 0)}
+        from ..kernels import active_backend
+
         stats = dict(self._cache.stats)
         stats["keyed"] = True
         stats["key_count"] = len(items)
         stats["items"] = sum(items.values())
         stats["items_by_key"] = {k: items[k] for k in sorted(items)}
+        stats["kernel_backend"] = active_backend()
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -306,6 +306,8 @@ class SketchService:
         which could interleave with a mutation.  This is the payload
         behind the wire ``info`` op.
         """
+        from ..kernels import active_backend
+
         with self._rw.read():
             coverage = self._store.coverage
             return {
@@ -316,6 +318,7 @@ class SketchService:
                 "spans": [list(span) for span in self._store.spans],
                 "coverage": None if coverage is None else list(coverage),
                 "memory_words": self._store.memory_words,
+                "kernel_backend": active_backend(),
             }
 
     def snapshot(self) -> dict:
@@ -361,9 +364,12 @@ class SketchService:
         per-shard load signal the cluster's ``stats()`` aggregates to
         make partition skew observable.
         """
+        from ..kernels import active_backend
+
         stats = dict(self._cache.stats)
         with self._rw.read():
             stats["items"] = _store_items(self._store)
+        stats["kernel_backend"] = active_backend()
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
