@@ -7,11 +7,13 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Writes the machine-readable summary to the repo root (committed, so
+# the perf trajectory is reviewable across PRs).
 bench-smoke:
-	$(PYTHON) benchmarks/bench_engine.py --quick
+	$(PYTHON) benchmarks/bench_engine.py --quick --json BENCH_engine.json
 
 bench-engine:
-	$(PYTHON) benchmarks/bench_engine.py
+	$(PYTHON) benchmarks/bench_engine.py --json BENCH_engine.json
 
 install:
 	pip install .

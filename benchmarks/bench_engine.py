@@ -53,7 +53,18 @@ Measures, on one synthetic Zipf stream:
    compiled state checked **bit-identical** against the numpy oracle.
    The >= 5x compiled-over-numpy bar is enforced when numba is
    importable on full runs; reported-only under ``--smoke`` and on
-   hosts without numba.
+   hosts without numba;
+10. **sampler kernels** (section 2b) — the counter-RNG sampler race:
+   both sampler kinds ingest the same stream through the pre-PR
+   Python path (a per-element loop drawing from the legacy stateful
+   pcg64 generator), the counter-scheme per-element loop, and the
+   counter-scheme batched path under every loadable kernel backend,
+   with every batched state checked for **exact state identity**
+   (full snapshot equality) against the numpy oracle and the scalar
+   loop.  The >= 5x batched-numpy-over-legacy bar is enforced for
+   the fast-query sample-count variant and naive-sampling whenever
+   numba is importable; the plain sample-count tracker is reported
+   unenforced.
 
 The acceptance bar (ISSUE 1): batched ingestion at least 10x faster
 than the per-element loop on a million-element stream, and the sharded
@@ -73,8 +84,11 @@ bit-identical to an in-process service (reported but not enforced
 under ``--smoke``).  ISSUE 7 adds the fault-tolerance bar: with one
 replica stalled, hedged query p99 at least 5x better than unhedged
 (enforced on full runs; reported under ``--smoke``), and recovery
-from a killed replica bit-identical.  The script exits non-zero if
-any check fails.
+from a killed replica bit-identical.  ISSUE 10 adds the sampler bar:
+counter-scheme batched sampler ingest at least 5x the legacy pcg64
+per-element loop for samplecount-fast and naivesampling when numba is
+importable, with all ingest routes landing on identical snapshots.
+The script exits non-zero if any check fails.
 
 ``--json PATH`` additionally writes a machine-readable summary
 (per-section latency percentiles and throughput) so the performance
@@ -1030,6 +1044,154 @@ def ingest_section(args, n: int) -> tuple[list[str], dict]:
     return failures, section
 
 
+def sampler_section(args, n: int) -> tuple[list[str], dict]:
+    """Section 2b: counter-RNG sampler ingest race (ISSUE 10).
+
+    Races the two sampler kinds' bulk ingest against the pre-PR Python
+    path — a per-element insert loop drawing from the legacy stateful
+    pcg64 generator — then runs the counter-scheme batched path under
+    every loadable kernel backend, asserting **exact state identity**
+    (full ``to_dict`` equality) against the numpy oracle for each
+    compiled backend and against the counter per-element loop (the
+    three ingest routes must land on the same integers).
+
+    The >= 5x batched-numpy-over-legacy bar is enforced for the
+    fast-query sample-count variant and for naive-sampling whenever
+    numba is importable (the compiled-toolchain CI lane); the plain
+    sample-count tracker is reported unenforced — its per-event sample
+    walk is shared Python cost on every backend, so its batched win is
+    structurally smaller.
+    """
+    import importlib.util
+
+    from repro import kernels
+    from repro.core.naivesampling import NaiveSamplingEstimator
+    from repro.core.samplecount import SampleCountFastQuery
+
+    failures: list[str] = []
+    rng = np.random.default_rng(args.seed)
+    values = (rng.zipf(1.3, size=n) % max(n // 5, 10)).astype(np.int64)
+
+    kinds = [
+        (
+            "samplecount",
+            False,
+            lambda scheme: SampleCountSketch(
+                args.s1, args.s2, seed=args.seed, initial_range=n,
+                rng_scheme=scheme,
+            ),
+        ),
+        (
+            "samplecount-fast",
+            True,
+            lambda scheme: SampleCountFastQuery(
+                args.s1, args.s2, seed=args.seed, initial_range=n,
+                rng_scheme=scheme,
+            ),
+        ),
+        (
+            "naivesampling",
+            True,
+            lambda scheme: NaiveSamplingEstimator(
+                s=args.s1 * args.s2, seed=args.seed, rng_scheme=scheme
+            ),
+        ),
+    ]
+
+    prior = kernels.active_backend()
+    backends = list(kernels.available_backends())  # numpy is always first
+    numba_present = importlib.util.find_spec("numba") is not None
+    print("sampler ingest race (counter RNG vs legacy pcg64 loop)")
+    print(f"  backends available: {', '.join(backends)} (active: {prior})")
+    section: dict = {"backends": backends, "kinds": {}}
+    try:
+        def insert_loop(sk):
+            def run():
+                for v in values.tolist():
+                    sk.insert(v)
+
+            return run
+
+        for name, gated, build in kinds:
+            legacy = build("pcg64")
+            t_legacy, _ = timed(insert_loop(legacy))
+
+            scalar = build("counter")
+            t_scalar, _ = timed(insert_loop(scalar))
+
+            batched_s: dict[str, float] = {}
+            states: dict[str, dict] = {}
+            for backend in backends:
+                kernels.set_backend(backend)
+                warm = build("counter")
+                warm.update_from_stream(values[:256])
+                sk = build("counter")
+                t, _ = timed(lambda sk=sk: sk.update_from_stream(values))
+                batched_s[backend] = t
+                states[backend] = sk.to_dict()
+            kernels.set_backend(prior)
+
+            if scalar.to_dict() != states["numpy"]:
+                failures.append(
+                    f"samplers: {name} counter scalar loop != batched state"
+                )
+            for backend, state in states.items():
+                if state != states["numpy"]:
+                    failures.append(
+                        f"samplers: {name} {backend} state != numpy oracle"
+                    )
+
+            speedup = (
+                t_legacy / batched_s["numpy"]
+                if batched_s["numpy"]
+                else float("inf")
+            )
+            entry = {
+                "legacy_loop_s": t_legacy,
+                "counter_scalar_s": t_scalar,
+                "batched_s": batched_s,
+                "batched_speedup_vs_legacy": speedup,
+                "gated": gated,
+            }
+            print(f"  {name}")
+            print(f"    legacy pcg64 loop  {t_legacy:8.3f} s  "
+                  f"{throughput(n, t_legacy)}")
+            print(f"    counter loop       {t_scalar:8.3f} s  "
+                  f"{throughput(n, t_scalar)}")
+            for backend in backends:
+                t = batched_s[backend]
+                print(f"    batched {backend:>7}    {t:8.3f} s  "
+                      f"{throughput(n, t)}")
+            print(f"    numpy-batched over legacy loop: {speedup:.1f}x"
+                  + ("" if gated else "  (reported, not gated)"))
+            compiled = {b: batched_s[b] for b in backends if b != "numpy"}
+            if compiled:
+                best = min(compiled, key=compiled.get)
+                ratio = (
+                    batched_s["numpy"] / compiled[best]
+                    if compiled[best]
+                    else float("inf")
+                )
+                entry["compiled_best_backend"] = best
+                entry["compiled_speedup_vs_numpy"] = ratio
+                print(f"    compiled speedup ({best} over numpy): {ratio:.1f}x")
+            section["kinds"][name] = entry
+
+            if gated and speedup < 5.0:
+                if numba_present:
+                    failures.append(
+                        f"samplers: {name} batched speedup {speedup:.1f}x "
+                        f"below the 5x bar"
+                    )
+                else:
+                    print("    NOTE: 5x bar reported only (numba not "
+                          "installed)")
+    finally:
+        kernels.set_backend(prior)
+
+    return failures, section
+
+
 def _shape_graph(shape: str, n: int) -> JoinGraph:
     sizes = {f"R{i}": 1_000 + 37 * i for i in range(n)}
     if shape == "chain":
@@ -1163,7 +1325,8 @@ def main(argv=None) -> int:
         default=None,
         metavar="NAMES",
         help="with --smoke: comma-separated subset to run "
-        "(service,keyed,planner,cluster,faults,ingest; default: all)",
+        "(service,keyed,planner,cluster,faults,ingest,samplers; "
+        "default: all)",
     )
     parser.add_argument(
         "--json",
@@ -1211,6 +1374,10 @@ def main(argv=None) -> int:
             "cluster": lambda: cluster_section(args, n=400_000),
             "faults": lambda: fault_section(args, n=200_000),
             "ingest": lambda: ingest_section(args, n=200_000),
+            # Full-size stream on purpose: the reservoir's O(k log n)
+            # accept count amortises only at scale, so the 5x bar is
+            # meaningless on a CI-sized stream.
+            "samplers": lambda: sampler_section(args, n=1_000_000),
         }
         if args.sections is None:
             selected = list(runners)
@@ -1325,6 +1492,16 @@ def main(argv=None) -> int:
         "batched_speedup": sc_speedup,
         "batched_meps": n / t_sc_batch / 1e6 if t_sc_batch else float("inf"),
     }
+
+    # 2b. counter-RNG sampler race vs the legacy pcg64 loop (ISSUE 10).
+    # Full-size even under --quick: the reservoir's O(k log n) accept
+    # count amortises only at scale, so a 100k stream would measure
+    # nothing (same reasoning as the wire section's floor).
+    print()
+    sampler_failures, summary["sections"]["samplers"] = sampler_section(
+        args, n=max(n, 1_000_000)
+    )
+    failures.extend(sampler_failures)
 
     # ------------------------------------------------------------------
     # 3. naive-sampling: per-element offers vs skip-jump bulk offers

@@ -79,6 +79,11 @@ class NaiveSamplingEstimator(Sketch):
         Sample size (the storage budget in memory words).
     seed:
         RNG seed for the reservoir.
+    rng_scheme:
+        ``"counter"`` (default) draws from the position-keyed counter
+        RNG so bulk ingest runs through the compiled reservoir-chain
+        kernel; ``"pcg64"`` is the legacy stateful scheme, kept so old
+        snapshots load and continue draw for draw.
 
     Notes
     -----
@@ -94,11 +99,26 @@ class NaiveSamplingEstimator(Sketch):
         "insertion-only, not mergeable"
     )
 
-    def __init__(self, s: int, seed: int | None = None):
+    #: Histogram entries with counts at most this expand through the
+    #: vectorised ``np.repeat`` path; larger counts use the reservoir's
+    #: arithmetic repeat jumps (identical draws either way).
+    _EXPAND_MAX = 1 << 16
+
+    #: Target expanded-buffer size per bulk flush.
+    _EXPAND_CHUNK = 1 << 17
+
+    def __init__(
+        self, s: int, seed: int | None = None, rng_scheme: str = "counter"
+    ):
         if s < 1:
             raise ValueError(f"sample size s must be >= 1, got {s}")
         self.s = int(s)
-        self._reservoir = ReservoirSample(self.s, seed=seed)
+        self._reservoir = ReservoirSample(self.s, seed=seed, scheme=rng_scheme)
+
+    @property
+    def rng_scheme(self) -> str:
+        """The RNG scheme the reservoir draws from."""
+        return self._reservoir.scheme
 
     def insert(self, value: int) -> None:
         """Offer one stream element to the reservoir."""
@@ -120,26 +140,57 @@ class NaiveSamplingEstimator(Sketch):
         arr = np.asarray(values, dtype=np.int64)
         if arr.ndim != 1:
             raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
-        self._reservoir.offer_many(arr.tolist())
+        self._reservoir.offer_array(arr)
 
     def update_from_frequencies(
         self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
     ) -> None:
         """Fold an insertion-only histogram in (negative counts raise).
 
-        Offers each value's occurrences consecutively through the
-        reservoir's repeat path — no expansion of the histogram, so a
-        value with a billion occurrences costs O(s log) work, not
-        O(count) memory.  Deletion counts are rejected the same way
-        :meth:`delete` is.
+        Entries with modest counts are expanded with ``np.repeat`` into
+        chunked value arrays and offered through the bulk reservoir
+        path; entries with huge counts keep the reservoir's arithmetic
+        repeat jumps, so a value with a billion occurrences still costs
+        O(s log) work, not O(count) memory.  Both routes consume the
+        same draws as offering every occurrence one by one, so the
+        resulting sample is identical to the per-element loop.
+        Deletion counts are rejected the same way :meth:`delete` is.
         """
         vals, cnts = as_histogram(values, counts)
         if (cnts < 0).any():
             raise NotImplementedError(
                 "naive-sampling is defined for insertion-only sequences (Section 2.3)"
             )
+        pend_vals: list[int] = []
+        pend_cnts: list[int] = []
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            if not pend_vals:
+                return
+            expanded = np.repeat(
+                np.asarray(pend_vals, dtype=np.int64),
+                np.asarray(pend_cnts, dtype=np.int64),
+            )
+            self._reservoir.offer_array(expanded)
+            pend_vals.clear()
+            pend_cnts.clear()
+            pending = 0
+
         for v, c in zip(vals.tolist(), cnts.tolist()):
-            self._reservoir.offer_repeated(v, c)
+            if c == 0:
+                continue
+            if c > self._EXPAND_MAX:
+                flush()
+                self._reservoir.offer_repeated(v, c)
+                continue
+            pend_vals.append(v)
+            pend_cnts.append(c)
+            pending += c
+            if pending >= self._EXPAND_CHUNK:
+                flush()
+        flush()
 
     def estimate(self) -> float:
         """Histogram the sample, compute SJ(S), scale up (Section 2.3)."""

@@ -53,6 +53,7 @@ suite.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from typing import Iterable
@@ -61,6 +62,14 @@ import numpy as np
 
 from ..engine.protocol import Sketch, as_histogram
 from ..engine.registry import register_sketch
+from ..kernels import (
+    counter_key,
+    counter_u01,
+    counter_u01_one,
+    counter_u64_one,
+    sampler_segment_counts,
+)
+from ..streams.reservoir import _fresh_seed
 from .estimators import group_shape_for, median_of_means
 
 __all__ = [
@@ -70,6 +79,11 @@ __all__ = [
 ]
 
 _NO_SLOT = -1
+
+#: RNG schemes a sample-count tracker can draw from (see
+#: :class:`SampleCountSketch` — ``counter`` is the default for new
+#: instances, ``pcg64`` the legacy stateful scheme kept for snapshots).
+SAMPLECOUNT_SCHEMES = ("counter", "pcg64")
 
 
 def _default_initial_range(s: int) -> int:
@@ -96,6 +110,14 @@ class SampleCountSketch(Sketch):
         insertion-only experiments with a known stream length n, pass
         ``initial_range=n`` to reproduce the a-priori-n scheme of
         [AMS99] (uniform positions over the whole stream).
+    rng_scheme:
+        ``"counter"`` (default) keys every reservoir draw by the
+        (stream position, slot) pair through the counter RNG of
+        :mod:`repro.kernels` — draws are pure functions of the seed,
+        which is what lets :meth:`update_from_stream` precompute the
+        whole replacement chain and batch the suffix counting through
+        a compiled kernel.  ``"pcg64"`` is the legacy stateful scheme;
+        old snapshots load onto it and continue draw for draw.
 
     Notes
     -----
@@ -111,17 +133,43 @@ class SampleCountSketch(Sketch):
         "(position-sampled; insert/delete, not mergeable)"
     )
 
+    #: Histogram entries with counts at most this expand through the
+    #: vectorised stream path; larger counts use the arithmetic repeat
+    #: walk of :meth:`_insert_repeated` (identical draws either way).
+    _EXPAND_MAX = 1 << 16
+
+    #: Target expanded-buffer size per bulk flush.
+    _EXPAND_CHUNK = 1 << 17
+
+    #: Reservoir events per compiled segment-counting call: bounds the
+    #: (events, tracked-values) count matrix to a few MB per call.
+    _EVENT_CHUNK = 256
+
     def __init__(
         self,
         s1: int,
         s2: int = 1,
         seed: int | None = None,
         initial_range: int | None = None,
+        rng_scheme: str = "counter",
     ):
+        if rng_scheme not in SAMPLECOUNT_SCHEMES:
+            raise ValueError(
+                f"unknown RNG scheme {rng_scheme!r}; "
+                f"choose from {SAMPLECOUNT_SCHEMES}"
+            )
         self.s1, self.s2 = group_shape_for(s1, s2)
         s = self.s1 * self.s2
         self._s = s
-        self._rng = np.random.default_rng(seed)
+        self.rng_scheme = rng_scheme
+        if rng_scheme == "counter":
+            self.seed = _fresh_seed() if seed is None else int(seed)
+            self._key = counter_key(self.seed)
+            self._rng = None
+        else:
+            self.seed = None
+            self._key = None
+            self._rng = np.random.default_rng(seed)
         self.initial_range = (
             int(initial_range) if initial_range is not None else _default_initial_range(s)
         )
@@ -131,8 +179,17 @@ class SampleCountSketch(Sketch):
         self._n = 0  # current multiset size
         # Future positions: P_m look-up table, position -> [slot indices].
         self._pending: dict[int, list[int]] = {}
-        initial = self._rng.integers(1, self.initial_range + 1, size=s)
-        for i, m in enumerate(initial.tolist()):
+        if rng_scheme == "counter":
+            # Slot i's initial position is draw i at reserved stream
+            # position 0 (real positions start at 1, so replacement
+            # draws never alias the initialisation draws).
+            initial = [
+                1 + counter_u64_one(self._key, 0, i) % self.initial_range
+                for i in range(s)
+            ]
+        else:
+            initial = self._rng.integers(1, self.initial_range + 1, size=s).tolist()
+        for i, m in enumerate(initial):
             self._pending.setdefault(int(m), []).append(i)
 
         # Per-slot state.
@@ -213,12 +270,55 @@ class SampleCountSketch(Sketch):
         u = 1.0 - float(self._rng.random())  # in (0, 1]
         return max(base + 1, math.ceil(base / u))
 
+    def _next_position(self, i: int, p: int) -> int:
+        """The next replacement position of slot i firing at position p.
+
+        Under the counter scheme the uniform is draw ``i`` at stream
+        position ``p`` — a pure function of (seed, p, i), so the
+        batched walker can compute the whole replacement chain up
+        front and still land on exactly the positions a scalar insert
+        loop would have drawn.  Under legacy pcg64 it consumes the
+        stateful generator exactly as the seed implementation did.
+        """
+        base = max(p, self.initial_range)
+        if self.rng_scheme == "counter":
+            u = counter_u01_one(self._key, p, i)
+            return max(base + 1, math.ceil(base / u))
+        return self._skip_from(base)
+
+    def _entering_order(self, entering: list[int]) -> list[int]:
+        """Processing order for slots that share one sample position.
+
+        Canonical ascending-slot order under the counter scheme (so
+        the scalar loop and the batched walker build identical S_v
+        lists); legacy pcg64 keeps arrival order, which is what its
+        stateful draw sequence was recorded against.
+        """
+        if self.rng_scheme == "counter":
+            return sorted(entering)
+        return entering
+
+    def _pending_add(self, position: int, i: int) -> None:
+        """Register slot i to (re)sample at ``position``.
+
+        Counter-scheme pending lists are kept sorted by slot index —
+        the canonical order :meth:`_entering_order` processes them in —
+        so the scalar loop and the batched walker (which discovers the
+        same positions in a different traversal order) serialise to
+        identical state.  pcg64 keeps arrival order, which its stateful
+        draw sequence depends on.
+        """
+        slots = self._pending.setdefault(position, [])
+        if self.rng_scheme == "counter":
+            bisect.insort(slots, i)
+        else:
+            slots.append(i)
+
     def _schedule_replacement(self, i: int, current_pos: int) -> None:
         # The initial application considers only positions beyond the
         # warm-up window (paper, Section 2.1).
-        base = max(current_pos, self.initial_range)
-        nxt = self._skip_from(base)
-        self._pending.setdefault(nxt, []).append(i)
+        nxt = self._next_position(i, current_pos)
+        self._pending_add(nxt, i)
 
     # ------------------------------------------------------------------
     # Sample maintenance
@@ -251,7 +351,7 @@ class SampleCountSketch(Sketch):
         self._n += 1
         entering = self._pending.pop(self._n, None)
         if entering is not None:
-            for i in entering:
+            for i in self._entering_order(entering):
                 self._schedule_replacement(i, self._n)
                 if self._in_sample[i]:
                     self._discard(i)
@@ -333,6 +433,9 @@ class SampleCountSketch(Sketch):
             raise ValueError(f"stream must be 1-D, got shape {arr.shape}")
         if arr.size == 0:
             return
+        if self.rng_scheme == "counter":
+            self._update_from_stream_counter(arr)
+            return
         n0 = self._n
         end = n0 + int(arr.size)
         # Min-heap of pending positions inside this batch; positions
@@ -348,9 +451,9 @@ class SampleCountSketch(Sketch):
             self._advance_tracked(arr[pos - n0 : p - 1 - n0])
             v = int(arr[p - 1 - n0])
             self._n += 1
-            for i in entering:
-                nxt = self._skip_from(max(p, self.initial_range))
-                self._pending.setdefault(nxt, []).append(i)
+            for i in self._entering_order(entering):
+                nxt = self._next_position(i, p)
+                self._pending_add(nxt, i)
                 if nxt <= end:
                     heapq.heappush(heap, nxt)
                 if self._in_sample[i]:
@@ -361,6 +464,153 @@ class SampleCountSketch(Sketch):
                 self._hook_value_inserted(v)
             pos = p
         self._advance_tracked(arr[pos - n0 :])
+
+    def _update_from_stream_counter(self, arr: np.ndarray) -> None:
+        """Batched counter-scheme ingest: chain first, then count.
+
+        Because every draw is a pure function of (seed, position,
+        slot), the complete chain of reservoir events inside the batch
+        — which positions fire, which slots enter, where each slot's
+        next replacement lands — is computable *up front*, before a
+        single stream element is examined.  The elements between
+        events then only bump ``N_v`` counters, which the compiled
+        :func:`repro.kernels.sampler_segment_counts` kernel tallies a
+        whole chunk of segments at a time.  State after the batch is
+        bit-identical to the per-element :meth:`insert` loop; the
+        property suite asserts exact integer equality.
+
+        Hooks do not fire during the walk; derived aggregates (the
+        fast-query group sums) are pure functions of the base state
+        and are rebuilt once at the end via :meth:`_rebuild_derived`.
+        """
+        n0 = self._n
+        end = n0 + int(arr.size)
+
+        # --- chain phase: precompute every reservoir event in-batch.
+        # Each slot's replacement chain p -> next_position(i, p) is
+        # independent of every other slot's, so all active chains
+        # advance in lockstep rounds of one vectorised draw batch; a
+        # chain leaves the rounds when it escapes the batch.
+        due = [p for p in self._pending if p <= end]
+        pos_list: list[int] = []
+        id_list: list[int] = []
+        for p in due:
+            for i in self._pending.pop(p):
+                pos_list.append(p)
+                id_list.append(i)
+        ev_pos_parts: list[np.ndarray] = []
+        ev_id_parts: list[np.ndarray] = []
+        pos = np.asarray(pos_list, dtype=np.int64)
+        ids = np.asarray(id_list, dtype=np.int64)
+        endf = float(end)
+        while pos.size:
+            ev_pos_parts.append(pos)
+            ev_id_parts.append(ids)
+            base = np.maximum(pos, self.initial_range).astype(np.float64)
+            u = counter_u01(self._key, pos, ids)
+            # Same double ops as the scalar max(base+1, ceil(base/u)).
+            nxt = np.maximum(base + 1.0, np.ceil(base / u))
+            done = nxt > endf
+            for x, i in zip(nxt[done].tolist(), ids[done].tolist()):
+                # Exact float->int (the ceil result is integral, and
+                # any double above 2**53 is already an exact integer).
+                self._pending_add(int(x), i)
+            keep = ~done
+            pos = nxt[keep].astype(np.int64)
+            ids = ids[keep]
+        events: list[tuple[int, list[int]]] = []
+        if ev_pos_parts:
+            all_pos = np.concatenate(ev_pos_parts)
+            all_ids = np.concatenate(ev_id_parts)
+            order = np.lexsort((all_ids, all_pos))
+            all_pos = all_pos[order]
+            all_ids = all_ids[order]
+            cuts = np.flatnonzero(np.diff(all_pos)) + 1
+            bounds = np.concatenate(([0], cuts, [all_pos.size]))
+            events = [
+                (int(all_pos[a]), all_ids[a:b].tolist())
+                for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist())
+            ]
+
+        # --- walk phase: chunked segment counting + structural updates.
+        last = n0  # absolute stream position fully processed
+        for lo in range(0, len(events), self._EVENT_CHUNK):
+            chunk = events[lo : lo + self._EVENT_CHUNK]
+            ev_pos = np.asarray([p for p, _ in chunk], dtype=np.int64)
+            ev_vals = arr[ev_pos - 1 - n0]
+            nv_count = len(self._nv)
+            if nv_count:
+                tracked_now = np.fromiter(
+                    self._nv.keys(), dtype=np.int64, count=nv_count
+                )
+                keys = np.unique(np.concatenate((tracked_now, ev_vals)))
+            else:
+                keys = np.unique(ev_vals)
+            nv_code = np.zeros(keys.size, dtype=np.int64)
+            tracked_mask = np.zeros(keys.size, dtype=bool)
+            if nv_count:
+                tcodes = np.searchsorted(keys, tracked_now)
+                nv_code[tcodes] = np.fromiter(
+                    self._nv.values(), dtype=np.int64, count=nv_count
+                )
+                tracked_mask[tcodes] = True
+            code_of = {v: c for c, v in enumerate(keys.tolist())}
+            # Segment j covers the elements strictly between event j-1
+            # and event j (the event element itself is handled inline,
+            # exactly like the scalar walk).
+            starts = np.empty(len(chunk), dtype=np.int64)
+            starts[0] = last - n0
+            starts[1:] = ev_pos[:-1] - n0
+            ends = ev_pos - 1 - n0
+            seg = sampler_segment_counts(arr, keys, starts, ends)
+
+            ev_val_list = ev_vals.tolist()
+            for j, (p, entering) in enumerate(chunk):
+                np.add(nv_code, seg[j], out=nv_code, where=tracked_mask)
+                v = ev_val_list[j]
+                cv = code_of[v]
+                for i in entering:
+                    if self._in_sample[i]:
+                        v_old = int(self._val[i])
+                        self._unlink(v_old, i)
+                        self._in_sample[i] = False
+                        if v_old not in self._head:
+                            c_old = code_of[v_old]
+                            tracked_mask[c_old] = False
+                            nv_code[c_old] = 0
+                    if not tracked_mask[cv]:
+                        tracked_mask[cv] = True
+                        nv_code[cv] = 0
+                    self._val[i] = v
+                    self._entry[i] = nv_code[cv]
+                    self._push_head(v, i)
+                    self._in_sample[i] = True
+                # The event element itself: v is tracked now (the
+                # entering slots hold it), so its own insert counts.
+                nv_code[cv] += 1
+            last = int(ev_pos[-1])
+            self._nv = {
+                int(v): int(c)
+                for v, c in zip(
+                    keys[tracked_mask].tolist(), nv_code[tracked_mask].tolist()
+                )
+            }
+
+        # --- tail: elements after the last in-batch event.
+        if self._nv and last < end:
+            tracked = np.fromiter(self._nv.keys(), dtype=np.int64, count=len(self._nv))
+            tracked.sort()
+            tail = sampler_segment_counts(
+                arr,
+                tracked,
+                np.asarray([last - n0], dtype=np.int64),
+                np.asarray([end - n0], dtype=np.int64),
+            )
+            for v, c in zip(tracked.tolist(), tail[0].tolist()):
+                if c:
+                    self._nv[v] += c
+        self._n = end
+        self._rebuild_derived()
 
     def _insert_repeated(self, v: int, count: int) -> None:
         """Insert ``count`` occurrences of one value without expansion.
@@ -380,9 +630,9 @@ class SampleCountSketch(Sketch):
                 continue  # duplicate heap entry for an already-handled position
             self._count_tracked(v, p - 1 - self._n)
             self._n += 1
-            for i in entering:
-                nxt = self._skip_from(max(p, self.initial_range))
-                self._pending.setdefault(nxt, []).append(i)
+            for i in self._entering_order(entering):
+                nxt = self._next_position(i, p)
+                self._pending_add(nxt, i)
                 if nxt <= end:
                     heapq.heappush(heap, nxt)
                 if self._in_sample[i]:
@@ -402,6 +652,48 @@ class SampleCountSketch(Sketch):
             self._nv[v] += gap
             self._hook_value_inserted_bulk(v, gap)
 
+    def _insert_frequencies_counter(self, vals: np.ndarray, cnts: np.ndarray) -> None:
+        """Counter-scheme insertion runs: expand-and-batch small counts.
+
+        Buffers consecutive histogram entries whose counts fit the
+        expansion budget, materialises them with ``np.repeat``, and
+        folds each buffer through :meth:`_update_from_stream_counter`.
+        Entries with huge counts flush the buffer and take the
+        arithmetic :meth:`_insert_repeated` walk.  Draws are pure
+        functions of stream position, so both routes produce exactly
+        the state of per-element inserts in histogram order.
+        """
+        pend_vals: list[int] = []
+        pend_cnts: list[int] = []
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            if not pend_vals:
+                return
+            expanded = np.repeat(
+                np.asarray(pend_vals, dtype=np.int64),
+                np.asarray(pend_cnts, dtype=np.int64),
+            )
+            self._update_from_stream_counter(expanded)
+            pend_vals.clear()
+            pend_cnts.clear()
+            pending = 0
+
+        for v, c in zip(vals.tolist(), cnts.tolist()):
+            if c <= 0:
+                continue
+            if c > self._EXPAND_MAX:
+                flush()
+                self._insert_repeated(v, c)
+                continue
+            pend_vals.append(v)
+            pend_cnts.append(c)
+            pending += c
+            if pending >= self._EXPAND_CHUNK:
+                flush()
+        flush()
+
     def update_from_frequencies(
         self, values: Iterable[int] | np.ndarray, counts: Iterable[int] | np.ndarray
     ) -> None:
@@ -414,11 +706,21 @@ class SampleCountSketch(Sketch):
         billion-occurrence entry costs O(s log) work, not O(count)
         memory); deletions are applied per occurrence (each is O(1)
         amortised).
+
+        Under the counter scheme, entries with modest counts are
+        instead expanded with ``np.repeat`` into chunked value arrays
+        and folded through the batched stream walker — identical draws
+        (position-pure), far less per-entry overhead on histograms
+        with many distinct values.  Huge counts keep the arithmetic
+        walk either way.
         """
         vals, cnts = as_histogram(values, counts)
-        for v, c in zip(vals.tolist(), cnts.tolist()):
-            if c > 0:
-                self._insert_repeated(v, c)
+        if self.rng_scheme == "counter":
+            self._insert_frequencies_counter(vals, cnts)
+        else:
+            for v, c in zip(vals.tolist(), cnts.tolist()):
+                if c > 0:
+                    self._insert_repeated(v, c)
         negative = cnts < 0
         for v, c in zip(vals[negative].tolist(), (-cnts[negative]).tolist()):
             for _ in range(c):
@@ -544,15 +846,20 @@ class SampleCountSketch(Sketch):
 
         Includes the RNG state, so a reloaded tracker continues the
         exact random sequence of the original — streaming can resume
-        from a checkpoint with bit-identical behaviour.
+        from a checkpoint with bit-identical behaviour.  Counter-scheme
+        snapshots carry ``rng_scheme`` + ``seed`` (the position cursor
+        is ``n`` plus the pending table — draws are stateless);
+        legacy pcg64 snapshots carry the generator state under
+        ``rng``, and payloads written before the scheme field existed
+        are recognised by that key and load onto the pcg64 path.
         """
-        return {
+        payload = {
             "kind": self.kind,
             "s1": self.s1,
             "s2": self.s2,
             "initial_range": self.initial_range,
             "n": self._n,
-            "rng": self._rng.bit_generator.state,
+            "rng_scheme": self.rng_scheme,
             "pending": [
                 [int(p), [int(i) for i in slots]]
                 for p, slots in sorted(self._pending.items())
@@ -565,6 +872,11 @@ class SampleCountSketch(Sketch):
             "head": [[int(v), int(i)] for v, i in sorted(self._head.items())],
             "nv": [[int(v), int(c)] for v, c in sorted(self._nv.items())],
         }
+        if self.rng_scheme == "counter":
+            payload["seed"] = self.seed
+        else:
+            payload["rng"] = self._rng.bit_generator.state
+        return payload
 
     def _rebuild_derived(self) -> None:
         """Recompute any state derived from the base slot structures.
@@ -577,15 +889,22 @@ class SampleCountSketch(Sketch):
         """Reconstruct a tracker from :meth:`to_dict` output."""
         if payload.get("kind") != cls.kind:
             raise ValueError(f"not a {cls.__name__} payload: {payload.get('kind')!r}")
+        scheme = payload.get("rng_scheme")
+        if scheme is None:
+            # Pre-scheme snapshots always carried the pcg64 state.
+            scheme = "pcg64" if "rng" in payload else "counter"
         sketch = cls(
             int(payload["s1"]),
             int(payload["s2"]),
+            seed=(int(payload["seed"]) if scheme == "counter" else None),
             initial_range=int(payload["initial_range"]),
+            rng_scheme=scheme,
         )
         s = sketch._s
-        rng = np.random.default_rng()
-        rng.bit_generator.state = payload["rng"]
-        sketch._rng = rng
+        if scheme == "pcg64":
+            rng = np.random.default_rng()
+            rng.bit_generator.state = payload["rng"]
+            sketch._rng = rng
         sketch._n = int(payload["n"])
         sketch._pending = {
             int(p): [int(i) for i in slots] for p, slots in payload["pending"]
@@ -647,8 +966,11 @@ class SampleCountFastQuery(SampleCountSketch):
         s2: int = 1,
         seed: int | None = None,
         initial_range: int | None = None,
+        rng_scheme: str = "counter",
     ):
-        super().__init__(s1, s2, seed=seed, initial_range=initial_range)
+        super().__init__(
+            s1, s2, seed=seed, initial_range=initial_range, rng_scheme=rng_scheme
+        )
         self._ysum = np.zeros(self.s2, dtype=np.int64)  # sum of r_i per group
         self._num = np.zeros(self.s2, dtype=np.int64)  # Num_j
         self._k: dict[int, dict[int, int]] = {}  # k_{v,j}

@@ -33,12 +33,22 @@ bit-identity for every registered linear sketch kind.
 """
 
 from .dispatch import (
+    RESERVOIR_SEQ_FACTOR,
+    SAMPLER_RNG_SCHEME,
     KernelUnavailableError,
     active_backend,
     available_backends,
+    counter_key,
+    counter_u01,
+    counter_u01_one,
+    counter_u64,
+    counter_u64_one,
     fk_scatter,
     fk_update_one,
     kernel_info,
+    reservoir_chain,
+    reservoir_gap_one,
+    sampler_segment_counts,
     set_backend,
     shard_assign,
     splitmix64,
@@ -58,4 +68,14 @@ __all__ = [
     "fk_update_one",
     "splitmix64",
     "shard_assign",
+    "SAMPLER_RNG_SCHEME",
+    "RESERVOIR_SEQ_FACTOR",
+    "counter_key",
+    "counter_u64_one",
+    "counter_u01_one",
+    "counter_u64",
+    "counter_u01",
+    "reservoir_chain",
+    "reservoir_gap_one",
+    "sampler_segment_counts",
 ]

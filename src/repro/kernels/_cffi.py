@@ -45,6 +45,19 @@ void repro_splitmix64(
 void repro_shard_assign(
     const uint64_t *values, int64_t n, uint64_t seed_term,
     uint64_t num_shards, int64_t *out);
+void repro_counter_u64(
+    uint64_t key, const uint64_t *positions, const uint64_t *draws,
+    int64_t n, uint64_t *out);
+void repro_counter_u01(
+    uint64_t key, const uint64_t *positions, const uint64_t *draws,
+    int64_t n, double *out);
+int64_t repro_reservoir_chain(
+    uint64_t key, int64_t k, int64_t offered, int64_t skip, int64_t m,
+    int64_t *accepts, int64_t *slots, int64_t *skip_out);
+void repro_sampler_segment_counts(
+    const int64_t *values, const int64_t *keys, int64_t r,
+    const int64_t *starts, const int64_t *ends, int64_t b,
+    int64_t *out);
 """
 
 _CSOURCE = r"""
@@ -153,6 +166,104 @@ void repro_shard_assign(
 {
     for (int64_t i = 0; i < n; i++)
         out[i] = (int64_t)(splitmix(values[i] + seed_term) % num_shards);
+}
+
+/* Counter-based sampler RNG: draw i at stream position j is
+ * mix(mix(key + j*G1) + i*G2) — pure mod-2^64 integer arithmetic,
+ * bit-identical to the numpy oracle by construction. */
+#define CTR_G1 0x9E3779B97F4A7C15ULL
+#define CTR_G2 0xD1B54A32D192ED03ULL
+/* 2^-53: both the 53-bit integer below and this power-of-two scale
+ * are exact doubles, so the (0, 1] map is exactly rounded. */
+#define CTR_INV53 (1.0 / 9007199254740992.0)
+
+void repro_counter_u64(
+    uint64_t key, const uint64_t *positions, const uint64_t *draws,
+    int64_t n, uint64_t *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t h = splitmix(positions[i] * CTR_G1 + key);
+        out[i] = splitmix(h + draws[i] * CTR_G2);
+    }
+}
+
+void repro_counter_u01(
+    uint64_t key, const uint64_t *positions, const uint64_t *draws,
+    int64_t n, double *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t h = splitmix(positions[i] * CTR_G1 + key);
+        uint64_t z = splitmix(h + draws[i] * CTR_G2);
+        out[i] = (double)((z >> 11) + 1u) * CTR_INV53;
+    }
+}
+
+/* Smallest gap g with P(G > g) <= u for the full-reservoir skip law,
+ * by exact sequential product search: every (x - k) / x term and the
+ * running product are exactly rounded double ops, matching the numpy
+ * oracle's sequential cumprod bit for bit. */
+static inline int64_t res_gap(int64_t pos, double kd, double u)
+{
+    double survive = 1.0;
+    int64_t g = 0;
+    for (;;) {
+        double x = (double)(pos + g + 1);
+        double nxt = survive * ((x - kd) / x);
+        if (nxt <= u)
+            return g;
+        survive = nxt;
+        g++;
+    }
+}
+
+int64_t repro_reservoir_chain(
+    uint64_t key, int64_t k, int64_t offered, int64_t skip, int64_t m,
+    int64_t *accepts, int64_t *slots, int64_t *skip_out)
+{
+    double kd = (double)k;
+    int64_t cnt = 0, idx = 0, pos = offered;
+    for (;;) {
+        int64_t remaining = m - idx;
+        if (skip >= remaining) {
+            skip -= remaining;
+            break;
+        }
+        idx += skip;
+        pos += skip + 1;
+        uint64_t h = splitmix((uint64_t)pos * CTR_G1 + key);
+        accepts[cnt] = idx;
+        slots[cnt] = (int64_t)(splitmix(h) % (uint64_t)k);
+        uint64_t z = splitmix(h + CTR_G2);
+        double u = (double)((z >> 11) + 1u) * CTR_INV53;
+        cnt++;
+        skip = res_gap(pos, kd, u);
+        idx++;
+    }
+    *skip_out = skip;
+    return cnt;
+}
+
+void repro_sampler_segment_counts(
+    const int64_t *values, const int64_t *keys, int64_t r,
+    const int64_t *starts, const int64_t *ends, int64_t b,
+    int64_t *out)
+{
+    for (int64_t s = 0; s < b; s++) {
+        int64_t *row = out + (uint64_t)s * (uint64_t)r;
+        for (int64_t j = starts[s]; j < ends[s]; j++) {
+            int64_t v = values[j];
+            int64_t lo = 0, hi = r;
+            while (lo < hi) {
+                int64_t mid = (lo + hi) >> 1;
+                if (keys[mid] < v)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            if (lo < r && keys[lo] == v)
+                row[lo] += 1;
+        }
+    }
 }
 """
 
@@ -278,4 +389,48 @@ def shard_assign(values, seed_term, num_shards) -> np.ndarray:
         _u64(values), values.shape[0], int(seed_term), int(num_shards),
         _i64_mut(out),
     )
+    return out
+
+
+def counter_u64(key, positions, draws) -> np.ndarray:
+    """Vectorised counter draws in C."""
+    out = np.empty(positions.shape[0], dtype=np.uint64)
+    _lib.repro_counter_u64(
+        int(key), _u64(positions), _u64(draws), positions.shape[0],
+        _u64_mut(out),
+    )
+    return out
+
+
+def counter_u01(key, positions, draws) -> np.ndarray:
+    """Counter draws in (0, 1] in C."""
+    out = np.empty(positions.shape[0], dtype=np.float64)
+    _lib.repro_counter_u01(
+        int(key), _u64(positions), _u64(draws), positions.shape[0],
+        _ffi.cast("double *", out.ctypes.data),
+    )
+    return out
+
+
+def reservoir_chain(key, k, offered, skip, m):
+    """Sequential reservoir acceptance chain in C."""
+    accepts = np.empty(m, dtype=np.int64)
+    slots = np.empty(m, dtype=np.int64)
+    skip_out = np.empty(1, dtype=np.int64)
+    cnt = _lib.repro_reservoir_chain(
+        int(key), int(k), int(offered), int(skip), int(m),
+        _i64_mut(accepts), _i64_mut(slots), _i64_mut(skip_out),
+    )
+    return accepts[:cnt].copy(), slots[:cnt].copy(), int(skip_out[0])
+
+
+def sampler_segment_counts(values, keys, starts, ends) -> np.ndarray:
+    """Per-segment tracked-value counts in C (binary search per element)."""
+    out = np.zeros((starts.shape[0], keys.shape[0]), dtype=np.int64)
+    if keys.shape[0] and starts.shape[0] and values.shape[0]:
+        _lib.repro_sampler_segment_counts(
+            _i64(values), _i64(keys), keys.shape[0],
+            _i64(starts), _i64(ends), starts.shape[0],
+            _i64_mut(out),
+        )
     return out

@@ -122,6 +122,125 @@ def _shard_assign(values, seed_term, num_shards, out):  # pragma: no cover - jit
         out[i] = np.int64(zv % shards)
 
 
+_G1 = np.uint64(0x9E3779B97F4A7C15)
+_G2 = np.uint64(0xD1B54A32D192ED03)
+_S11 = np.uint64(11)
+_U1 = np.uint64(1)
+_INV53 = 2.0**-53
+
+
+@njit(cache=True, parallel=False, nogil=True, inline="always")
+def _mix(zv):  # pragma: no cover - jit
+    zv = (zv ^ (zv >> _S30)) * _M1
+    zv = (zv ^ (zv >> _S27)) * _M2
+    return zv ^ (zv >> _S31)
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _counter_u64(key, positions, draws, out):  # pragma: no cover - jit
+    for i in range(positions.shape[0]):
+        h = _mix(positions[i] * _G1 + key)
+        out[i] = _mix(h + draws[i] * _G2)
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _counter_u01(key, positions, draws, out):  # pragma: no cover - jit
+    for i in range(positions.shape[0]):
+        h = _mix(positions[i] * _G1 + key)
+        zv = _mix(h + draws[i] * _G2)
+        out[i] = np.float64((zv >> _S11) + _U1) * _INV53
+
+
+@njit(cache=True, parallel=False, nogil=True, inline="always")
+def _res_gap(pos, kd, u):  # pragma: no cover - jit
+    survive = 1.0
+    g = np.int64(0)
+    while True:
+        x = np.float64(pos + g + 1)
+        nxt = survive * ((x - kd) / x)
+        if nxt <= u:
+            return g
+        survive = nxt
+        g += 1
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _reservoir_chain(key, k, offered, skip, m, accepts, slots):
+    # pragma: no cover - jit
+    kd = np.float64(k)
+    ku = np.uint64(k)
+    cnt = np.int64(0)
+    idx = np.int64(0)
+    pos = np.int64(offered)
+    while True:
+        remaining = m - idx
+        if skip >= remaining:
+            skip -= remaining
+            break
+        idx += skip
+        pos += skip + np.int64(1)
+        h = _mix(np.uint64(pos) * _G1 + key)
+        accepts[cnt] = idx
+        slots[cnt] = np.int64(_mix(h) % ku)
+        zv = _mix(h + _G2)
+        u = np.float64((zv >> _S11) + _U1) * _INV53
+        cnt += 1
+        skip = _res_gap(pos, kd, u)
+        idx += 1
+    return cnt, skip
+
+
+@njit(cache=True, parallel=False, nogil=True)
+def _segment_counts(values, keys, starts, ends, out):  # pragma: no cover - jit
+    r = keys.shape[0]
+    for s in range(starts.shape[0]):
+        for j in range(starts[s], ends[s]):
+            v = values[j]
+            lo = np.int64(0)
+            hi = r
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if keys[mid] < v:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < r and keys[lo] == v:
+                out[s, lo] += 1
+
+
+def counter_u64(key, positions, draws) -> np.ndarray:
+    """Vectorised counter draws, jit-compiled."""
+    out = np.empty(positions.shape[0], dtype=np.uint64)
+    _counter_u64(key, positions, draws, out)
+    return out
+
+
+def counter_u01(key, positions, draws) -> np.ndarray:
+    """Counter draws in (0, 1], jit-compiled."""
+    out = np.empty(positions.shape[0], dtype=np.float64)
+    _counter_u01(key, positions, draws, out)
+    return out
+
+
+def reservoir_chain(key, k, offered, skip, m):
+    """Sequential reservoir acceptance chain, jit-compiled."""
+    accepts = np.empty(m, dtype=np.int64)
+    slots = np.empty(m, dtype=np.int64)
+    cnt, skip_out = _reservoir_chain(
+        key, np.int64(k), np.int64(offered), np.int64(skip), np.int64(m),
+        accepts, slots,
+    )
+    return accepts[:cnt].copy(), slots[:cnt].copy(), int(skip_out)
+
+
+def sampler_segment_counts(values, keys, starts, ends) -> np.ndarray:
+    """Per-segment tracked-value counts, jit-compiled binary search."""
+    out = np.zeros((starts.shape[0], keys.shape[0]), dtype=np.int64)
+    if keys.shape[0] and starts.shape[0] and values.shape[0]:
+        _segment_counts(values, keys, starts, ends, out)
+    return out
+
+
 def tugofwar_scatter(coeffs, values, counts, z) -> None:
     """Fused Horner + fold + sign + signed scatter, jit-compiled."""
     _tugofwar_scatter(coeffs, values, counts, z)

@@ -34,6 +34,16 @@ __all__ = [
     "fk_update_one",
     "splitmix64",
     "shard_assign",
+    "SAMPLER_RNG_SCHEME",
+    "RESERVOIR_SEQ_FACTOR",
+    "counter_key",
+    "counter_u64_one",
+    "counter_u01_one",
+    "counter_u64",
+    "counter_u01",
+    "reservoir_chain",
+    "reservoir_gap_one",
+    "sampler_segment_counts",
 ]
 
 #: Environment variable that selects the backend at first use.
@@ -54,6 +64,21 @@ _MASK64 = (1 << 64) - 1
 #: splitmix64 finalizer constants (Steele et al.), shared with
 #: :mod:`repro.engine.partition` which dispatches through here.
 SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+#: Second Weyl increment for the per-position draw index of the
+#: counter-based sampler RNG (a distinct odd constant so the (j, i)
+#: lattice never aliases the position stream).
+COUNTER_DRAW_GAMMA = 0xD1B54A32D192ED03
+
+#: RNG scheme newly constructed sampler sketches draw from; legacy
+#: PCG64 snapshots keep their scheme on a compatibility path.
+SAMPLER_RNG_SCHEME = "counter"
+
+#: Reservoir skip draws use the exact sequential-product search while
+#: ``offered <= RESERVOIR_SEQ_FACTOR * k``; beyond that the drivers
+#: switch to the lgamma bisection (whose libm calls are not bit-stable
+#: across toolchains, so it never enters a compiled kernel).
+RESERVOIR_SEQ_FACTOR = 65536
 
 
 class KernelUnavailableError(RuntimeError):
@@ -186,6 +211,7 @@ def kernel_info(probe: bool = False) -> dict:
         "requested": os.environ.get(ENV_VAR, "auto").strip() or "auto",
         "available": list(available),
         "load_errors": dict(_load_errors),
+        "sampler_rng": SAMPLER_RNG_SCHEME,
     }
 
 
@@ -345,6 +371,175 @@ def splitmix64(values, seed: int = 0) -> np.ndarray:
     if arr.ndim != 1:
         raise ValueError(f"values must be one-dimensional, got shape {arr.shape}")
     return get_backend().splitmix64(arr.view(np.uint64), _seed_term(seed))
+
+
+# ----------------------------------------------------------------------
+# Counter-based sampler RNG
+# ----------------------------------------------------------------------
+# Draw ``i`` at stream position ``j`` under seed ``s`` is the pure
+# function ``mix(mix(key(s) + j*G1) + i*G2)`` where ``mix`` is the
+# splitmix64 finalizer.  Pure integer arithmetic mod 2^64, so the
+# scalar Python helpers below, the vectorised numpy path, and the
+# compiled backends all produce the same bits — which is what lets the
+# samplers precompute whole batches of draws instead of threading a
+# stateful generator through every element.
+
+_MIX_M1 = 0xBF58476D1CE4E5B9
+_MIX_M2 = 0x94D049BB133111EB
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finalizer on a Python int, mod 2^64."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_M1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_M2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def counter_key(seed: int) -> int:
+    """Derive the 64-bit stream key of the counter RNG from a seed."""
+    return _mix64(((int(seed) + 1) * SPLITMIX_GAMMA) & _MASK64)
+
+
+def counter_u64_one(key: int, position: int, draw: int) -> int:
+    """Scalar counter draw: uint64 for draw ``draw`` at ``position``."""
+    h = _mix64((int(key) + int(position) * SPLITMIX_GAMMA) & _MASK64)
+    return _mix64((h + int(draw) * COUNTER_DRAW_GAMMA) & _MASK64)
+
+
+def counter_u01_one(key: int, position: int, draw: int) -> float:
+    """Scalar counter draw mapped into (0, 1].
+
+    ``((u >> 11) + 1) * 2^-53`` — both the 53-bit integer and the
+    power-of-two scale are exactly representable, so the float is
+    bit-identical in Python, numpy, numba, and C.
+    """
+    return float((counter_u64_one(key, position, draw) >> 11) + 1) * 2.0**-53
+
+
+def reservoir_gap_one(k: int, position: int, u: float) -> int:
+    """Scalar reservoir skip inversion: smallest gap with ``P(G > g) <= u``.
+
+    Driver-side companion of :func:`reservoir_chain` for per-element
+    offers: delegates to the numpy reference search (sequential-product
+    order), so a scalar offer consumes exactly the gap the compiled
+    chain would have drawn at the same position.  Only valid inside the
+    sequential window (``position <= RESERVOIR_SEQ_FACTOR * k``); the
+    drivers use their lgamma bisection beyond it.
+    """
+    from . import _numpy
+
+    return _numpy._reservoir_gap(int(position), int(k), float(u))
+
+
+def _as_index_array(values, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and bool((arr < 0).any()):
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
+def counter_u64(key: int, positions, draws) -> np.ndarray:
+    """Vectorised counter draws: one uint64 per (position, draw) pair.
+
+    ``positions`` and ``draws`` are non-negative int64 arrays of equal
+    length (either may be a scalar, broadcast to the other's length).
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    drw = np.asarray(draws, dtype=np.int64)
+    pos, drw = np.broadcast_arrays(pos, drw)
+    pos = _as_index_array(pos, "positions")
+    drw = _as_index_array(drw, "draws")
+    return get_backend().counter_u64(
+        np.uint64(int(key) & _MASK64), pos.view(np.uint64), drw.view(np.uint64)
+    )
+
+
+def counter_u01(key: int, positions, draws) -> np.ndarray:
+    """Vectorised counter draws mapped into (0, 1] as float64."""
+    pos = np.asarray(positions, dtype=np.int64)
+    drw = np.asarray(draws, dtype=np.int64)
+    pos, drw = np.broadcast_arrays(pos, drw)
+    pos = _as_index_array(pos, "positions")
+    drw = _as_index_array(drw, "draws")
+    return get_backend().counter_u01(
+        np.uint64(int(key) & _MASK64), pos.view(np.uint64), drw.view(np.uint64)
+    )
+
+
+def reservoir_chain(
+    key: int, k: int, offered: int, skip: int, m: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Run the full-reservoir acceptance chain over ``m`` offers.
+
+    Starting from a full size-``k`` reservoir that has seen ``offered``
+    offers with ``skip`` rejections pending, returns ``(accepts,
+    slots, skip_out)``: the batch offsets accepted, the reservoir slot
+    each one replaces (draw 0 at its position), and the rejection
+    count left over for the next batch.  Skip lengths are drawn by the
+    exact sequential-product inversion of the Vitter skip law, so the
+    whole call must stay inside the sequential window —
+    ``offered + m <= RESERVOIR_SEQ_FACTOR * k`` — which the sampler
+    drivers enforce by splitting batches.
+    """
+    k = int(k)
+    offered = int(offered)
+    skip = int(skip)
+    m = int(m)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if offered < k:
+        raise ValueError(
+            f"reservoir_chain requires a full reservoir (offered >= k), "
+            f"got offered={offered} k={k}"
+        )
+    if skip < 0:
+        raise ValueError(f"skip must be >= 0, got {skip}")
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if offered + m > RESERVOIR_SEQ_FACTOR * k:
+        raise ValueError(
+            f"reservoir_chain window exceeded: offered + m = {offered + m} "
+            f"> {RESERVOIR_SEQ_FACTOR} * k = {RESERVOIR_SEQ_FACTOR * k}"
+        )
+    accepts, slots, skip_out = get_backend().reservoir_chain(
+        np.uint64(int(key) & _MASK64), k, offered, skip, m
+    )
+    return accepts, slots, int(skip_out)
+
+
+def sampler_segment_counts(values, keys, starts, ends) -> np.ndarray:
+    """Per-segment occurrence counts of each key value: ``(b, r)`` int64.
+
+    ``values`` is the raw int64 batch, ``keys`` the sorted distinct
+    values being tracked, and ``starts``/``ends`` the half-open segment
+    bounds into ``values``.  ``out[s, c]`` counts occurrences of
+    ``keys[c]`` in ``values[starts[s]:ends[s]]`` — the suffix-count
+    (N_v) maintenance of the sample-count sketch, batched.  Exact
+    integer counting, so bit-identity across backends is structural.
+    """
+    vals = np.ascontiguousarray(values, dtype=np.int64)
+    if vals.ndim != 1:
+        raise ValueError(f"values must be one-dimensional, got shape {vals.shape}")
+    keys_arr = np.ascontiguousarray(keys, dtype=np.int64)
+    if keys_arr.ndim != 1:
+        raise ValueError(f"keys must be one-dimensional, got shape {keys_arr.shape}")
+    if keys_arr.size > 1 and bool((np.diff(keys_arr) <= 0).any()):
+        raise ValueError("keys must be strictly increasing")
+    starts_arr = np.ascontiguousarray(starts, dtype=np.int64)
+    ends_arr = np.ascontiguousarray(ends, dtype=np.int64)
+    if starts_arr.shape != ends_arr.shape or starts_arr.ndim != 1:
+        raise ValueError("starts and ends must be equal-length 1-D arrays")
+    if starts_arr.size:
+        if bool((starts_arr < 0).any()) or bool((ends_arr > vals.size).any()):
+            raise ValueError("segment bounds outside the values array")
+        if bool((ends_arr < starts_arr).any()):
+            raise ValueError("segment ends must be >= starts")
+    return get_backend().sampler_segment_counts(
+        vals, keys_arr, starts_arr, ends_arr
+    )
 
 
 def shard_assign(values, seed: int = 0, num_shards: int = 1) -> np.ndarray:

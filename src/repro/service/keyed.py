@@ -301,6 +301,7 @@ class KeyedSketchService:
                 if store is not None:
                     spans.update(tuple(span) for span in store.spans)
             from ..kernels import active_backend
+            from ..streams.reservoir import DEFAULT_SAMPLER_RNG
 
             return {
                 "kind": self._store.spec.kind,
@@ -315,6 +316,7 @@ class KeyedSketchService:
                 "coverage": None if coverage is None else list(coverage),
                 "memory_words": self._store.memory_words,
                 "kernel_backend": active_backend(),
+                "sampler_rng": DEFAULT_SAMPLER_RNG,
             }
 
     def snapshot(self, key: str | None = None) -> dict:
@@ -375,6 +377,7 @@ class KeyedSketchService:
             key = validate_key(key)
             items = {key: items.get(key, 0)}
         from ..kernels import active_backend
+        from ..streams.reservoir import DEFAULT_SAMPLER_RNG
 
         stats = dict(self._cache.stats)
         stats["keyed"] = True
@@ -382,6 +385,7 @@ class KeyedSketchService:
         stats["items"] = sum(items.values())
         stats["items_by_key"] = {k: items[k] for k in sorted(items)}
         stats["kernel_backend"] = active_backend()
+        stats["sampler_rng"] = DEFAULT_SAMPLER_RNG
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

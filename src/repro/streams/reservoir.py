@@ -26,7 +26,37 @@ from typing import Iterable, List
 
 import numpy as np
 
-__all__ = ["SingleReservoir", "ReservoirSample", "skip_length"]
+from repro.kernels import (
+    RESERVOIR_SEQ_FACTOR,
+    counter_key,
+    counter_u01_one,
+    counter_u64_one,
+    reservoir_chain,
+    reservoir_gap_one,
+)
+
+__all__ = [
+    "SingleReservoir",
+    "ReservoirSample",
+    "skip_length",
+    "DEFAULT_SAMPLER_RNG",
+]
+
+#: RNG schemes a reservoir can draw from.  ``counter`` (the default
+#: for new instances) keys every draw by stream position, which is
+#: what lets bulk offers run through the compiled kernels; ``pcg64``
+#: is the legacy stateful-generator scheme, kept so old snapshots
+#: load and continue draw for draw.
+RESERVOIR_SCHEMES = ("counter", "pcg64")
+
+#: The scheme new sampler instances draw from — what the CLI banners
+#: and service info/stats payloads report as ``sampler_rng``.
+DEFAULT_SAMPLER_RNG = RESERVOIR_SCHEMES[0]
+
+
+def _fresh_seed() -> int:
+    """An entropy-derived 64-bit seed for unseeded counter reservoirs."""
+    return int(np.random.SeedSequence().entropy) & ((1 << 64) - 1)
 
 
 def skip_length(current: int, u: float) -> int:
@@ -110,46 +140,43 @@ class ReservoirSample:
     optimisation naive-sampling relies on for cheap tracking.
     """
 
-    __slots__ = ("k", "_rng", "_items", "_offered", "_skip")
+    __slots__ = ("k", "scheme", "seed", "_key", "_rng", "_items", "_offered", "_skip")
 
-    def __init__(self, k: int, seed: int | None = None):
+    def __init__(
+        self, k: int, seed: int | None = None, scheme: str = "counter"
+    ):
         if k < 1:
             raise ValueError(f"reservoir size k must be >= 1, got {k}")
+        if scheme not in RESERVOIR_SCHEMES:
+            raise ValueError(
+                f"unknown RNG scheme {scheme!r}; choose from {RESERVOIR_SCHEMES}"
+            )
         self.k = int(k)
-        self._rng = np.random.default_rng(seed)
+        self.scheme = scheme
+        if scheme == "counter":
+            self.seed = _fresh_seed() if seed is None else int(seed)
+            self._key = counter_key(self.seed)
+            self._rng = None
+        else:
+            self.seed = None
+            self._key = None
+            self._rng = np.random.default_rng(seed)
         self._items: List = []
         self._offered = 0
         self._skip = 0  # offers to reject before the next acceptance
 
-    def _draw_skip(self) -> int:
-        """Number of offers to skip before the next acceptance.
+    def _lgamma_gap(self, n: int, u: float) -> int:
+        """Skip inversion by bisection on the log-gamma closed form.
 
-        Uses the distribution of Vitter's Algorithm X: starting at
-        stream position n (just accepted), the gap G satisfies
-        ``P(G > g) = prod_{j=1..g} (n + j - k) / (n + j)``, inverted
-        against a single uniform draw.
-
-        Two regimes, one uniform consumed either way: while the
-        expected gap ``n / k`` is modest, a sequential search on the
-        float product (O(n/k) work, exactly the seed implementation's
-        arithmetic); once the stream dwarfs the reservoir — reachable
+        Used once the stream dwarfs the sequential window (reachable
         through :meth:`offer_repeated` histogram entries with huge
-        counts — the same quantile is found by binary search on the
-        log-gamma closed form in O(log gap), since the sequential
-        product would iterate once per skipped position.
+        counts), where the sequential product would iterate once per
+        skipped position.  libm's ``lgamma`` is not bit-stable across
+        toolchains, so this branch stays in driver Python under both
+        schemes — the regime switch is a pure function of (n, k), so
+        every backend agrees on which branch a position takes.
         """
-        n = self._offered
-        u = float(self._rng.random())
-        if n <= 65536 * self.k:
-            gap = 0
-            survive = 1.0
-            while True:
-                nxt = survive * (n + gap + 1 - self.k) / (n + gap + 1)
-                if nxt <= u:
-                    return gap
-                survive = nxt
-                gap += 1
-        # log P(G > g) = lgamma-form of the product above (monotone in g).
+        # log P(G > g) = lgamma-form of the survival product (monotone in g).
         log_u = math.log(u) if u > 0.0 else -800.0
         base = math.lgamma(n + 1) - math.lgamma(n + 1 - self.k)
 
@@ -168,6 +195,45 @@ class ReservoirSample:
                 lo = mid
         return hi - 1  # smallest m with P(G > m) <= u, minus one
 
+    def _draw_skip(self) -> int:
+        """Number of offers to skip before the next acceptance.
+
+        Uses the distribution of Vitter's Algorithm X: starting at
+        stream position n (just accepted), the gap G satisfies
+        ``P(G > g) = prod_{j=1..g} (n + j - k) / (n + j)``, inverted
+        against a single uniform draw.
+
+        Two regimes, one uniform consumed either way: while the
+        expected gap ``n / k`` is modest, a search on the float
+        product (for the counter scheme, the shared kernel-exact
+        sequential search; for legacy pcg64, the seed implementation's
+        arithmetic, preserved so old snapshots continue draw for
+        draw); beyond the sequential window, the lgamma bisection.
+        """
+        n = self._offered
+        if self.scheme == "counter":
+            u = counter_u01_one(self._key, n, 1)
+            if n <= RESERVOIR_SEQ_FACTOR * self.k:
+                return reservoir_gap_one(self.k, n, u)
+            return self._lgamma_gap(n, u)
+        u = float(self._rng.random())
+        if n <= RESERVOIR_SEQ_FACTOR * self.k:
+            gap = 0
+            survive = 1.0
+            while True:
+                nxt = survive * (n + gap + 1 - self.k) / (n + gap + 1)
+                if nxt <= u:
+                    return gap
+                survive = nxt
+                gap += 1
+        return self._lgamma_gap(n, u)
+
+    def _draw_slot(self) -> int:
+        """The reservoir slot replaced by the acceptance at ``offered``."""
+        if self.scheme == "counter":
+            return counter_u64_one(self._key, self._offered, 0) % self.k
+        return int(self._rng.integers(0, self.k))
+
     def offer(self, item) -> bool:
         """Offer one stream element; returns True if it entered the sample."""
         if len(self._items) < self.k:
@@ -182,7 +248,7 @@ class ReservoirSample:
             return False
         # Accept: replace a uniform slot, then draw the next gap.
         self._offered += 1
-        slot = int(self._rng.integers(0, self.k))
+        slot = self._draw_slot()
         self._items[slot] = item
         self._skip = self._draw_skip()
         return True
@@ -223,8 +289,63 @@ class ReservoirSample:
             i += self._skip
             self._offered += self._skip
             self._offered += 1
-            slot = int(self._rng.integers(0, self.k))
+            slot = self._draw_slot()
             self._items[slot] = seq[i]
+            self._skip = self._draw_skip()
+            i += 1
+
+    def offer_array(self, values: np.ndarray) -> None:
+        """Offer a whole int64 array through the compiled chain kernel.
+
+        Counter scheme only (legacy pcg64 reservoirs fall back to the
+        Python jump loop of :meth:`offer_many`): the full-reservoir
+        stretch dispatches to :func:`repro.kernels.reservoir_chain`,
+        which returns every accepted (offset, slot) pair in one
+        compiled pass.  Batches crossing the sequential window are
+        split at the boundary; beyond it the driver jumps between
+        acceptances with lgamma-drawn gaps.  Draw-for-draw identical
+        to offering every element through :meth:`offer`.
+        """
+        arr = np.ascontiguousarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"values must be one-dimensional, got shape {arr.shape}")
+        if self.scheme != "counter":
+            self.offer_many(arr.tolist())
+            return
+        i = 0
+        n = arr.size
+        # Fill phase: the first k offers are always accepted.
+        while i < n and len(self._items) < self.k:
+            self._items.append(int(arr[i]))
+            self._offered += 1
+            i += 1
+            if len(self._items) == self.k:
+                self._skip = self._draw_skip()
+        window_end = RESERVOIR_SEQ_FACTOR * self.k
+        while i < n:
+            window = window_end - self._offered
+            remaining = n - i
+            if window > 0:
+                span = min(window, remaining)
+                accepts, slots, skip = reservoir_chain(
+                    self._key, self.k, self._offered, self._skip, span
+                )
+                for off, slot in zip(accepts.tolist(), slots.tolist()):
+                    self._items[slot] = int(arr[i + off])
+                self._offered += span
+                self._skip = skip
+                i += span
+                continue
+            # Beyond the sequential window: arithmetic jumps, lgamma gaps.
+            if self._skip >= remaining:
+                self._skip -= remaining
+                self._offered += remaining
+                return
+            i += self._skip
+            self._offered += self._skip
+            self._offered += 1
+            slot = self._draw_slot()
+            self._items[slot] = int(arr[i])
             self._skip = self._draw_skip()
             i += 1
 
@@ -262,34 +383,56 @@ class ReservoirSample:
                 return
             count -= self._skip + 1
             self._offered += self._skip + 1
-            slot = int(self._rng.integers(0, self.k))
+            slot = self._draw_slot()
             self._items[slot] = item
             self._skip = self._draw_skip()
 
     def to_dict(self) -> dict:
-        """Serialise the reservoir (items, counters, RNG state)."""
-        return {
+        """Serialise the reservoir (items, counters, RNG cursor).
+
+        Counter-scheme payloads carry the seed — the whole RNG cursor,
+        since draws are keyed by the (offered, skip) position already
+        stored.  Legacy pcg64 payloads keep carrying the full
+        generator state, exactly as before this scheme existed.
+        """
+        payload = {
             "k": self.k,
             "items": list(self._items),
             "offered": self._offered,
             "skip": self._skip,
-            "rng": self._rng.bit_generator.state,
+            "scheme": self.scheme,
         }
+        if self.scheme == "counter":
+            payload["seed"] = self.seed
+        else:
+            payload["rng"] = self._rng.bit_generator.state
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ReservoirSample":
         """Reconstruct a reservoir from :meth:`to_dict` output.
 
-        The RNG state is restored too, so continued streaming matches
-        the original bit for bit.
+        The RNG cursor is restored too, so continued streaming matches
+        the original bit for bit.  Payloads written before the counter
+        scheme existed have no ``scheme`` field but do carry a pcg64
+        ``rng`` state; they load onto the legacy path and continue
+        exactly.
         """
-        reservoir = cls(int(payload["k"]))
+        scheme = payload.get("scheme")
+        if scheme is None:
+            scheme = "pcg64" if "rng" in payload else "counter"
+        if scheme == "counter":
+            reservoir = cls(
+                int(payload["k"]), seed=int(payload["seed"]), scheme="counter"
+            )
+        else:
+            reservoir = cls(int(payload["k"]), scheme="pcg64")
+            rng = np.random.default_rng()
+            rng.bit_generator.state = payload["rng"]
+            reservoir._rng = rng
         reservoir._items = list(payload["items"])
         reservoir._offered = int(payload["offered"])
         reservoir._skip = int(payload["skip"])
-        rng = np.random.default_rng()
-        rng.bit_generator.state = payload["rng"]
-        reservoir._rng = rng
         return reservoir
 
     def __len__(self) -> int:

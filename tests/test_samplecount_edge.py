@@ -110,8 +110,10 @@ class TestEvictionCascade:
 
     def test_delete_nonhead_insert_keeps_sample(self):
         # Deleting reverses the most recent insert; a slot that sampled
-        # an *earlier* insert must survive.
-        sk = SampleCountSketch(s1=1, s2=1, seed=0, initial_range=1)
+        # an *earlier* insert must survive.  Seed 4's draw at position 1
+        # schedules the replacement beyond position 2, so insert #2 is
+        # not sampled.
+        sk = SampleCountSketch(s1=1, s2=1, seed=4, initial_range=1)
         sk.insert(4)  # sampled (position 1)
         sk.insert(4)  # not sampled
         sk.delete(4)  # reverses insert #2

@@ -539,6 +539,7 @@ class TestServerRequests:
         info = self.send(service, {"op": "info"})
         assert info["kind"] == "tugofwar" and info["coverage"] == [0, 100]
         assert [0, 50] in info["spans"]  # the compacted span
+        assert info["sampler_rng"] == "counter"
         stats = self.send(service, {"op": "stats"})
         assert set(stats["cache"]) >= {"hits", "misses", "coalesced"}
 
